@@ -1,0 +1,52 @@
+// Shared plumbing for the experiment harnesses in bench/: every binary
+// regenerates one table or figure of the paper, prints the paper's rows
+// as aligned text plus a CSV block, and accepts the common flags from
+// rrsim/core/options.h plus --reps and --full (paper-scale repetitions).
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "rrsim/core/campaign.h"
+#include "rrsim/core/options.h"
+#include "rrsim/core/paper.h"
+#include "rrsim/util/cli.h"
+#include "rrsim/util/table.h"
+
+namespace rrsim::bench {
+
+/// Repetition count: --reps wins; --full selects the paper's 50; otherwise
+/// `quick_default`.
+inline int repetitions(const util::Cli& cli, int quick_default) {
+  if (cli.has("reps")) return static_cast<int>(cli.get_int("reps", 0));
+  if (cli.get_bool("full", false)) return 50;
+  return quick_default;
+}
+
+/// Prints the harness banner: what is being reproduced and with which
+/// protocol, so the output is interpretable on its own.
+inline void banner(const std::string& experiment, const std::string& claim,
+                   int reps) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("repetitions per data point: %d (use --full for the paper's "
+              "50)\n\n",
+              reps);
+}
+
+/// Runs `fn()` with top-level exception reporting; returns the process
+/// exit code.
+template <typename Fn>
+int run_harness(Fn&& fn) {
+  try {
+    fn();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace rrsim::bench

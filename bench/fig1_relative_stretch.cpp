@@ -1,0 +1,56 @@
+// Figure 1: average stretch of each redundant-request scheme relative to
+// no redundancy, versus the number of clusters N in {2,3,4,5,10,20}.
+// Paper's shape: redundancy is not beneficial for N <= 5 (up to ~10%
+// worse) and beneficial for N > 5 (15-25% better), with higher redundancy
+// degrees at least as good at large N. Also reports the win-rate rows the
+// paper quotes in prose ("beneficial in >85/90/95% of experiments").
+//
+//   ./fig1_relative_stretch [--reps=3|--full] [--hours=6] [--algo=easy]
+//                           [--seed=42] plus common flags.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rrsim;
+  return bench::run_harness([&] {
+    const util::Cli cli(argc, argv);
+    const int reps = bench::repetitions(cli, 3);
+    bench::banner(
+        "Figure 1 - relative average stretch vs number of clusters",
+        "values < 1: redundant requests improve the average stretch; the\n"
+        "paper finds >1 for N<=5 and 0.75-0.95 for N>5",
+        reps);
+
+    core::ExperimentConfig base =
+        core::apply_common_flags(core::figure_config(), cli);
+
+    const std::vector<std::size_t> ns{2, 3, 4, 5, 10, 20};
+    const std::vector<std::string> schemes{"R2", "R3", "R4", "HALF", "ALL"};
+
+    util::Table table({"N", "R2", "R3", "R4", "HALF", "ALL"});
+    util::Table wins({"N", "scheme", "win rate %", "worst ratio"});
+    for (const std::size_t n : ns) {
+      table.begin_row().add(static_cast<long long>(n));
+      for (const std::string& scheme : schemes) {
+        core::ExperimentConfig c = base;
+        c.n_clusters = n;
+        c.scheme = core::RedundancyScheme::parse(scheme);
+        const core::RelativeMetrics rel =
+            core::run_relative_campaign(c, reps);
+        table.add(rel.rel_avg_stretch, 3);
+        if (n >= 10) {
+          wins.begin_row()
+              .add(static_cast<long long>(n))
+              .add(scheme)
+              .add(rel.win_rate * 100.0, 0)
+              .add(rel.worst_rel_stretch, 3);
+        }
+        std::fflush(stdout);
+      }
+    }
+    table.print(std::cout);
+    std::printf("\nWin rates over the NONE baseline (paper: >85%% for N=10, "
+                ">95%% for N=20):\n");
+    wins.print(std::cout, false);
+  });
+}

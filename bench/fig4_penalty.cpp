@@ -1,0 +1,47 @@
+// Figure 4: average stretch of jobs using redundant requests ("r jobs")
+// and jobs not using them ("n-r jobs") versus the percentage p of jobs
+// using redundancy, N = 10 clusters. Paper's shape: n-r jobs get worse
+// roughly linearly in p (more so for higher-degree schemes), r jobs do
+// much better than n-r jobs, and p=100 beats p=0 overall.
+//
+//   ./fig4_penalty [--reps=3|--full] [--seed=42] + common flags.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rrsim;
+  return bench::run_harness([&] {
+    const util::Cli cli(argc, argv);
+    const int reps = bench::repetitions(cli, 3);
+    bench::banner(
+        "Figure 4 - stretch of r jobs vs n-r jobs vs percentage using "
+        "redundancy",
+        "N=10; 'r' = average stretch of jobs using redundant requests,\n"
+        "'n-r' = jobs not using them; paper: n-r grows with p, r << n-r",
+        reps);
+
+    core::ExperimentConfig base =
+        core::apply_common_flags(core::figure_config(), cli);
+
+    const std::vector<double> percents{0.0, 20.0, 40.0, 60.0, 80.0, 100.0};
+    const std::vector<std::string> schemes{"R2", "R4", "HALF", "ALL"};
+
+    util::Table table({"p %", "R2 r", "R2 n-r", "R4 r", "R4 n-r", "HALF r",
+                       "HALF n-r", "ALL r", "ALL n-r"});
+    for (const double p : percents) {
+      table.begin_row().add(p, 0);
+      for (const std::string& scheme : schemes) {
+        core::ExperimentConfig c = base;
+        c.scheme = core::RedundancyScheme::parse(scheme);
+        c.redundant_fraction = p / 100.0;
+        const core::ClassifiedCampaign res =
+            core::run_classified_campaign(c, reps);
+        table.add(res.avg_stretch_redundant, 2)
+            .add(res.avg_stretch_non_redundant, 2);
+        std::fflush(stdout);
+      }
+    }
+    table.print(std::cout);
+    std::printf("\n(zero cells mean the class is empty at that p)\n");
+  });
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) of the substrate costs that bound
+// experiment wall time: DES event dispatch, workload sampling, scheduler
+// pass costs at various queue depths, profile operations, and one
+// end-to-end small experiment.
+
+#include <benchmark/benchmark.h>
+
+#include "rrsim/core/experiment.h"
+#include "rrsim/core/paper.h"
+#include "rrsim/des/simulation.h"
+#include "rrsim/loadmodel/frontend.h"
+#include "rrsim/sched/factory.h"
+#include "rrsim/sched/profile.h"
+#include "rrsim/util/rng.h"
+#include "rrsim/workload/lublin.h"
+
+namespace {
+
+using namespace rrsim;
+
+void BM_DesScheduleDispatch(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_DesScheduleDispatch)->Arg(1000)->Arg(100000);
+
+void BM_LublinSampleJob(benchmark::State& state) {
+  util::Rng rng(1);
+  const workload::LublinModel model(workload::LublinParams{}, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sample_job(rng));
+  }
+}
+BENCHMARK(BM_LublinSampleJob);
+
+void BM_ProfileEarliestStart(benchmark::State& state) {
+  const int reservations = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  sched::Profile profile(128);
+  for (int i = 0; i < reservations; ++i) {
+    const int nodes = static_cast<int>(rng.between(1, 64));
+    const double dur = rng.uniform(10.0, 500.0);
+    const double s = profile.earliest_start(0.0, nodes, dur);
+    profile.reserve(s, dur, nodes);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.earliest_start(0.0, 32, 120.0));
+  }
+}
+BENCHMARK(BM_ProfileEarliestStart)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SchedulerPassAtDepth(benchmark::State& state) {
+  // Cost of one submit (which runs a scheduling pass) at a given queue
+  // depth, for each algorithm.
+  const auto algo = static_cast<sched::Algorithm>(state.range(0));
+  const auto depth = static_cast<std::size_t>(state.range(1));
+  des::Simulation sim;
+  auto sched = make_scheduler(algo, sim, 128);
+  util::Rng rng(3);
+  sched::JobId id = 1;
+  // A long wall occupying all but one node: one node stays free so EASY
+  // must actually scan the queue for backfill candidates on every pass
+  // (with zero free nodes the pass short-circuits).
+  sched::Job wall;
+  wall.id = id++;
+  wall.nodes = 127;
+  wall.requested_time = 1e8;
+  wall.actual_time = 1e8;
+  sched->submit(wall);
+  for (std::size_t i = 0; i < depth; ++i) {
+    sched::Job job;
+    job.id = id++;
+    job.nodes = static_cast<int>(rng.between(2, 128));  // never fits now
+    job.requested_time = rng.uniform(60.0, 3600.0);
+    job.actual_time = job.requested_time;
+    sched->submit(job);
+  }
+  // Measured unit: one submit + one cancel pair, so the queue depth stays
+  // fixed across iterations.
+  for (auto _ : state) {
+    sched::Job job;
+    job.id = id++;
+    job.nodes = 2;
+    job.requested_time = 60.0;
+    job.actual_time = 60.0;
+    sched->submit(job);
+    sched->cancel(job.id);
+    benchmark::DoNotOptimize(sched->queue_length());
+  }
+}
+BENCHMARK(BM_SchedulerPassAtDepth)
+    ->ArgsProduct({{0 /*fcfs*/, 1 /*easy*/}, {100, 1000, 10000}})
+    ->ArgNames({"algo", "depth"});
+BENCHMARK(BM_SchedulerPassAtDepth)
+    ->Args({2 /*cbf*/, 100})
+    ->Args({2, 1000})
+    ->ArgNames({"algo", "depth"});
+
+void BM_FrontEndOpPair(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  loadmodel::FrontEnd fe(16);
+  fe.prefill(depth, rng);
+  for (auto _ : state) {
+    fe.submit(1, 3600.0);
+    fe.cancel_head();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrontEndOpPair)->Arg(0)->Arg(10000)->Arg(20000);
+
+void BM_EndToEndExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ExperimentConfig c = core::figure_config_quick();
+    c.n_clusters = 4;
+    c.submit_horizon = 900.0;
+    c.scheme = core::RedundancyScheme::half();
+    benchmark::DoNotOptimize(core::run_experiment(c).records.size());
+  }
+}
+BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 1: relative average stretch and relative CV of stretches for the
+// HALF scheme at N = 10 clusters, for EASY / CBF / FCFS and for exact vs
+// over-estimated ("real") runtime requests. Paper: all entries below 1
+// (0.83-0.93).
+//
+//   ./table1_algorithms [--reps=3|--full] [--hours=2] [--seed=42] + common.
+//   (Default window is 2 h: CBF's profile compression is quadratic in
+//   queue depth, so the 6 h figure window is expensive under it.)
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rrsim;
+  return bench::run_harness([&] {
+    const util::Cli cli(argc, argv);
+    const int reps = bench::repetitions(cli, 3);
+    bench::banner(
+        "Table 1 - scheduling algorithms x runtime-estimate models",
+        "HALF scheme, N=10; cells are relative to the NONE baseline; the\n"
+        "paper reports 0.83-0.93 everywhere",
+        reps);
+
+    core::ExperimentConfig base = core::figure_config();
+    base.submit_horizon = 2.0 * 3600.0;
+    base = core::apply_common_flags(base, cli);
+    base.scheme = core::RedundancyScheme::half();
+
+    struct Row {
+      sched::Algorithm algo;
+      const char* label;
+    };
+    const Row rows[] = {{sched::Algorithm::kEasy, "EASY"},
+                        {sched::Algorithm::kCbf, "CBF"},
+                        {sched::Algorithm::kFcfs, "FCFS"}};
+    struct Col {
+      const char* estimator;
+      const char* label;
+    };
+    const Col cols[] = {{"exact", "Exact"}, {"uniform216", "Real"}};
+
+    util::Table table({"algorithm", "rel stretch (Exact)",
+                       "rel stretch (Real)", "rel CV (Exact)",
+                       "rel CV (Real)"});
+    for (const Row& row : rows) {
+      double stretch[2] = {0.0, 0.0};
+      double cv[2] = {0.0, 0.0};
+      for (int e = 0; e < 2; ++e) {
+        core::ExperimentConfig c = base;
+        c.algorithm = row.algo;
+        c.estimator = cols[e].estimator;
+        const core::RelativeMetrics rel =
+            core::run_relative_campaign(c, reps);
+        stretch[e] = rel.rel_avg_stretch;
+        cv[e] = rel.rel_cv_stretch;
+        std::fflush(stdout);
+      }
+      table.begin_row()
+          .add(row.label)
+          .add(stretch[0], 2)
+          .add(stretch[1], 2)
+          .add(cv[0], 2)
+          .add(cv[1], 2);
+    }
+    table.print(std::cout);
+  });
+}

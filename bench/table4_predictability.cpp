@@ -1,0 +1,66 @@
+// Table 4: accuracy of reservation-based queue-waiting-time predictions
+// (CBF), as the ratio predicted/actual wait, with and without redundant
+// requests. Paper (N=10, over-estimated requests): baseline 9.24 average
+// over-prediction with CV ~205%; with 40% of jobs using ALL, ~4x worse
+// for redundant jobs and ~8x worse for non-redundant jobs. Our regime
+// reproduces the baseline magnitude and the dramatic inflation; the
+// r-vs-n-r ordering inverts (see EXPERIMENTS.md).
+//
+//   ./table4_predictability [--reps=3|--full] [--seed=77]
+//   (20-minute submission window by default: CBF compression is
+//   quadratic in the replica-flooded queue depth.)
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rrsim;
+  return bench::run_harness([&] {
+    const util::Cli cli(argc, argv);
+    const int reps = bench::repetitions(cli, 3);
+    bench::banner(
+        "Table 4 - queue waiting time over-estimation statistics",
+        "N=10, CBF reservations as predictions, conservative (2.16x mean)\n"
+        "requested times; entries are predicted/actual wait ratios",
+        reps);
+
+    core::ExperimentConfig base;
+    base.n_clusters = 10;
+    base.load_mode = core::LoadMode::kPerClusterPeak;
+    base.submit_horizon = 1200.0;
+    base.algorithm = sched::Algorithm::kCbf;
+    base.estimator = "uniform216";
+    base.record_predictions = true;
+    base.seed = 77;
+    base = core::apply_common_flags(base, cli);
+    base.algorithm = sched::Algorithm::kCbf;  // Table 4 is CBF by definition
+
+    const core::PredictionCampaign baseline =
+        core::run_prediction_campaign(base, reps);
+
+    core::ExperimentConfig mixed = base;
+    mixed.scheme = core::RedundancyScheme::all();
+    mixed.redundant_fraction = 0.4;
+    const core::PredictionCampaign with =
+        core::run_prediction_campaign(mixed, reps);
+
+    util::Table table({"", "0% jobs redundant",
+                       "40% ALL: jobs not using RR",
+                       "40% ALL: jobs using RR"});
+    table.begin_row()
+        .add("Average")
+        .add(baseline.all.avg_ratio, 2)
+        .add(with.non_redundant.avg_ratio, 2)
+        .add(with.redundant.avg_ratio, 2);
+    table.begin_row()
+        .add("C.V.")
+        .add(util::format_fixed(baseline.all.cv_ratio_percent, 2) + "%")
+        .add(util::format_fixed(with.non_redundant.cv_ratio_percent, 2) + "%")
+        .add(util::format_fixed(with.redundant.cv_ratio_percent, 2) + "%");
+    table.print(std::cout);
+    std::printf("\npaper reference: 9.24 / 77.54 / 36.28 with CVs ~190-205%%\n");
+    std::printf("inflation vs baseline: n-r %.1fx, r %.1fx (paper: 8.4x, "
+                "3.9x)\n",
+                with.non_redundant.avg_ratio / baseline.all.avg_ratio,
+                with.redundant.avg_ratio / baseline.all.avg_ratio);
+  });
+}

@@ -1,0 +1,104 @@
+#include "rrsim/core/campaign.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rrsim/util/stats.h"
+
+namespace rrsim::core {
+
+RelativeMetrics run_relative_campaign(const ExperimentConfig& config,
+                                      int reps) {
+  if (reps < 1) throw std::invalid_argument("reps must be >= 1");
+  if (config.scheme.is_none()) {
+    throw std::invalid_argument("relative campaign needs a non-NONE scheme");
+  }
+  util::OnlineStats rel_stretch;
+  util::OnlineStats rel_cv;
+  util::OnlineStats rel_max;
+  util::OnlineStats rel_turnaround;
+  int wins = 0;
+  RelativeMetrics out;
+  out.per_rep_rel_stretch.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    ExperimentConfig with = config;
+    with.seed = config.seed + static_cast<std::uint64_t>(r);
+    ExperimentConfig without = with;
+    without.scheme = RedundancyScheme::none();
+
+    const metrics::ScheduleMetrics m_with =
+        metrics::compute_metrics(run_experiment(with).records);
+    const metrics::ScheduleMetrics m_without =
+        metrics::compute_metrics(run_experiment(without).records);
+    if (m_without.avg_stretch <= 0.0 || m_without.cv_stretch_percent <= 0.0 ||
+        m_without.avg_turnaround <= 0.0 || m_without.max_stretch <= 0.0) {
+      continue;  // degenerate repetition (e.g. empty stream); skip
+    }
+    const double ratio = m_with.avg_stretch / m_without.avg_stretch;
+    rel_stretch.add(ratio);
+    rel_cv.add(m_with.cv_stretch_percent / m_without.cv_stretch_percent);
+    rel_max.add(m_with.max_stretch / m_without.max_stretch);
+    rel_turnaround.add(m_with.avg_turnaround / m_without.avg_turnaround);
+    if (ratio < 1.0) ++wins;
+    out.per_rep_rel_stretch.push_back(ratio);
+  }
+  out.reps = rel_stretch.count();
+  if (out.reps == 0) return out;
+  out.rel_avg_stretch = rel_stretch.mean();
+  out.rel_cv_stretch = rel_cv.mean();
+  out.rel_max_stretch = rel_max.mean();
+  out.rel_avg_turnaround = rel_turnaround.mean();
+  out.win_rate = static_cast<double>(wins) / static_cast<double>(out.reps);
+  out.worst_rel_stretch = rel_stretch.max();
+  return out;
+}
+
+ClassifiedCampaign run_classified_campaign(const ExperimentConfig& config,
+                                           int reps) {
+  if (reps < 1) throw std::invalid_argument("reps must be >= 1");
+  util::OnlineStats all;
+  util::OnlineStats red;
+  util::OnlineStats non;
+  std::size_t red_jobs = 0;
+  std::size_t non_jobs = 0;
+  for (int r = 0; r < reps; ++r) {
+    ExperimentConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(r);
+    const metrics::ClassifiedMetrics m =
+        metrics::compute_classified_metrics(run_experiment(c).records);
+    if (m.all.jobs > 0) all.add(m.all.avg_stretch);
+    if (m.redundant.jobs > 0) red.add(m.redundant.avg_stretch);
+    if (m.non_redundant.jobs > 0) non.add(m.non_redundant.avg_stretch);
+    red_jobs += m.redundant.jobs;
+    non_jobs += m.non_redundant.jobs;
+  }
+  ClassifiedCampaign out;
+  out.reps = static_cast<std::size_t>(reps);
+  out.avg_stretch_all = all.mean();
+  out.avg_stretch_redundant = red.mean();
+  out.avg_stretch_non_redundant = non.mean();
+  out.redundant_jobs = red_jobs;
+  out.non_redundant_jobs = non_jobs;
+  return out;
+}
+
+PredictionCampaign run_prediction_campaign(const ExperimentConfig& config,
+                                           int reps) {
+  if (reps < 1) throw std::invalid_argument("reps must be >= 1");
+  metrics::JobRecords pooled;
+  for (int r = 0; r < reps; ++r) {
+    ExperimentConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(r);
+    c.record_predictions = true;
+    SimResult res = run_experiment(c);
+    pooled.insert(pooled.end(), res.records.begin(), res.records.end());
+  }
+  PredictionCampaign out;
+  out.reps = static_cast<std::size_t>(reps);
+  out.all = metrics::compute_prediction_accuracy(pooled);
+  out.redundant = metrics::compute_prediction_accuracy(pooled, true);
+  out.non_redundant = metrics::compute_prediction_accuracy(pooled, false);
+  return out;
+}
+
+}  // namespace rrsim::core

@@ -1,0 +1,238 @@
+#include "rrsim/core/experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "rrsim/des/simulation.h"
+#include "rrsim/grid/gateway.h"
+#include "rrsim/grid/placement.h"
+#include "rrsim/grid/platform.h"
+#include "rrsim/metrics/queue_tracker.h"
+#include "rrsim/workload/calibrate.h"
+#include "rrsim/workload/estimators.h"
+#include "rrsim/workload/swf.h"
+
+namespace rrsim::core {
+
+int ExperimentConfig::nodes_of(std::size_t i) const {
+  if (!cluster_nodes.empty()) return cluster_nodes.at(i);
+  return nodes_per_cluster;
+}
+
+namespace {
+
+// Distinct substream tags so each model component draws independent
+// randomness from the master seed.
+enum Substream : std::uint64_t {
+  kStreamWorkloadBase = 1000,
+  kStreamEstimatorBase = 2000,
+  kStreamRedundancy = 3000,
+  kStreamPlacement = 3001,
+  kStreamCalibration = 3002,
+  kStreamUsers = 3003,
+};
+
+}  // namespace
+
+SimResult run_experiment(const ExperimentConfig& config) {
+  if (config.n_clusters == 0) {
+    throw std::invalid_argument("need >= 1 cluster");
+  }
+  if (!config.cluster_nodes.empty() &&
+      config.cluster_nodes.size() != config.n_clusters) {
+    throw std::invalid_argument("cluster_nodes size mismatch");
+  }
+  if (!config.cluster_mean_iat.empty() &&
+      config.cluster_mean_iat.size() != config.n_clusters) {
+    throw std::invalid_argument("cluster_mean_iat size mismatch");
+  }
+  if (config.redundant_fraction < 0.0 || config.redundant_fraction > 1.0) {
+    throw std::invalid_argument("redundant_fraction must be in [0, 1]");
+  }
+  if (config.submit_horizon < 0.0) {
+    throw std::invalid_argument("submit_horizon must be >= 0");
+  }
+
+  util::Rng master(config.seed);
+  des::Simulation sim;
+
+  // --- Resolve per-cluster workload parameters --------------------------
+  // Calibration and stream generation use substreams that depend only on
+  // the seed and the cluster index, never on the redundancy scheme, so
+  // paired runs (scheme vs. NONE) see identical job streams.
+  std::vector<grid::ClusterConfig> cluster_configs(config.n_clusters);
+  {
+    util::Rng calib_rng = master.fork(kStreamCalibration);
+    for (std::size_t i = 0; i < config.n_clusters; ++i) {
+      grid::ClusterConfig& cc = cluster_configs[i];
+      cc.nodes = config.nodes_of(i);
+      cc.workload = config.base_workload;
+      if (!config.cluster_mean_iat.empty()) {
+        cc.workload = cc.workload.with_mean_interarrival(
+            config.cluster_mean_iat[i]);
+      } else if (config.load_mode == LoadMode::kSharedPeak) {
+        cc.workload = cc.workload.with_mean_interarrival(
+            cc.workload.mean_interarrival() *
+            static_cast<double>(config.n_clusters));
+      } else if (config.load_mode == LoadMode::kCalibrated) {
+        cc.workload = workload::calibrate_params(
+            cc.workload, cc.nodes, config.target_utilization, calib_rng);
+      }
+      // kPerClusterPeak keeps the literal model rate.
+    }
+  }
+
+  grid::Platform platform(sim, cluster_configs, config.algorithm);
+  if (config.per_user_pending_limit < 0 || config.users_per_cluster < 1) {
+    throw std::invalid_argument("invalid per-user limit configuration");
+  }
+  if (config.per_user_pending_limit > 0) {
+    for (std::size_t i = 0; i < platform.size(); ++i) {
+      platform.scheduler(i).set_per_user_pending_limit(
+          config.per_user_pending_limit);
+    }
+  }
+  grid::Gateway gateway(sim, platform, config.record_predictions);
+  std::vector<std::unique_ptr<grid::MiddlewareStation>> stations;
+  if (config.middleware_ops_per_sec > 0.0) {
+    std::vector<grid::MiddlewareStation*> raw;
+    for (std::size_t i = 0; i < platform.size(); ++i) {
+      stations.push_back(std::make_unique<grid::MiddlewareStation>(
+          sim, config.middleware_ops_per_sec));
+      raw.push_back(stations.back().get());
+    }
+    gateway.set_middleware(std::move(raw));
+  }
+  const auto placement = grid::make_placement(config.placement);
+  const auto estimator = workload::make_estimator(config.estimator);
+
+  // --- Generate job streams and grid jobs -------------------------------
+  util::Rng redundancy_rng = master.fork(kStreamRedundancy);
+  util::Rng users_rng = master.fork(kStreamUsers);
+  auto placement_rng =
+      std::make_unique<util::Rng>(master.fork(kStreamPlacement));
+  auto jobs = std::make_unique<std::vector<grid::GridJob>>();
+  grid::GridJobId next_id = 1;
+  for (std::size_t i = 0; i < config.n_clusters; ++i) {
+    util::Rng stream_rng = master.fork(kStreamWorkloadBase + i);
+    util::Rng est_rng = master.fork(kStreamEstimatorBase + i);
+    workload::JobStream stream;
+    if (!config.trace_files.empty()) {
+      stream = workload::read_swf_file(
+          config.trace_files[i % config.trace_files.size()]);
+      // Shift to t=0, drop jobs that cannot run here, cut at the horizon.
+      const double t0 = stream.empty() ? 0.0 : stream.front().submit_time;
+      workload::JobStream filtered;
+      for (workload::JobSpec spec : stream) {
+        spec.submit_time -= t0;
+        if (spec.submit_time > config.submit_horizon) break;
+        if (spec.submit_time <= 0.0) spec.submit_time = 1e-6;
+        if (spec.nodes > cluster_configs[i].nodes) continue;
+        filtered.push_back(spec);
+      }
+      stream = std::move(filtered);
+    } else {
+      const workload::LublinModel model(cluster_configs[i].workload,
+                                        cluster_configs[i].nodes);
+      stream = model.generate_stream(stream_rng, config.submit_horizon);
+      workload::apply_estimator(stream, *estimator, est_rng);
+    }
+    for (const workload::JobSpec& spec : stream) {
+      grid::GridJob job;
+      job.id = next_id++;
+      job.origin = i;
+      job.user = static_cast<sched::UserId>(
+          i * 4096 +
+          users_rng.below(static_cast<std::uint64_t>(
+              config.users_per_cluster)));
+      job.spec = spec;
+      job.redundant = !config.scheme.is_none() &&
+                      redundancy_rng.chance(config.redundant_fraction);
+      job.targets = {i};
+      jobs->push_back(std::move(job));
+    }
+  }
+
+  // --- Schedule arrivals --------------------------------------------------
+  // Remote targets are chosen at submission time so informed placement
+  // policies (least-loaded) observe the live queue lengths; arrival events
+  // fire in deterministic order, so the placement stream stays
+  // reproducible.
+  const std::size_t degree = config.scheme.degree(config.n_clusters);
+  for (grid::GridJob& job : *jobs) {
+    sim.schedule_at(
+        job.spec.submit_time,
+        [&gateway, &platform, &job, &placement = *placement,
+         &placement_rng = *placement_rng, degree,
+         inflation = config.remote_inflation] {
+          if (job.redundant && degree > 1) {
+            std::vector<std::size_t> lengths;
+            lengths.reserve(platform.size());
+            for (std::size_t c = 0; c < platform.size(); ++c) {
+              lengths.push_back(platform.scheduler(c).queue_length());
+            }
+            const grid::PlatformView view{platform.cluster_sizes(), lengths};
+            auto remotes =
+                placement.choose_remotes(job.origin, job.spec.nodes, view,
+                                         degree - 1, placement_rng);
+            job.targets.insert(job.targets.end(), remotes.begin(),
+                               remotes.end());
+            job.redundant = job.targets.size() > 1;
+          } else {
+            job.redundant = false;
+          }
+          gateway.submit(job, inflation);
+        },
+        des::Priority::kArrival);
+  }
+
+  // --- Queue observation ---------------------------------------------------
+  std::vector<metrics::QueueTracker::Probe> probes;
+  probes.reserve(config.n_clusters);
+  for (std::size_t i = 0; i < config.n_clusters; ++i) {
+    probes.emplace_back([&platform, i] {
+      return platform.scheduler(i).queue_length();
+    });
+  }
+  metrics::QueueTracker tracker(sim, std::move(probes),
+                                config.queue_sample_interval,
+                                config.submit_horizon);
+
+  if (config.drain) {
+    sim.run();  // every job eventually starts and finishes
+  } else {
+    if (config.truncate_factor <= 0.0) {
+      throw std::invalid_argument("truncate_factor must be > 0");
+    }
+    sim.run_until(config.submit_horizon * config.truncate_factor);
+  }
+
+  SimResult result;
+  result.records = gateway.records();
+  result.ops = platform.total_counters();
+  result.gateway_cancels = gateway.cancellations_issued();
+  result.replicas_rejected = gateway.replicas_rejected();
+  result.replicas_dropped = gateway.replicas_dropped();
+  for (const auto& station : stations) {
+    result.middleware_max_backlog =
+        std::max(result.middleware_max_backlog,
+                 static_cast<double>(station->max_backlog()));
+    result.middleware_mean_sojourn +=
+        station->mean_sojourn() / static_cast<double>(stations.size());
+  }
+  result.jobs_generated = jobs->size();
+  result.avg_max_queue = tracker.avg_max_length();
+  result.queue_growth_per_hour.reserve(config.n_clusters);
+  for (std::size_t i = 0; i < config.n_clusters; ++i) {
+    result.queue_growth_per_hour.push_back(tracker.growth_per_hour(i));
+  }
+  result.end_time = sim.now();
+  if (config.drain && result.records.size() != jobs->size()) {
+    throw std::logic_error(
+        "conservation violation: not every grid job finished exactly once");
+  }
+  return result;
+}
+
+}  // namespace rrsim::core

@@ -1,0 +1,40 @@
+// Shared command-line plumbing for the bench and example binaries: every
+// harness accepts the same core flags, so the paper's experiments can be
+// re-run under varied protocols without recompiling.
+//
+// Flags consumed by apply_common_flags():
+//   --clusters=N      number of sites
+//   --nodes=K         nodes per cluster
+//   --hours=H         hours of job submissions
+//   --algo=easy|cbf|fcfs
+//   --estimator=exact|phi|uniform216
+//   --scheme=NONE|R2|R3|R4|HALF|ALL
+//   --percent=P       percentage of jobs using redundant requests
+//   --placement=uniform|biased
+//   --load=shared|peak|util  arrival-rate mode (see LoadMode)
+//   --util=U          per-cluster offered load for --load=util
+//   --protocol=drain|truncate
+//   --mw-rate=R       middleware ops/s per cluster (0 = instantaneous)
+//   --user-limit=L    per-user pending-request cap (0 = off)
+//   --users=U         users per cluster (population for the cap)
+//   --seed=S
+#pragma once
+
+#include "rrsim/core/experiment.h"
+#include "rrsim/util/cli.h"
+
+namespace rrsim::core {
+
+/// Parses "shared" / "peak" / "util" into a LoadMode. Throws
+/// std::invalid_argument on anything else.
+LoadMode parse_load_mode(const std::string& name);
+
+/// Display name of a load mode.
+std::string load_mode_name(LoadMode mode);
+
+/// Overwrites the fields of `config` for which `cli` carries a flag (see
+/// the header comment for the flag list). Returns the updated config.
+ExperimentConfig apply_common_flags(ExperimentConfig config,
+                                    const util::Cli& cli);
+
+}  // namespace rrsim::core

@@ -1,0 +1,34 @@
+// Canonical experiment configurations for reproducing the paper's tables
+// and figures. The paper under-specifies its simulation protocol in two
+// places — how the Lublin "peak hour" arrival rate maps onto N clusters,
+// and whether metrics cover all jobs or only those completing within the
+// observation window. rrsim exposes both dimensions (LoadMode,
+// drain/truncate); the configurations here pin the combination that
+// reproduces each experiment's reported *shape* (see EXPERIMENTS.md for
+// the calibration study behind these choices).
+#pragma once
+
+#include "rrsim/core/experiment.h"
+
+namespace rrsim::core {
+
+/// Mean inter-arrival time (seconds) of the *system-wide* job stream used
+/// by the figure-regime configuration. With the default base-2 Lublin
+/// runtimes (mean job work ~3,300 node-seconds) and 128-node clusters,
+/// this puts a 10-cluster platform at ~1.7x offered load per cluster —
+/// the persistent-queueing regime in which the paper's Fig 1/2/4 effects
+/// (modest stretch gains, fairness gains, penalty on non-redundant jobs)
+/// all appear with the reported signs.
+inline constexpr double kFigureBaseInterarrival = 1.55;
+
+/// The paper's base setup for the Section 3 simulation experiments:
+/// 128-node clusters, EASY, exact estimates, uniform placement, 6 h of
+/// submissions, shared-peak arrivals at kFigureBaseInterarrival, drain
+/// protocol, every job redundant (scheme still NONE — callers pick one).
+ExperimentConfig figure_config();
+
+/// Same, but sized down for continuous-integration speed: 2 h of
+/// submissions. Shapes are preserved; statistics are noisier.
+ExperimentConfig figure_config_quick();
+
+}  // namespace rrsim::core

@@ -1,0 +1,86 @@
+#include "rrsim/core/options.h"
+
+#include <stdexcept>
+
+namespace rrsim::core {
+
+LoadMode parse_load_mode(const std::string& name) {
+  if (name == "shared") return LoadMode::kSharedPeak;
+  if (name == "peak") return LoadMode::kPerClusterPeak;
+  if (name == "util") return LoadMode::kCalibrated;
+  throw std::invalid_argument("unknown load mode: " + name +
+                              " (expected shared|peak|util)");
+}
+
+std::string load_mode_name(LoadMode mode) {
+  switch (mode) {
+    case LoadMode::kSharedPeak:
+      return "shared";
+    case LoadMode::kPerClusterPeak:
+      return "peak";
+    case LoadMode::kCalibrated:
+      return "util";
+  }
+  throw std::logic_error("unreachable");
+}
+
+ExperimentConfig apply_common_flags(ExperimentConfig config,
+                                    const util::Cli& cli) {
+  if (cli.has("clusters")) {
+    config.n_clusters = static_cast<std::size_t>(cli.get_int("clusters", 0));
+  }
+  if (cli.has("nodes")) {
+    config.nodes_per_cluster = static_cast<int>(cli.get_int("nodes", 0));
+  }
+  if (cli.has("hours")) {
+    config.submit_horizon = cli.get_double("hours", 0.0) * 3600.0;
+  }
+  if (cli.has("algo")) {
+    config.algorithm = sched::parse_algorithm(cli.get_string("algo", ""));
+  }
+  if (cli.has("estimator")) {
+    config.estimator = cli.get_string("estimator", "exact");
+  }
+  if (cli.has("scheme")) {
+    config.scheme = RedundancyScheme::parse(cli.get_string("scheme", ""));
+  }
+  if (cli.has("percent")) {
+    config.redundant_fraction = cli.get_double("percent", 100.0) / 100.0;
+  }
+  if (cli.has("placement")) {
+    config.placement = cli.get_string("placement", "uniform");
+  }
+  if (cli.has("load")) {
+    config.load_mode = parse_load_mode(cli.get_string("load", "shared"));
+  }
+  if (cli.has("util")) {
+    config.target_utilization = cli.get_double("util", 0.92);
+    config.load_mode = LoadMode::kCalibrated;
+  }
+  if (cli.has("protocol")) {
+    const std::string p = cli.get_string("protocol", "drain");
+    if (p == "drain") {
+      config.drain = true;
+    } else if (p == "truncate") {
+      config.drain = false;
+    } else {
+      throw std::invalid_argument("unknown protocol: " + p);
+    }
+  }
+  if (cli.has("mw-rate")) {
+    config.middleware_ops_per_sec = cli.get_double("mw-rate", 0.0);
+  }
+  if (cli.has("user-limit")) {
+    config.per_user_pending_limit =
+        static_cast<int>(cli.get_int("user-limit", 0));
+  }
+  if (cli.has("users")) {
+    config.users_per_cluster = static_cast<int>(cli.get_int("users", 8));
+  }
+  if (cli.has("seed")) {
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  }
+  return config;
+}
+
+}  // namespace rrsim::core

@@ -1,0 +1,27 @@
+#include "rrsim/core/paper.h"
+
+namespace rrsim::core {
+
+ExperimentConfig figure_config() {
+  ExperimentConfig config;
+  config.n_clusters = 10;
+  config.nodes_per_cluster = 128;
+  config.algorithm = sched::Algorithm::kEasy;
+  config.base_workload =
+      config.base_workload.with_mean_interarrival(kFigureBaseInterarrival);
+  config.load_mode = LoadMode::kSharedPeak;
+  config.submit_horizon = 6.0 * 3600.0;
+  config.drain = true;
+  config.estimator = "exact";
+  config.scheme = RedundancyScheme::none();
+  config.redundant_fraction = 1.0;
+  return config;
+}
+
+ExperimentConfig figure_config_quick() {
+  ExperimentConfig config = figure_config();
+  config.submit_horizon = 2.0 * 3600.0;
+  return config;
+}
+
+}  // namespace rrsim::core

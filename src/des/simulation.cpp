@@ -1,0 +1,84 @@
+#include "rrsim/des/simulation.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace rrsim::des {
+
+/// Shared state between the queue and any handles to the event.
+struct Simulation::EventHandle::State {
+  Callback callback;
+  bool cancelled = false;
+  bool fired = false;
+  std::size_t* live = nullptr;  // owner's live-event counter
+};
+
+bool Simulation::EventHandle::cancel() noexcept {
+  if (!state_ || state_->cancelled || state_->fired) return false;
+  state_->cancelled = true;
+  state_->callback = nullptr;  // release captured resources promptly
+  if (state_->live != nullptr && *state_->live > 0) --(*state_->live);
+  return true;
+}
+
+bool Simulation::EventHandle::pending() const noexcept {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
+                                                Priority prio) {
+  if (!(t >= now_) || !std::isfinite(t)) {
+    throw std::invalid_argument("schedule_at: time must be finite and >= now");
+  }
+  if (!cb) throw std::invalid_argument("schedule_at: empty callback");
+  auto state = std::make_shared<EventHandle::State>();
+  state->callback = std::move(cb);
+  state->live = &live_;
+  queue_.push(QueueEntry{t, static_cast<int>(prio), next_seq_++, state});
+  ++live_;
+  return EventHandle(std::move(state));
+}
+
+Simulation::EventHandle Simulation::schedule_in(Time dt, Callback cb,
+                                                Priority prio) {
+  if (!(dt >= 0.0)) throw std::invalid_argument("schedule_in: negative delay");
+  return schedule_at(now_ + dt, std::move(cb), prio);
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    now_ = entry.time;
+    entry.state->fired = true;
+    if (live_ > 0) --live_;
+    ++dispatched_;
+    // Move out the callback so the state does not keep captures alive.
+    Callback cb = std::move(entry.state->callback);
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(Time t) {
+  if (t < now_) throw std::invalid_argument("run_until: time in the past");
+  while (!queue_.empty()) {
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace rrsim::des

@@ -1,0 +1,242 @@
+#include "rrsim/grid/gateway.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrsim::grid {
+
+Gateway::Gateway(des::Simulation& sim, Platform& platform,
+                 bool record_predictions)
+    : sim_(sim), platform_(platform),
+      record_predictions_(record_predictions) {
+  for (std::size_t c = 0; c < platform_.size(); ++c) install_callbacks(c);
+}
+
+void Gateway::install_callbacks(std::size_t cluster) {
+  sched::ClusterScheduler::Callbacks cb;
+  cb.on_grant = [this, cluster](const sched::Job& job) {
+    return on_grant(cluster, job);
+  };
+  cb.on_finish = [this, cluster](const sched::Job& job) {
+    on_finish(cluster, job);
+  };
+  platform_.scheduler(cluster).set_callbacks(std::move(cb));
+}
+
+void Gateway::submit(const GridJob& job, double remote_inflation) {
+  if (remote_inflation < 1.0) {
+    throw std::invalid_argument("remote inflation factor must be >= 1");
+  }
+  if (job.targets.empty()) {
+    throw std::invalid_argument("grid job needs >= 1 target");
+  }
+  if (std::find(job.targets.begin(), job.targets.end(), job.origin) ==
+      job.targets.end()) {
+    throw std::invalid_argument("origin cluster must be among the targets");
+  }
+  if (!job.replica_specs.empty() &&
+      job.replica_specs.size() != job.targets.size()) {
+    throw std::invalid_argument("one replica spec per target required");
+  }
+  if (job.replica_specs.empty()) {
+    // Identical replicas in the same queue are pointless; moldable
+    // (shaped) submissions legitimately target one queue repeatedly.
+    auto sorted = job.targets;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw std::invalid_argument("duplicate target cluster");
+    }
+  }
+  if (!tracked_.emplace(job.id, Tracked{job, {}, false, 0, std::nullopt})
+           .second) {
+    throw std::invalid_argument("duplicate grid job id");
+  }
+  ++submitted_;
+  Tracked& tracked = tracked_.at(job.id);
+  tracked.replicas.reserve(job.targets.size());
+
+  // Build the replica descriptors first: a replica that starts immediately
+  // during submission must already see its siblings registered, otherwise
+  // they would escape cancellation.
+  struct PendingSubmit {
+    std::size_t cluster;
+    sched::Job replica;
+  };
+  std::vector<PendingSubmit> submits;
+  submits.reserve(job.targets.size());
+  bool first_replica = true;
+  for (std::size_t t = 0; t < job.targets.size(); ++t) {
+    const std::size_t target = job.targets[t];
+    const workload::JobSpec& spec =
+        job.replica_specs.empty() ? job.spec : job.replica_specs[t];
+    sched::Job replica;
+    replica.id = next_replica_id_++;
+    replica.nodes = spec.nodes;
+    replica.user = job.user;
+    // The first replica bypasses pending limits: the user's home
+    // submission always eventually enters the queue, only the *extra*
+    // redundancy is subject to caps.
+    replica.limit_exempt = first_replica && target == job.origin;
+    first_replica = false;
+    replica.actual_time = spec.runtime;
+    // Shaped (moldable) replicas carry explicit requested times; uniform
+    // replicas inflate the remote ones per Section 3.1.2.
+    replica.requested_time =
+        (!job.replica_specs.empty() || target == job.origin)
+            ? spec.requested_time
+            : spec.requested_time * remote_inflation;
+    // Real schedulers kill jobs at the requested limit; keep actual <=
+    // requested even when the user under-estimates.
+    replica.requested_time = std::max(replica.requested_time,
+                                      replica.actual_time);
+    replica_to_grid_.emplace(replica.id, job.id);
+    tracked.replicas.emplace_back(target, replica.id);
+    submits.push_back(PendingSubmit{target, replica});
+  }
+  for (const PendingSubmit& s : submits) {
+    if (middleware_.empty()) {
+      deliver_submit(s.cluster, s.replica, /*deferred=*/false);
+    } else {
+      middleware_[s.cluster]->enqueue(
+          [this, cluster = s.cluster, replica = s.replica] {
+            deliver_submit(cluster, replica, /*deferred=*/true);
+          });
+    }
+  }
+  if (record_predictions_) {
+    // Min over replicas of each scheduler's submit-time prediction — how a
+    // redundancy-using user would forecast their wait (Section 5). Only
+    // replicas still pending have predictions in flight; if one already
+    // started, the best prediction is "now".
+    std::optional<double> best;
+    if (tracked.started) {
+      best = sim_.now();
+    } else {
+      for (const auto& [cluster, rid] : tracked.replicas) {
+        const auto p =
+            platform_.scheduler(cluster).predicted_start_at_submit(rid);
+        if (p && (!best || *p < *best)) best = *p;
+      }
+    }
+    tracked.predicted_start = best;
+  }
+}
+
+void Gateway::set_middleware(std::vector<MiddlewareStation*> stations) {
+  if (!stations.empty() && stations.size() != platform_.size()) {
+    throw std::invalid_argument("need one middleware station per cluster");
+  }
+  if (!stations.empty() && record_predictions_) {
+    throw std::invalid_argument(
+        "submit-time predictions need instantaneous delivery");
+  }
+  for (const MiddlewareStation* s : stations) {
+    if (s == nullptr) throw std::invalid_argument("null middleware station");
+  }
+  middleware_ = std::move(stations);
+}
+
+void Gateway::deliver_submit(std::size_t cluster, const sched::Job& replica,
+                             bool deferred) {
+  const auto git = replica_to_grid_.find(replica.id);
+  if (git == replica_to_grid_.end()) return;  // defensive: unknown replica
+  Tracked& tracked = tracked_.at(git->second);
+  if (deferred && tracked.started) {
+    // The job already started elsewhere while this submission was in
+    // flight; delivering it would only create a request that is
+    // immediately declined. Drop it: it costs neither a submission nor a
+    // cancellation (the canceling client simply skips it).
+    ++dropped_;
+    replica_to_grid_.erase(git);
+    std::erase_if(tracked.replicas,
+                  [&](const auto& p) { return p.second == replica.id; });
+    return;
+  }
+  if (!platform_.scheduler(cluster).submit(replica)) {
+    // Refused by a per-user pending limit: forget the replica.
+    ++rejected_;
+    replica_to_grid_.erase(replica.id);
+    std::erase(tracked.replicas, std::make_pair(cluster, replica.id));
+  }
+  // Note: tracked.job.redundant deliberately keeps the *intent* (the user
+  // sent redundant requests), even if drops/rejections leave one replica —
+  // the paper's r-jobs/n-r-jobs classes are about user behaviour.
+}
+
+void Gateway::deliver_cancel(std::size_t cluster, sched::JobId replica) {
+  if (platform_.scheduler(cluster).cancel(replica)) {
+    ++cancels_issued_;
+  }
+}
+
+bool Gateway::on_grant(std::size_t cluster, const sched::Job& job) {
+  const auto git = replica_to_grid_.find(job.id);
+  if (git == replica_to_grid_.end()) {
+    // Not a gateway-managed job (e.g. background load) — always allow.
+    return true;
+  }
+  Tracked& tracked = tracked_.at(git->second);
+  if (tracked.started) {
+    // A sibling replica already won; refuse this start. The scheduler
+    // drops the request, which also counts as the "cancellation" of this
+    // replica from the middleware's point of view.
+    ++cancels_issued_;
+    return false;
+  }
+  tracked.started = true;
+  tracked.winner = cluster;
+  cancel_siblings(git->second, cluster);
+  return true;
+}
+
+void Gateway::cancel_siblings(GridJobId id, std::size_t winner_cluster) {
+  // Zero-delay deferred cancellation: issuing qdel from inside another
+  // scheduler's scheduling pass would mutate queues mid-iteration, so the
+  // cancellations land as same-timestamp events right after the current
+  // one. A sibling that gets granted in between is declined by on_grant.
+  const Tracked& tracked = tracked_.at(id);
+  for (const auto& [cluster, rid] : tracked.replicas) {
+    if (cluster == winner_cluster) continue;
+    if (middleware_.empty()) {
+      sim_.schedule_in(
+          0.0, [this, cluster, rid] { deliver_cancel(cluster, rid); },
+          des::Priority::kCancel);
+    } else {
+      // The qdel is itself a middleware transaction and arrives late.
+      middleware_[cluster]->enqueue(
+          [this, cluster, rid] { deliver_cancel(cluster, rid); });
+    }
+  }
+}
+
+void Gateway::on_finish(std::size_t cluster, const sched::Job& job) {
+  const auto git = replica_to_grid_.find(job.id);
+  if (git == replica_to_grid_.end()) return;
+  const GridJobId grid_id = git->second;
+  Tracked& tracked = tracked_.at(grid_id);
+
+  metrics::JobRecord rec;
+  rec.grid_id = grid_id;
+  rec.origin_cluster = tracked.job.origin;
+  rec.winner_cluster = cluster;
+  rec.redundant = tracked.job.redundant;
+  rec.replicas = static_cast<int>(tracked.job.targets.size());
+  // tracked.replicas holds the replicas actually *delivered* (dropped and
+  // limit-rejected ones were removed; nothing else shrinks the list).
+  rec.replicas_delivered = static_cast<int>(tracked.replicas.size());
+  rec.nodes = job.nodes;
+  rec.submit_time = job.submit_time;
+  rec.start_time = job.start_time;
+  rec.finish_time = job.finish_time;
+  rec.actual_time = job.actual_time;
+  rec.requested_time = job.requested_time;
+  rec.predicted_start = tracked.predicted_start;
+  records_.push_back(rec);
+  ++finished_;
+  // Replica ids of this grid job stay in replica_to_grid_ until the end of
+  // the simulation so late cancel events resolve cleanly; tracked_ entries
+  // likewise. Memory is proportional to total jobs, which is fine at
+  // simulation scale.
+}
+
+}  // namespace rrsim::grid

@@ -1,0 +1,87 @@
+// Replica placement: which remote clusters receive a job's redundant
+// requests. The paper's default picks remote clusters uniformly at random
+// ("users blindly send requests to all clusters on which they have
+// accounts"); Table 2 uses a heavily biased distribution where cluster
+// C1 is twice as likely as C2, which is twice as likely as C3, and so on.
+// LeastLoadedPlacement models the informed choice a metascheduler would
+// make (Subramani et al., the paper's ref [5]): pick the remotes with the
+// shortest queues.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rrsim/util/rng.h"
+
+namespace rrsim::grid {
+
+/// What a placement policy may observe about the platform at submission
+/// time. `queue_lengths` may be empty when the caller has no live queue
+/// information (policies that need it then fall back to uniform choice).
+struct PlatformView {
+  const std::vector<int>& cluster_sizes;
+  const std::vector<std::size_t>& queue_lengths;
+};
+
+/// Strategy for choosing the remote targets of redundant requests.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Chooses up to `count` distinct remote clusters (never `origin`) from
+  /// those whose size in `view.cluster_sizes` is >= `nodes` (a replica
+  /// must be runnable where it is sent — the paper's heterogeneous
+  /// experiment sizes jobs to their origin cluster and only replicates
+  /// where they fit). Returns fewer than `count` ids if not enough
+  /// clusters qualify.
+  virtual std::vector<std::size_t> choose_remotes(std::size_t origin,
+                                                  int nodes,
+                                                  const PlatformView& view,
+                                                  std::size_t count,
+                                                  util::Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random choice among eligible remote clusters (paper default).
+class UniformPlacement final : public PlacementPolicy {
+ public:
+  std::vector<std::size_t> choose_remotes(std::size_t origin, int nodes,
+                                          const PlatformView& view,
+                                          std::size_t count,
+                                          util::Rng& rng) const override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// Geometrically biased choice (Table 2): eligible remote cluster with the
+/// i-th smallest id has weight 2^-i, so C1 is twice as likely as C2, etc.
+/// Sampling is without replacement (weights renormalised after each pick).
+class BiasedPlacement final : public PlacementPolicy {
+ public:
+  std::vector<std::size_t> choose_remotes(std::size_t origin, int nodes,
+                                          const PlatformView& view,
+                                          std::size_t count,
+                                          util::Rng& rng) const override;
+  std::string name() const override { return "biased"; }
+};
+
+/// Informed choice: the eligible remote clusters with the fewest pending
+/// requests at submission time (ties broken by cluster id). Models a
+/// metascheduler with global queue knowledge; falls back to uniform when
+/// the view carries no queue lengths.
+class LeastLoadedPlacement final : public PlacementPolicy {
+ public:
+  std::vector<std::size_t> choose_remotes(std::size_t origin, int nodes,
+                                          const PlatformView& view,
+                                          std::size_t count,
+                                          util::Rng& rng) const override;
+  std::string name() const override { return "least-loaded"; }
+};
+
+/// Factory by name: "uniform", "biased" or "least-loaded". Throws on
+/// unknown names.
+std::unique_ptr<PlacementPolicy> make_placement(const std::string& name);
+
+}  // namespace rrsim::grid

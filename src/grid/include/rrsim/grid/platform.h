@@ -1,0 +1,59 @@
+// The multi-site platform: N clusters, each with its own size, its own
+// batch scheduler, and its own workload parameters. Covers both the
+// paper's homogeneous setups (identical 128-node clusters) and the
+// Table 3 heterogeneous one (sizes in {16..256}, varying arrival rates).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rrsim/des/simulation.h"
+#include "rrsim/sched/factory.h"
+#include "rrsim/workload/lublin.h"
+
+namespace rrsim::grid {
+
+/// Static description of one cluster.
+struct ClusterConfig {
+  int nodes = 128;
+  workload::LublinParams workload;  ///< arrival/shape parameters for the
+                                    ///< job stream originating here
+};
+
+/// N clusters bound to one simulation, each with a scheduler of the same
+/// algorithm (the paper never mixes algorithms across sites).
+class Platform {
+ public:
+  /// Builds the clusters and their schedulers. Throws
+  /// std::invalid_argument if `configs` is empty.
+  Platform(des::Simulation& sim, std::vector<ClusterConfig> configs,
+           sched::Algorithm algorithm);
+
+  std::size_t size() const noexcept { return configs_.size(); }
+  sched::ClusterScheduler& scheduler(std::size_t i) {
+    return *schedulers_.at(i);
+  }
+  const sched::ClusterScheduler& scheduler(std::size_t i) const {
+    return *schedulers_.at(i);
+  }
+  const ClusterConfig& config(std::size_t i) const { return configs_.at(i); }
+  sched::Algorithm algorithm() const noexcept { return algorithm_; }
+
+  /// Cluster sizes by id, the shape placement policies consume.
+  const std::vector<int>& cluster_sizes() const noexcept { return sizes_; }
+
+  /// Sum of operation counters over all schedulers.
+  sched::OpCounters total_counters() const;
+
+ private:
+  std::vector<ClusterConfig> configs_;
+  std::vector<std::unique_ptr<sched::ClusterScheduler>> schedulers_;
+  std::vector<int> sizes_;
+  sched::Algorithm algorithm_;
+};
+
+/// Convenience: N identical clusters sharing one workload parameter set.
+std::vector<ClusterConfig> homogeneous_configs(
+    std::size_t n, int nodes, const workload::LublinParams& params);
+
+}  // namespace rrsim::grid

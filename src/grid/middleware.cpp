@@ -1,0 +1,44 @@
+#include "rrsim/grid/middleware.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace rrsim::grid {
+
+MiddlewareStation::MiddlewareStation(des::Simulation& sim,
+                                     double ops_per_sec)
+    : sim_(sim), service_time_(1.0 / ops_per_sec) {
+  if (!(ops_per_sec > 0.0)) {
+    throw std::invalid_argument("middleware rate must be > 0");
+  }
+}
+
+void MiddlewareStation::enqueue(std::function<void()> op) {
+  if (!op) throw std::invalid_argument("middleware: empty operation");
+  queue_.push(Pending{sim_.now(), std::move(op)});
+  max_backlog_ = std::max(max_backlog_, backlog());
+  if (!busy_) start_service();
+}
+
+void MiddlewareStation::start_service() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  // Move the head out; it completes after one service time.
+  Pending head = std::move(queue_.front());
+  queue_.pop();
+  sim_.schedule_in(
+      service_time_,
+      [this, enqueued_at = head.enqueued_at, op = std::move(head.op)] {
+        ++processed_;
+        total_sojourn_ += sim_.now() - enqueued_at;
+        op();
+        start_service();
+      },
+      des::Priority::kControl);
+}
+
+}  // namespace rrsim::grid

@@ -1,0 +1,100 @@
+#include "rrsim/grid/placement.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrsim::grid {
+
+namespace {
+
+/// Clusters other than `origin` that can run a `nodes`-wide job, in id
+/// order.
+std::vector<std::size_t> eligible_remotes(std::size_t origin, int nodes,
+                                          const PlatformView& view) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < view.cluster_sizes.size(); ++i) {
+    if (i != origin && view.cluster_sizes[i] >= nodes) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> uniform_choice(std::vector<std::size_t> pool,
+                                        std::size_t count, util::Rng& rng) {
+  // Partial Fisher-Yates: draw min(count, pool) distinct clusters.
+  const std::size_t take = std::min(count, pool.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+}  // namespace
+
+std::vector<std::size_t> UniformPlacement::choose_remotes(
+    std::size_t origin, int nodes, const PlatformView& view,
+    std::size_t count, util::Rng& rng) const {
+  return uniform_choice(eligible_remotes(origin, nodes, view), count, rng);
+}
+
+std::vector<std::size_t> BiasedPlacement::choose_remotes(
+    std::size_t origin, int nodes, const PlatformView& view,
+    std::size_t count, util::Rng& rng) const {
+  std::vector<std::size_t> pool = eligible_remotes(origin, nodes, view);
+  // Weight 2^-rank by id order; sample without replacement.
+  std::vector<double> weights(pool.size());
+  double w = 1.0;
+  for (std::size_t i = 0; i < pool.size(); ++i, w *= 0.5) weights[i] = w;
+  std::vector<std::size_t> chosen;
+  const std::size_t take = std::min(count, pool.size());
+  chosen.reserve(take);
+  while (chosen.size() < take) {
+    double total = 0.0;
+    for (const double x : weights) total += x;
+    double u = rng.uniform01() * total;
+    std::size_t pick = pool.size() - 1;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (weights[i] <= 0.0) continue;
+      if (u < weights[i]) {
+        pick = i;
+        break;
+      }
+      u -= weights[i];
+    }
+    // Guard against picking an exhausted slot via fp round-off.
+    while (weights[pick] <= 0.0 && pick > 0) --pick;
+    chosen.push_back(pool[pick]);
+    weights[pick] = 0.0;
+  }
+  return chosen;
+}
+
+std::vector<std::size_t> LeastLoadedPlacement::choose_remotes(
+    std::size_t origin, int nodes, const PlatformView& view,
+    std::size_t count, util::Rng& rng) const {
+  std::vector<std::size_t> pool = eligible_remotes(origin, nodes, view);
+  if (view.queue_lengths.size() != view.cluster_sizes.size()) {
+    // No live queue information: degrade gracefully to the blind choice.
+    return uniform_choice(std::move(pool), count, rng);
+  }
+  std::sort(pool.begin(), pool.end(),
+            [&view](std::size_t a, std::size_t b) {
+              if (view.queue_lengths[a] != view.queue_lengths[b]) {
+                return view.queue_lengths[a] < view.queue_lengths[b];
+              }
+              return a < b;
+            });
+  pool.resize(std::min(count, pool.size()));
+  return pool;
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(const std::string& name) {
+  if (name == "uniform") return std::make_unique<UniformPlacement>();
+  if (name == "biased") return std::make_unique<BiasedPlacement>();
+  if (name == "least-loaded") return std::make_unique<LeastLoadedPlacement>();
+  throw std::invalid_argument("unknown placement policy: " + name);
+}
+
+}  // namespace rrsim::grid

@@ -1,0 +1,51 @@
+#include "rrsim/loadmodel/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rrsim::loadmodel {
+
+ServiceRates gram_middleware() {
+  // "slightly under 60 transactions per minute ... .5 job submissions and
+  // .5 job cancellations can be processed per second" (Section 4.2).
+  return ServiceRates{0.5, 0.5};
+}
+
+ServiceRates scheduler_rates(const ExpDecayModel& model, double queue_depth) {
+  // The Fig 5 curve is per direction: the scheduler sustains at(q)
+  // submissions/s *and* at(q) cancellations/s simultaneously.
+  const double each_way = model.at(queue_depth);
+  return ServiceRates{each_way, each_way};
+}
+
+int max_redundancy(const ServiceRates& rates, double iat) {
+  if (iat <= 0.0) throw std::invalid_argument("iat must be > 0");
+  if (rates.submits_per_sec < 0.0 || rates.cancels_per_sec < 0.0) {
+    throw std::invalid_argument("rates must be >= 0");
+  }
+  // r/iat <= S  =>  r <= S*iat ; (r-1)/iat <= C  =>  r <= C*iat + 1.
+  const double by_submit = rates.submits_per_sec * iat;
+  const double by_cancel = rates.cancels_per_sec * iat + 1.0;
+  const double r = std::floor(std::min(by_submit, by_cancel));
+  return std::max(1, static_cast<int>(r));
+}
+
+CapacityReport analyze_capacity(const ExpDecayModel& scheduler_model,
+                                double queue_depth,
+                                const ServiceRates& middleware, double iat) {
+  CapacityReport report;
+  // The paper reads Fig 5 at 10,000 pending requests as "6 submissions
+  // and 6 cancellations per second", giving r/iat <= 6 and thus r <= 30
+  // at the 5 s peak-hour inter-arrival time.
+  report.scheduler_max_r =
+      max_redundancy(scheduler_rates(scheduler_model, queue_depth), iat);
+  report.middleware_max_r = max_redundancy(middleware, iat);
+  report.system_max_r =
+      std::min(report.scheduler_max_r, report.middleware_max_r);
+  report.middleware_is_bottleneck =
+      report.middleware_max_r < report.scheduler_max_r;
+  return report;
+}
+
+}  // namespace rrsim::loadmodel

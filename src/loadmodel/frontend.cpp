@@ -1,0 +1,111 @@
+#include "rrsim/loadmodel/frontend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace rrsim::loadmodel {
+
+FrontEnd::FrontEnd(int cluster_nodes, std::uint64_t base_op_work)
+    : cluster_nodes_(cluster_nodes), base_op_work_(base_op_work) {
+  if (cluster_nodes_ < 1) {
+    throw std::invalid_argument("front-end needs >= 1 node");
+  }
+}
+
+std::uint64_t FrontEnd::submit(int nodes, double requested_time) {
+  if (nodes < 1 || nodes > cluster_nodes_) {
+    throw std::invalid_argument("front-end: job does not fit the cluster");
+  }
+  if (requested_time <= 0.0) {
+    throw std::invalid_argument("front-end: non-positive requested time");
+  }
+  FrontEndJob job;
+  job.id = next_id_++;
+  job.nodes = nodes;
+  job.requested_time = requested_time;
+  queue_.push_back(job);
+  clock_ += 1.0;
+  scheduling_iteration();
+  return job.id;
+}
+
+bool FrontEnd::cancel_head() {
+  if (queue_.empty()) return false;
+  queue_.pop_front();
+  clock_ += 1.0;
+  scheduling_iteration();
+  return true;
+}
+
+void FrontEnd::prefill(std::size_t count, util::Rng& rng) {
+  while (queue_.size() < count) {
+    FrontEndJob job;
+    job.id = next_id_++;
+    job.nodes = static_cast<int>(rng.between(1, cluster_nodes_));
+    job.requested_time = rng.uniform(60.0, 24.0 * 3600.0);
+    queue_.push_back(job);
+  }
+}
+
+void FrontEnd::scheduling_iteration() {
+  // Phase 0: fixed per-operation cost (request parsing, accounting,
+  // journal write in a real front-end). Comparable arithmetic to one
+  // priority evaluation per work unit, so base_op_work is in the same
+  // currency as the queue sweep below.
+  for (std::uint64_t i = 0; i < base_op_work_; ++i) {
+    ballast_ += std::log1p(static_cast<double>(i & 1023u)) * 1e-9;
+  }
+  // Phase 1: priority sweep (Maui recomputes job priorities from queue
+  // time, size, and a fairness term on every iteration).
+  const FrontEndJob* best = nullptr;
+  for (FrontEndJob& job : queue_) {
+    const double queue_age = clock_ - static_cast<double>(job.id);
+    job.priority = queue_age * 0.1 +
+                   std::log1p(static_cast<double>(job.nodes)) -
+                   job.requested_time * 1e-6;
+    ++work_;
+    if (best == nullptr || job.priority > best->priority) best = &job;
+  }
+  // Phase 2: feasibility of the best candidate (never fits: busy cluster).
+  if (best != nullptr && best->nodes <= free_nodes_) {
+    // Unreachable in the measurement setup; kept for correctness if a
+    // user constructs a front-end with free capacity.
+    return;
+  }
+  // Phase 3: backfill scan — every queued job is tested against the free
+  // capacity (zero here, but the scan itself is the realistic cost).
+  for (const FrontEndJob& job : queue_) {
+    ++work_;
+    if (job.nodes <= free_nodes_) break;
+  }
+}
+
+std::vector<ThroughputPoint> measure_throughput(
+    int cluster_nodes, const std::vector<std::size_t>& queue_sizes,
+    int pairs, util::Rng& rng) {
+  if (pairs < 1) throw std::invalid_argument("pairs must be >= 1");
+  std::vector<ThroughputPoint> out;
+  out.reserve(queue_sizes.size());
+  for (const std::size_t depth : queue_sizes) {
+    FrontEnd fe(cluster_nodes);
+    fe.prefill(depth, rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < pairs; ++i) {
+      fe.submit(static_cast<int>(rng.between(1, cluster_nodes)),
+                rng.uniform(60.0, 24.0 * 3600.0));
+      fe.cancel_head();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    ThroughputPoint p;
+    p.queue_size = depth;
+    p.pairs_per_sec = secs > 0.0 ? static_cast<double>(pairs) / secs : 0.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rrsim::loadmodel

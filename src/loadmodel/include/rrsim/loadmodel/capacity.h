@@ -1,0 +1,54 @@
+// The Section 4 capacity analysis: how many redundant requests per job a
+// multi-cluster system tolerates before the batch scheduler or the grid
+// middleware becomes the bottleneck.
+//
+// With mean job inter-arrival time `iat` at each cluster and every job
+// using r requests, each cluster receives r/iat submissions and
+// (r-1)/iat cancellations per second in steady state. A service layer
+// with submit throughput S and cancel throughput C therefore requires
+//   r / iat <= S   and   (r - 1) / iat <= C.
+// The paper instantiates this with S = C = 6/s for the batch scheduler
+// (measured at a 10,000-deep queue) giving r <= 30, and S = C = 0.5/s for
+// GT4 WS-GRAM giving r < 3.
+#pragma once
+
+#include "rrsim/loadmodel/throughput_model.h"
+
+namespace rrsim::loadmodel {
+
+/// A service layer's sustainable operation rates, per second.
+struct ServiceRates {
+  double submits_per_sec = 0.0;
+  double cancels_per_sec = 0.0;
+};
+
+/// GT4 WS-GRAM as reported in the paper (just under one transaction per
+/// second, split evenly between submissions and cancellations).
+ServiceRates gram_middleware();
+
+/// The batch scheduler's rates at queue depth `q`, from a throughput
+/// model whose at(q) gives the *per-direction* rate (Fig 5: ~11
+/// submissions/s and ~11 cancellations/s at an empty queue).
+ServiceRates scheduler_rates(const ExpDecayModel& model, double queue_depth);
+
+/// Largest integer r such that a service with `rates` sustains every job
+/// using r requests at mean inter-arrival `iat` seconds. At least 1 (a
+/// job always sends its one local request). Throws std::invalid_argument
+/// if iat <= 0.
+int max_redundancy(const ServiceRates& rates, double iat);
+
+/// Bottleneck summary for a system with both layers.
+struct CapacityReport {
+  int scheduler_max_r = 0;   ///< paper: 30 at iat = 5 s
+  int middleware_max_r = 0;  ///< paper: 2 ("under 3") at iat = 5 s
+  int system_max_r = 0;      ///< min of the two
+  bool middleware_is_bottleneck = false;
+};
+
+/// Evaluates both layers at inter-arrival `iat` with the scheduler model
+/// at queue depth `queue_depth`.
+CapacityReport analyze_capacity(const ExpDecayModel& scheduler_model,
+                                double queue_depth,
+                                const ServiceRates& middleware, double iat);
+
+}  // namespace rrsim::loadmodel

@@ -1,0 +1,45 @@
+// Analytic throughput-vs-queue-size model, calibrated to the paper's
+// OpenPBS/Maui measurements (Fig 5): ~11 submissions+cancellations/s on an
+// empty queue, decaying "in a somewhat exponential manner" to ~5/s at
+// 20,000 pending requests, ~6/s at 10,000. The Section 4 capacity
+// analysis evaluates this model at a conservative queue depth.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rrsim::loadmodel {
+
+/// throughput(q) = floor + amplitude * exp(-q / scale), ops per second.
+class ExpDecayModel {
+ public:
+  /// Throws std::invalid_argument if scale <= 0 or amplitude < 0 or
+  /// floor < 0.
+  ExpDecayModel(double floor, double amplitude, double scale);
+
+  /// Ops per second at queue depth `q` (>= 0).
+  double at(double q) const;
+
+  double floor() const noexcept { return floor_; }
+  double amplitude() const noexcept { return amplitude_; }
+  double scale() const noexcept { return scale_; }
+
+  /// The model fit to the three operating points the paper reports for
+  /// OpenPBS/Maui on a 1 GHz Pentium III: (0, 11), (10000, 6), (20000, 5).
+  static ExpDecayModel paper_calibrated();
+
+ private:
+  double floor_;
+  double amplitude_;
+  double scale_;
+};
+
+/// Least-squares fit of an ExpDecayModel to (queue_size, ops_per_sec)
+/// points: grid search over the scale parameter with a closed-form linear
+/// solve for floor/amplitude at each candidate. Throws
+/// std::invalid_argument with fewer than 3 points.
+ExpDecayModel fit_exp_decay(
+    const std::vector<std::pair<double, double>>& points);
+
+}  // namespace rrsim::loadmodel

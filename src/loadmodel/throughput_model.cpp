@@ -1,0 +1,76 @@
+#include "rrsim/loadmodel/throughput_model.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rrsim::loadmodel {
+
+ExpDecayModel::ExpDecayModel(double floor, double amplitude, double scale)
+    : floor_(floor), amplitude_(amplitude), scale_(scale) {
+  if (scale_ <= 0.0 || amplitude_ < 0.0 || floor_ < 0.0) {
+    throw std::invalid_argument("invalid exp-decay parameters");
+  }
+}
+
+double ExpDecayModel::at(double q) const {
+  if (q < 0.0) throw std::invalid_argument("queue depth must be >= 0");
+  return floor_ + amplitude_ * std::exp(-q / scale_);
+}
+
+ExpDecayModel ExpDecayModel::paper_calibrated() {
+  static const ExpDecayModel model = fit_exp_decay(
+      {{0.0, 11.0}, {10000.0, 6.0}, {20000.0, 5.0}});
+  return model;
+}
+
+ExpDecayModel fit_exp_decay(
+    const std::vector<std::pair<double, double>>& points) {
+  if (points.size() < 3) {
+    throw std::invalid_argument("fit needs >= 3 points");
+  }
+  double span = 0.0;
+  for (const auto& [q, y] : points) span = std::max(span, q);
+  if (span <= 0.0) throw std::invalid_argument("fit needs a positive span");
+
+  double best_err = std::numeric_limits<double>::infinity();
+  double best_a = 0.0;
+  double best_b = 0.0;
+  double best_c = span;
+  // Grid over the decay scale; floor/amplitude solved by linear least
+  // squares on the basis {1, exp(-q/c)}.
+  for (int i = 1; i <= 400; ++i) {
+    const double c = span * static_cast<double>(i) / 100.0;  // span/100..4*span
+    double s1 = 0.0, sx = 0.0, sxx = 0.0, sy = 0.0, sxy = 0.0;
+    for (const auto& [q, y] : points) {
+      const double x = std::exp(-q / c);
+      s1 += 1.0;
+      sx += x;
+      sxx += x * x;
+      sy += y;
+      sxy += x * y;
+    }
+    const double det = s1 * sxx - sx * sx;
+    if (std::abs(det) < 1e-12) continue;
+    const double a = (sy * sxx - sx * sxy) / det;  // floor
+    const double b = (s1 * sxy - sx * sy) / det;   // amplitude
+    if (a < 0.0 || b < 0.0) continue;
+    double err = 0.0;
+    for (const auto& [q, y] : points) {
+      const double d = a + b * std::exp(-q / c) - y;
+      err += d * d;
+    }
+    if (err < best_err) {
+      best_err = err;
+      best_a = a;
+      best_b = b;
+      best_c = c;
+    }
+  }
+  if (!std::isfinite(best_err)) {
+    throw std::invalid_argument("fit failed: no feasible parameters");
+  }
+  return ExpDecayModel(best_a, best_b, best_c);
+}
+
+}  // namespace rrsim::loadmodel

@@ -1,0 +1,42 @@
+// Per-job outcome records — the raw material for every metric in the
+// paper: stretch, turnaround, fairness (CV of stretches), and the
+// prediction-accuracy ratios of Section 5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rrsim::metrics {
+
+/// Outcome of one *grid* job (one user job, however many replicas it had).
+struct JobRecord {
+  std::uint64_t grid_id = 0;
+  std::size_t origin_cluster = 0;
+  std::size_t winner_cluster = 0;  ///< where it actually ran
+  bool redundant = false;  ///< did the user send redundant requests?
+  int replicas = 1;        ///< requests the user *sent* (intent)
+  int replicas_delivered = 1;  ///< requests that actually reached a
+                               ///< scheduler (drops/limit rejections
+                               ///< excluded)
+  int nodes = 1;
+  double submit_time = 0.0;
+  double start_time = 0.0;
+  double finish_time = 0.0;
+  double actual_time = 1.0;
+  double requested_time = 1.0;
+  /// Queue-wait prediction made at submit time (min over replicas for
+  /// redundant jobs), when prediction recording was enabled.
+  std::optional<double> predicted_start;
+
+  double wait_time() const noexcept { return start_time - submit_time; }
+  double turnaround() const noexcept { return finish_time - submit_time; }
+};
+
+using JobRecords = std::vector<JobRecord>;
+
+/// Stretch (slowdown): turnaround / execution time, with the standard 1 s
+/// clamp on the denominator so sub-second jobs cannot blow the metric up.
+double stretch_of(const JobRecord& r) noexcept;
+
+}  // namespace rrsim::metrics

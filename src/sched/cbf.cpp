@@ -1,0 +1,109 @@
+#include "rrsim/sched/cbf.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrsim::sched {
+
+void CbfScheduler::handle_submit(Job job) {
+  const Time now = sim_.now();
+  const Time s =
+      profile_.earliest_start(now, job.nodes, job.requested_time);
+  profile_.reserve(s, job.requested_time, job.nodes);
+  record_prediction(job.id, s);  // the Section 5 predictor
+  queue_.push_back(Entry{std::move(job), s});
+  dispatch_ready();
+}
+
+Job CbfScheduler::handle_cancel(JobId id) {
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [id](const Entry& e) { return e.job.id == id; });
+  if (it == queue_.end()) {
+    throw std::logic_error("cbf: cancel of non-pending job");
+  }
+  Job job = it->job;
+  queue_.erase(it);
+  rebuild_profile();  // freed slot: pull later reservations earlier
+  dispatch_ready();
+  return job;
+}
+
+void CbfScheduler::handle_completion(const Job& job) {
+  const bool early =
+      job.finish_time < job.start_time + job.requested_time;
+  if (early && compress_) {
+    rebuild_profile();
+  }
+  dispatch_ready();
+}
+
+std::vector<const Job*> CbfScheduler::pending_in_order() const {
+  std::vector<const Job*> out;
+  out.reserve(queue_.size());
+  for (const Entry& e : queue_) out.push_back(&e.job);
+  return out;
+}
+
+std::optional<Time> CbfScheduler::current_reservation(JobId id) const {
+  for (const Entry& e : queue_) {
+    if (e.job.id == id) return e.reserved_start;
+  }
+  return std::nullopt;
+}
+
+void CbfScheduler::rebuild_profile() {
+  count_pass();
+  const Time now = sim_.now();
+  profile_ = Profile(total_nodes());
+  for (const auto& [end, nodes] : running_requested_ends()) {
+    if (end > now) profile_.reserve(now, end - now, nodes);
+  }
+  for (Entry& e : queue_) {
+    e.reserved_start =
+        profile_.earliest_start(now, e.job.nodes, e.job.requested_time);
+    profile_.reserve(e.reserved_start, e.job.requested_time, e.job.nodes);
+  }
+}
+
+void CbfScheduler::dispatch_ready() {
+  count_pass();
+  const Time now = sim_.now();
+  bool again = true;
+  while (again) {
+    again = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->reserved_start > now) continue;
+      if (it->job.nodes > free_nodes()) {
+        // The reservation is due but a same-timestamp completion has not
+        // freed its nodes yet (completion events of equal time drain one
+        // at a time). That completion will re-enter dispatch_ready;
+        // starting must wait for it.
+        continue;
+      }
+      Job job = it->job;
+      queue_.erase(it);
+      if (!try_start(std::move(job))) {
+        // Declined: its reservation must be released so later jobs can
+        // move up; rebuild and rescan.
+        rebuild_profile();
+      }
+      again = true;
+      break;  // iterators invalidated either way
+    }
+  }
+  // Wake up at the next future reservation. Entries already due but
+  // blocked on a same-timestamp completion need no wake-up: that
+  // completion re-enters dispatch_ready after freeing its nodes.
+  wakeup_.cancel();
+  Time next = des::kTimeInfinity;
+  for (const Entry& e : queue_) {
+    if (e.reserved_start > now) next = std::min(next, e.reserved_start);
+  }
+  if (next < des::kTimeInfinity) {
+    wakeup_ = sim_.schedule_at(
+        next, [this] { dispatch_ready(); }, des::Priority::kControl);
+  }
+}
+
+}  // namespace rrsim::sched

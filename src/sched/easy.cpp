@@ -1,0 +1,97 @@
+#include "rrsim/sched/easy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrsim::sched {
+
+void EasyScheduler::handle_submit(Job job) {
+  queue_.push_back(std::move(job));
+  schedule_pass();
+}
+
+Job EasyScheduler::handle_cancel(JobId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      Job job = *it;
+      queue_.erase(it);
+      schedule_pass();  // cancellation opens backfill opportunities
+      return job;
+    }
+  }
+  throw std::logic_error("easy: cancel of non-pending job");
+}
+
+void EasyScheduler::handle_completion(const Job&) { schedule_pass(); }
+
+std::vector<const Job*> EasyScheduler::pending_in_order() const {
+  std::vector<const Job*> out;
+  out.reserve(queue_.size());
+  for (const Job& j : queue_) out.push_back(&j);
+  return out;
+}
+
+EasyScheduler::Shadow EasyScheduler::compute_shadow() const {
+  const Job& head = queue_.front();
+  auto ends = running_requested_ends();
+  std::sort(ends.begin(), ends.end());
+  int avail = free_nodes();
+  for (const auto& [end, nodes] : ends) {
+    avail += nodes;
+    if (avail >= head.nodes) {
+      return Shadow{end, avail - head.nodes};
+    }
+  }
+  // Unreachable while the head does not fit: head.nodes <= total_nodes, so
+  // draining every running job always yields enough.
+  throw std::logic_error("easy: shadow not found for non-fitting head");
+}
+
+std::optional<Time> EasyScheduler::head_shadow_time() const {
+  if (queue_.empty()) return std::nullopt;
+  if (queue_.front().nodes <= free_nodes()) return sim_.now();
+  return compute_shadow().time;
+}
+
+void EasyScheduler::schedule_pass() {
+  count_pass();
+  for (;;) {
+    // Phase 1: strict FCFS starts from the head.
+    while (!queue_.empty() && queue_.front().nodes <= free_nodes()) {
+      Job job = std::move(queue_.front());
+      queue_.pop_front();
+      try_start(std::move(job));
+    }
+    if (queue_.empty()) return;
+
+    // Phase 2: backfill behind the (non-fitting) head under the one-
+    // reservation rule. Shadow/extra are maintained incrementally: a
+    // backfilled job that may outlive the shadow consumes `extra`.
+    Shadow shadow = compute_shadow();
+    const Time now = sim_.now();
+    bool queue_changed = false;  // a decline invalidates iterators/shadow
+    for (auto it = std::next(queue_.begin());
+         it != queue_.end() && free_nodes() > 0;) {
+      const bool fits_now = it->nodes <= free_nodes();
+      const bool ends_before_shadow =
+          now + it->requested_time <= shadow.time;
+      const bool within_extra = it->nodes <= shadow.extra;
+      if (fits_now && (ends_before_shadow || within_extra)) {
+        Job job = *it;
+        it = queue_.erase(it);
+        if (!ends_before_shadow) shadow.extra -= job.nodes;
+        if (!try_start(std::move(job))) {
+          // Decline: the start did not happen, so the shadow bookkeeping
+          // above may now be stale; restart the whole pass.
+          queue_changed = true;
+          break;
+        }
+      } else {
+        ++it;
+      }
+    }
+    if (!queue_changed) return;
+  }
+}
+
+}  // namespace rrsim::sched

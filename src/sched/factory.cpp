@@ -1,0 +1,44 @@
+#include "rrsim/sched/factory.h"
+
+#include <stdexcept>
+
+#include "rrsim/sched/cbf.h"
+#include "rrsim/sched/easy.h"
+#include "rrsim/sched/fcfs.h"
+
+namespace rrsim::sched {
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "fcfs") return Algorithm::kFcfs;
+  if (name == "easy") return Algorithm::kEasy;
+  if (name == "cbf") return Algorithm::kCbf;
+  throw std::invalid_argument("unknown scheduling algorithm: " + name);
+}
+
+std::string algorithm_name(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kFcfs:
+      return "fcfs";
+    case Algorithm::kEasy:
+      return "easy";
+    case Algorithm::kCbf:
+      return "cbf";
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::unique_ptr<ClusterScheduler> make_scheduler(Algorithm algo,
+                                                 des::Simulation& sim,
+                                                 int total_nodes) {
+  switch (algo) {
+    case Algorithm::kFcfs:
+      return std::make_unique<FcfsScheduler>(sim, total_nodes);
+    case Algorithm::kEasy:
+      return std::make_unique<EasyScheduler>(sim, total_nodes);
+    case Algorithm::kCbf:
+      return std::make_unique<CbfScheduler>(sim, total_nodes);
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace rrsim::sched

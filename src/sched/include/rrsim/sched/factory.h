@@ -1,0 +1,31 @@
+// Construction of schedulers by algorithm name, used by experiment
+// configuration and the CLI harnesses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rrsim/sched/scheduler.h"
+
+namespace rrsim::sched {
+
+/// The three algorithms the paper evaluates (Table 1).
+enum class Algorithm {
+  kFcfs,
+  kEasy,
+  kCbf,
+};
+
+/// Parses "fcfs" / "easy" / "cbf" (case-sensitive). Throws
+/// std::invalid_argument on anything else.
+Algorithm parse_algorithm(const std::string& name);
+
+/// Display name of an algorithm.
+std::string algorithm_name(Algorithm algo);
+
+/// Creates a scheduler of the given algorithm on `total_nodes` nodes.
+std::unique_ptr<ClusterScheduler> make_scheduler(Algorithm algo,
+                                                 des::Simulation& sim,
+                                                 int total_nodes);
+
+}  // namespace rrsim::sched

@@ -1,0 +1,34 @@
+// First-Come-First-Serve: jobs start strictly in arrival order; the head
+// of the queue blocks everything behind it. The paper's baseline
+// comparator.
+#pragma once
+
+#include <deque>
+
+#include "rrsim/sched/scheduler.h"
+
+namespace rrsim::sched {
+
+/// Strict FCFS batch scheduler (no backfilling).
+class FcfsScheduler final : public ClusterScheduler {
+ public:
+  FcfsScheduler(des::Simulation& sim, int total_nodes)
+      : ClusterScheduler(sim, total_nodes) {}
+
+  std::string name() const override { return "fcfs"; }
+  std::size_t queue_length() const override { return queue_.size(); }
+
+ protected:
+  void handle_submit(Job job) override;
+  Job handle_cancel(JobId id) override;
+  void handle_completion(const Job& job) override;
+  std::vector<const Job*> pending_in_order() const override;
+
+ private:
+  /// Starts queued jobs from the head while they fit.
+  void schedule_pass();
+
+  std::deque<Job> queue_;
+};
+
+}  // namespace rrsim::sched

@@ -1,0 +1,57 @@
+// The scheduler-side view of a job (one *request* in one batch queue).
+// When redundant requests are used, each replica of a grid job is a
+// distinct sched::Job in a distinct cluster's queue.
+#pragma once
+
+#include <cstdint>
+
+#include "rrsim/des/simulation.h"
+
+namespace rrsim::sched {
+
+using des::Time;
+
+/// Identifies one request within one scheduler. Replicas of the same grid
+/// job have different JobIds; the grid::Gateway keeps the mapping.
+using JobId = std::uint64_t;
+
+/// Lifecycle of a request in a batch queue.
+enum class JobState {
+  kPending,    ///< waiting in the queue
+  kRunning,    ///< allocated nodes, executing
+  kFinished,   ///< ran to completion
+  kCancelled,  ///< removed from the queue before starting (qdel)
+  kDeclined,   ///< grant refused by the owner (a sibling replica won)
+};
+
+/// Identifies the human (or account) behind a request, for per-user
+/// policies such as pending-request limits.
+using UserId = std::uint32_t;
+
+/// One batch request. `requested_time` is what the user asked for (the
+/// scheduler plans with it); `actual_time` is how long the job really runs
+/// (always <= requested_time — real schedulers kill jobs at the limit).
+struct Job {
+  JobId id = 0;
+  int nodes = 1;
+  Time submit_time = 0.0;
+  Time requested_time = 1.0;
+  Time actual_time = 1.0;
+  UserId user = 0;
+  /// Exempt from per-user pending limits. The grid gateway marks the
+  /// local (origin) replica exempt: a user's home submission always
+  /// enters the queue eventually, only *extra* redundancy is capped —
+  /// the mitigation the paper's Section 2/6 describes ("batch schedulers
+  /// can be configured so that a single user can only have a limited
+  /// number of pending requests").
+  bool limit_exempt = false;
+
+  JobState state = JobState::kPending;
+  Time start_time = -1.0;
+  Time finish_time = -1.0;
+
+  /// Queue waiting time; only meaningful once the job has started.
+  Time wait_time() const noexcept { return start_time - submit_time; }
+};
+
+}  // namespace rrsim::sched

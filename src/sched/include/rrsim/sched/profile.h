@@ -1,0 +1,62 @@
+// Node-availability profile: how many nodes are free over future time.
+// This is the planning structure behind Conservative Backfilling and
+// behind reservation-based queue-wait prediction (Section 5 of the paper).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "rrsim/des/simulation.h"
+
+namespace rrsim::sched {
+
+using des::Time;
+
+/// Piecewise-constant free-node count over [0, +inf).
+///
+/// Represented as breakpoints (t_i, free_i), sorted by t_i, meaning
+/// `free_i` nodes are available on [t_i, t_{i+1}); the last segment extends
+/// to infinity. Reservations subtract capacity over an interval; releases
+/// are done by rebuilding (profiles are small and rebuilds keep the
+/// invariants trivially true).
+class Profile {
+ public:
+  /// A profile with `total_nodes` free everywhere. Throws
+  /// std::invalid_argument if total_nodes < 1.
+  explicit Profile(int total_nodes);
+
+  /// Total capacity.
+  int total_nodes() const noexcept { return total_; }
+
+  /// Free nodes at time `t` (>= 0).
+  int free_at(Time t) const;
+
+  /// Smallest free-node count over [start, start + duration).
+  int min_free(Time start, Time duration) const;
+
+  /// Earliest time t >= `from` at which `nodes` nodes are simultaneously
+  /// free for the whole interval [t, t + duration). Always exists because
+  /// the profile eventually returns to a constant level >= nodes whenever
+  /// nodes <= total (reservations are finite); throws std::invalid_argument
+  /// if nodes > total or nodes < 1 or duration <= 0.
+  Time earliest_start(Time from, int nodes, Time duration) const;
+
+  /// Removes `nodes` nodes from the free count over
+  /// [start, start + duration). Throws std::logic_error if that would make
+  /// any segment negative (callers must reserve only feasible slots).
+  void reserve(Time start, Time duration, int nodes);
+
+  /// Breakpoints, for inspection/tests.
+  const std::vector<std::pair<Time, int>>& steps() const noexcept {
+    return steps_;
+  }
+
+ private:
+  /// Ensures a breakpoint exists exactly at `t`; returns its index.
+  std::size_t split_at(Time t);
+
+  int total_;
+  std::vector<std::pair<Time, int>> steps_;
+};
+
+}  // namespace rrsim::sched

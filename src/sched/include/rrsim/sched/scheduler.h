@@ -1,0 +1,155 @@
+// Abstract batch scheduler managing one cluster's queue, plus the shared
+// machinery every concrete algorithm (FCFS, EASY, CBF) builds on: the
+// running set, the grant/decline start protocol, completion events, and
+// operation counters for the Section 4 load study.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rrsim/des/simulation.h"
+#include "rrsim/sched/job.h"
+#include "rrsim/sched/profile.h"
+
+namespace rrsim::sched {
+
+/// Operation counters, for the middleware/scheduler load analysis.
+struct OpCounters {
+  std::uint64_t submits = 0;    ///< qsub-equivalents accepted
+  std::uint64_t rejects = 0;    ///< submissions refused (per-user limit)
+  std::uint64_t cancels = 0;    ///< qdel-equivalents that removed a job
+  std::uint64_t starts = 0;     ///< jobs granted nodes
+  std::uint64_t finishes = 0;   ///< jobs that ran to completion
+  std::uint64_t declines = 0;   ///< grants refused by the owner
+  std::uint64_t sched_passes = 0;  ///< scheduling passes executed
+};
+
+/// Batch scheduler for a single cluster.
+///
+/// Event flow: `submit()` enqueues a request; the scheduler decides starts
+/// during scheduling passes (triggered by submissions, cancellations, and
+/// completions). Before starting a job it consults the grant callback —
+/// the grid Gateway uses this to refuse starts for jobs whose sibling
+/// replica already won elsewhere (the paper's cancel-on-callback protocol
+/// with zero network delay). Completions are scheduled on the simulation
+/// at start + actual_time.
+class ClusterScheduler {
+ public:
+  /// Owner hooks. All optional; a null grant accepts every start.
+  struct Callbacks {
+    /// Asked immediately before `job` would start; return false to refuse
+    /// (the request is then removed from the queue as Declined).
+    std::function<bool(const Job&)> on_grant;
+    /// Job started (after a successful grant).
+    std::function<void(const Job&)> on_start;
+    /// Job ran to completion.
+    std::function<void(const Job&)> on_finish;
+    /// Pending job removed via cancel().
+    std::function<void(const Job&)> on_cancelled;
+  };
+
+  /// Binds the scheduler to a simulation and a cluster of `total_nodes`
+  /// identical nodes. Throws std::invalid_argument if total_nodes < 1.
+  ClusterScheduler(des::Simulation& sim, int total_nodes);
+  virtual ~ClusterScheduler() = default;
+
+  ClusterScheduler(const ClusterScheduler&) = delete;
+  ClusterScheduler& operator=(const ClusterScheduler&) = delete;
+
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Submits a request at the current simulation time. The job's
+  /// actual_time is clamped to requested_time (schedulers kill jobs at
+  /// their limit). Returns false — and leaves all state untouched — when
+  /// a configured per-user pending limit refuses the request. Throws
+  /// std::invalid_argument if the job can never run here (nodes < 1 or >
+  /// total), has a duplicate id, or non-positive times.
+  bool submit(Job job);
+
+  /// Caps the number of *pending* requests any one user may have in this
+  /// queue (running jobs do not count, matching PBS-style limits).
+  /// nullopt (default) disables the limit. Jobs with limit_exempt set
+  /// bypass it.
+  void set_per_user_pending_limit(std::optional<int> limit);
+
+  /// Cancels a *pending* request (qdel). Returns true if the job was
+  /// pending and has been removed; false if unknown, running, or done.
+  bool cancel(JobId id);
+
+  /// Algorithm name ("fcfs", "easy", "cbf").
+  virtual std::string name() const = 0;
+
+  // --- Introspection -----------------------------------------------------
+
+  int total_nodes() const noexcept { return total_nodes_; }
+  int free_nodes() const noexcept { return free_nodes_; }
+  std::size_t running_count() const noexcept { return running_.size(); }
+  virtual std::size_t queue_length() const = 0;
+  const OpCounters& counters() const noexcept { return counters_; }
+  des::Simulation& simulation() noexcept { return sim_; }
+
+  /// The queue-wait prediction made *at submission time* for a still-known
+  /// job, in seconds of predicted start time (absolute). CBF answers from
+  /// its reservation (the paper's Section 5 predictor); FCFS and EASY
+  /// answer from the conservative profile simulation done at submit.
+  std::optional<Time> predicted_start_at_submit(JobId id) const;
+
+  /// Predicts the start time a hypothetical `nodes` x `requested_time`
+  /// request submitted now would get, by building a conservative
+  /// availability profile from the running set (requested end times) and
+  /// the current queue in FCFS order — the "simulation of the batch queue"
+  /// predictor the paper describes. Does not modify state.
+  Time predict_hypothetical_start(int nodes, Time requested_time) const;
+
+ protected:
+  // --- Services for concrete algorithms ----------------------------------
+
+  /// Attempts to start `job` now: consults the grant callback; on success
+  /// allocates nodes, schedules completion, fires on_start, and returns
+  /// true. On decline records the job as Declined and returns false. The
+  /// caller must have removed the job from its pending structures first.
+  bool try_start(Job job);
+
+  /// Running jobs as (requested_end_time, nodes), unsorted.
+  std::vector<std::pair<Time, int>> running_requested_ends() const;
+
+  /// Pending jobs in FCFS (submission) order, for prediction profiles.
+  virtual std::vector<const Job*> pending_in_order() const = 0;
+
+  /// Called after submit() has validated and counted the job.
+  virtual void handle_submit(Job job) = 0;
+
+  /// Called when `id` (validated pending) must be removed. Implementations
+  /// remove it from their structures and return the Job by value.
+  virtual Job handle_cancel(JobId id) = 0;
+
+  /// Called after a running job finished and freed its nodes.
+  virtual void handle_completion(const Job& job) = 0;
+
+  /// Record a submit-time prediction for `id` (used by EASY/FCFS which
+  /// have no reservations; CBF records its own reservations).
+  void record_prediction(JobId id, Time predicted_start);
+
+  void count_pass() noexcept { ++counters_.sched_passes; }
+
+  des::Simulation& sim_;
+
+ private:
+  void complete_job(JobId id);
+
+  int total_nodes_;
+  int free_nodes_;
+  Callbacks callbacks_;
+  OpCounters counters_;
+  std::optional<int> per_user_limit_;
+  std::map<UserId, int> pending_per_user_;
+  std::map<JobId, Job> running_;
+  std::map<JobId, Time> predictions_;  // submit-time predicted starts
+  std::map<JobId, char> known_ids_;    // duplicate-id guard
+};
+
+}  // namespace rrsim::sched

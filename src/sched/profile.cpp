@@ -1,0 +1,99 @@
+#include "rrsim/sched/profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrsim::sched {
+
+Profile::Profile(int total_nodes) : total_(total_nodes) {
+  if (total_ < 1) throw std::invalid_argument("profile needs >= 1 node");
+  steps_.emplace_back(0.0, total_);
+}
+
+namespace {
+
+// Index of the segment containing time t: the last step with time <= t.
+std::size_t segment_index(const std::vector<std::pair<Time, int>>& steps,
+                          Time t) {
+  // upper_bound on time, then step back one.
+  auto it = std::upper_bound(
+      steps.begin(), steps.end(), t,
+      [](Time value, const std::pair<Time, int>& s) { return value < s.first; });
+  if (it == steps.begin()) return 0;  // t before first breakpoint
+  return static_cast<std::size_t>(it - steps.begin()) - 1;
+}
+
+}  // namespace
+
+int Profile::free_at(Time t) const {
+  if (t < 0.0) throw std::invalid_argument("free_at: negative time");
+  return steps_[segment_index(steps_, t)].second;
+}
+
+int Profile::min_free(Time start, Time duration) const {
+  if (start < 0.0 || duration <= 0.0) {
+    throw std::invalid_argument("min_free: bad interval");
+  }
+  const Time end = start + duration;
+  std::size_t i = segment_index(steps_, start);
+  int min_free_count = steps_[i].second;
+  for (++i; i < steps_.size() && steps_[i].first < end; ++i) {
+    min_free_count = std::min(min_free_count, steps_[i].second);
+  }
+  return min_free_count;
+}
+
+Time Profile::earliest_start(Time from, int nodes, Time duration) const {
+  if (nodes < 1 || nodes > total_) {
+    throw std::invalid_argument("earliest_start: nodes out of range");
+  }
+  if (duration <= 0.0) {
+    throw std::invalid_argument("earliest_start: non-positive duration");
+  }
+  if (from < 0.0) from = 0.0;
+  // Candidate anchors are `from` and every breakpoint after it; the first
+  // anchor whose whole window [t, t + duration) has capacity wins. The
+  // final segment always has full capacity (reserve() restores the level
+  // at each reservation's end), so the scan terminates.
+  const std::size_t start_seg = segment_index(steps_, from);
+  for (std::size_t a = start_seg; a < steps_.size(); ++a) {
+    const Time candidate = std::max(from, steps_[a].first);
+    if (steps_[a].second < nodes) continue;
+    const Time end = candidate + duration;
+    bool feasible = true;
+    for (std::size_t j = a + 1; j < steps_.size() && steps_[j].first < end;
+         ++j) {
+      if (steps_[j].second < nodes) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) return candidate;
+  }
+  throw std::logic_error("profile never regains requested capacity");
+}
+
+std::size_t Profile::split_at(Time t) {
+  const std::size_t i = segment_index(steps_, t);
+  if (steps_[i].first == t) return i;
+  steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                {t, steps_[i].second});
+  return i + 1;
+}
+
+void Profile::reserve(Time start, Time duration, int nodes) {
+  if (start < 0.0 || duration <= 0.0 || nodes < 1) {
+    throw std::invalid_argument("reserve: bad arguments");
+  }
+  const Time end = start + duration;
+  const std::size_t first = split_at(start);
+  const std::size_t last = split_at(end);  // breakpoint at release time
+  for (std::size_t i = first; i < last; ++i) {
+    if (steps_[i].second < nodes) {
+      throw std::logic_error("reserve: capacity would go negative");
+    }
+    steps_[i].second -= nodes;
+  }
+}
+
+}  // namespace rrsim::sched

@@ -1,0 +1,144 @@
+#include "rrsim/sched/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrsim::sched {
+
+ClusterScheduler::ClusterScheduler(des::Simulation& sim, int total_nodes)
+    : sim_(sim), total_nodes_(total_nodes), free_nodes_(total_nodes) {
+  if (total_nodes_ < 1) {
+    throw std::invalid_argument("scheduler needs >= 1 node");
+  }
+}
+
+void ClusterScheduler::set_per_user_pending_limit(std::optional<int> limit) {
+  if (limit && *limit < 0) {
+    throw std::invalid_argument("per-user pending limit must be >= 0");
+  }
+  per_user_limit_ = limit;
+}
+
+bool ClusterScheduler::submit(Job job) {
+  if (job.nodes < 1 || job.nodes > total_nodes_) {
+    throw std::invalid_argument("job node count not runnable on this cluster");
+  }
+  if (job.requested_time <= 0.0 || job.actual_time <= 0.0) {
+    throw std::invalid_argument("job times must be > 0");
+  }
+  if (per_user_limit_ && !job.limit_exempt &&
+      pending_per_user_[job.user] >= *per_user_limit_) {
+    ++counters_.rejects;
+    return false;
+  }
+  if (!known_ids_.emplace(job.id, 0).second) {
+    throw std::invalid_argument("duplicate job id submitted");
+  }
+  job.actual_time = std::min(job.actual_time, job.requested_time);
+  job.submit_time = sim_.now();
+  job.state = JobState::kPending;
+  ++counters_.submits;
+  ++pending_per_user_[job.user];
+  handle_submit(std::move(job));
+  return true;
+}
+
+bool ClusterScheduler::cancel(JobId id) {
+  // Only pending jobs are cancellable; concrete schedulers own the queue,
+  // so probe them via handle_cancel after a cheap membership check through
+  // pending_in_order would be O(Q) — instead handle_cancel returns a
+  // Cancelled-state job or throws; we translate "not pending" to false.
+  for (const Job* j : pending_in_order()) {
+    if (j->id == id) {
+      Job job = handle_cancel(id);
+      job.state = JobState::kCancelled;
+      ++counters_.cancels;
+      --pending_per_user_[job.user];
+      if (callbacks_.on_cancelled) callbacks_.on_cancelled(job);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ClusterScheduler::try_start(Job job) {
+  if (job.nodes > free_nodes_) {
+    throw std::logic_error("try_start: not enough free nodes");
+  }
+  // The job leaves the pending population whether the grant succeeds
+  // (it runs) or not (it is dropped as declined).
+  --pending_per_user_[job.user];
+  if (callbacks_.on_grant && !callbacks_.on_grant(job)) {
+    ++counters_.declines;
+    return false;
+  }
+  job.state = JobState::kRunning;
+  job.start_time = sim_.now();
+  job.finish_time = job.start_time + job.actual_time;
+  free_nodes_ -= job.nodes;
+  ++counters_.starts;
+  const JobId id = job.id;
+  running_.emplace(id, job);
+  sim_.schedule_at(
+      job.finish_time, [this, id] { complete_job(id); },
+      des::Priority::kCompletion);
+  if (callbacks_.on_start) callbacks_.on_start(running_.at(id));
+  return true;
+}
+
+void ClusterScheduler::complete_job(JobId id) {
+  const auto it = running_.find(id);
+  if (it == running_.end()) {
+    throw std::logic_error("completion for unknown running job");
+  }
+  Job job = it->second;
+  running_.erase(it);
+  job.state = JobState::kFinished;
+  free_nodes_ += job.nodes;
+  ++counters_.finishes;
+  if (callbacks_.on_finish) callbacks_.on_finish(job);
+  handle_completion(job);
+}
+
+std::vector<std::pair<Time, int>> ClusterScheduler::running_requested_ends()
+    const {
+  std::vector<std::pair<Time, int>> out;
+  out.reserve(running_.size());
+  for (const auto& [id, job] : running_) {
+    out.emplace_back(job.start_time + job.requested_time, job.nodes);
+  }
+  return out;
+}
+
+void ClusterScheduler::record_prediction(JobId id, Time predicted_start) {
+  predictions_[id] = predicted_start;
+}
+
+std::optional<Time> ClusterScheduler::predicted_start_at_submit(
+    JobId id) const {
+  const auto it = predictions_.find(id);
+  if (it == predictions_.end()) return std::nullopt;
+  return it->second;
+}
+
+Time ClusterScheduler::predict_hypothetical_start(int nodes,
+                                                  Time requested_time) const {
+  if (nodes < 1 || nodes > total_nodes_) {
+    throw std::invalid_argument("hypothetical job cannot run here");
+  }
+  const Time now = sim_.now();
+  Profile profile(total_nodes_);
+  // Running jobs hold their nodes until their *requested* end — the
+  // conservative assumption every queue-based predictor makes.
+  for (const auto& [end, n] : running_requested_ends()) {
+    if (end > now) profile.reserve(now, end - now, n);
+  }
+  // Queued jobs claim slots in FCFS order.
+  for (const Job* j : pending_in_order()) {
+    const Time s = profile.earliest_start(now, j->nodes, j->requested_time);
+    profile.reserve(s, j->requested_time, j->nodes);
+  }
+  return profile.earliest_start(now, nodes, requested_time);
+}
+
+}  // namespace rrsim::sched

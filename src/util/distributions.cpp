@@ -1,0 +1,83 @@
+#include "rrsim/util/distributions.h"
+
+#include <cmath>
+
+namespace rrsim::util {
+
+double sample_normal(Rng& rng) {
+  // Polar Box–Muller; discards the second variate to keep the sampler
+  // stateless (reproducibility matters more than halving the draw count).
+  for (;;) {
+    const double u = rng.uniform(-1.0, 1.0);
+    const double v = rng.uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double sample_exponential(Rng& rng, double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("exponential mean must be > 0");
+  // 1 - u in (0, 1] avoids log(0).
+  return -mean * std::log(1.0 - rng.uniform01());
+}
+
+namespace {
+
+// Marsaglia–Tsang (2000) for shape >= 1, unit scale.
+double gamma_mt_alpha_ge1(Rng& rng, double alpha) {
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = sample_normal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform01();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+}  // namespace
+
+double sample_gamma(Rng& rng, double alpha, double beta) {
+  if (alpha <= 0.0 || beta <= 0.0) {
+    throw std::invalid_argument("gamma shape and scale must be > 0");
+  }
+  if (alpha >= 1.0) return beta * gamma_mt_alpha_ge1(rng, alpha);
+  // Boost for alpha < 1: Gamma(a) = Gamma(a + 1) * U^(1/a).
+  const double g = gamma_mt_alpha_ge1(rng, alpha + 1.0);
+  double u = rng.uniform01();
+  while (u <= 0.0) u = rng.uniform01();
+  return beta * g * std::pow(u, 1.0 / alpha);
+}
+
+double sample_hyper_gamma(Rng& rng, const HyperGammaParams& params) {
+  if (params.p < 0.0 || params.p > 1.0) {
+    throw std::invalid_argument("hyper-gamma p must be in [0, 1]");
+  }
+  return rng.chance(params.p) ? sample_gamma(rng, params.a1, params.b1)
+                              : sample_gamma(rng, params.a2, params.b2);
+}
+
+double sample_two_stage_uniform(Rng& rng,
+                                const TwoStageUniformParams& params) {
+  if (!(params.low <= params.med && params.med <= params.high)) {
+    throw std::invalid_argument("two-stage uniform requires low<=med<=high");
+  }
+  if (params.prob < 0.0 || params.prob > 1.0) {
+    throw std::invalid_argument("two-stage uniform prob must be in [0, 1]");
+  }
+  return rng.chance(params.prob) ? rng.uniform(params.low, params.med)
+                                 : rng.uniform(params.med, params.high);
+}
+
+}  // namespace rrsim::util

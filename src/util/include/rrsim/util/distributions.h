@@ -1,0 +1,61 @@
+// Random-variate samplers used by the workload models.
+//
+// Implemented from first principles (Marsaglia–Tsang for gamma, polar
+// Box–Muller for normals) so that sampled sequences are identical on every
+// platform for a given seed — std::gamma_distribution et al. are
+// implementation-defined and would break reproducibility.
+#pragma once
+
+#include <stdexcept>
+
+#include "rrsim/util/rng.h"
+
+namespace rrsim::util {
+
+/// Standard normal variate (mean 0, variance 1), polar Box–Muller.
+double sample_normal(Rng& rng);
+
+/// Exponential variate with the given mean (> 0).
+double sample_exponential(Rng& rng, double mean);
+
+/// Gamma variate with shape `alpha` (> 0) and scale `beta` (> 0);
+/// mean = alpha * beta. Marsaglia–Tsang squeeze method, with the Ahrens-
+/// style boost for alpha < 1.
+double sample_gamma(Rng& rng, double alpha, double beta);
+
+/// Parameters of a hyper-gamma distribution: a mixture of two gamma
+/// distributions, Gamma(a1, b1) with probability `p` and Gamma(a2, b2)
+/// with probability 1 - p.
+struct HyperGammaParams {
+  double a1 = 1.0;
+  double b1 = 1.0;
+  double a2 = 1.0;
+  double b2 = 1.0;
+  double p = 0.5;  ///< probability of the first component, in [0, 1]
+};
+
+/// Hyper-gamma variate (mixture of two gammas). Throws std::invalid_argument
+/// on non-positive shapes/scales or p outside [0, 1].
+double sample_hyper_gamma(Rng& rng, const HyperGammaParams& params);
+
+/// Parameters of the two-stage uniform distribution used by the
+/// Lublin–Feitelson model for log2(job size): with probability `prob`
+/// the variate is Uniform(low, med), otherwise Uniform(med, high).
+struct TwoStageUniformParams {
+  double low = 0.0;
+  double med = 0.5;
+  double high = 1.0;
+  double prob = 0.5;  ///< probability of the lower stage, in [0, 1]
+};
+
+/// Two-stage uniform variate. Throws std::invalid_argument unless
+/// low <= med <= high and prob in [0, 1].
+double sample_two_stage_uniform(Rng& rng, const TwoStageUniformParams& params);
+
+/// Mean of the two-stage uniform distribution (closed form).
+constexpr double two_stage_uniform_mean(
+    const TwoStageUniformParams& p) noexcept {
+  return p.prob * (p.low + p.med) / 2.0 + (1.0 - p.prob) * (p.med + p.high) / 2.0;
+}
+
+}  // namespace rrsim::util

@@ -1,0 +1,51 @@
+// Plain-text and CSV table rendering for the bench harnesses, which print
+// the paper's tables/figure series as aligned text plus a machine-readable
+// CSV block.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrsim::util {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with fixed precision. Render as aligned text or CSV.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& begin_row();
+
+  /// Appends a string cell to the current row.
+  Table& add(std::string cell);
+
+  /// Appends a numeric cell formatted with `precision` decimal digits.
+  Table& add(double value, int precision = 2);
+
+  /// Appends an integer cell.
+  Table& add(long long value);
+
+  /// Number of data rows.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table as aligned monospace text.
+  std::string to_text() const;
+
+  /// Renders the table as CSV (header row + data rows).
+  std::string to_csv() const;
+
+  /// Writes text rendering followed by a "# CSV" block to `os`.
+  void print(std::ostream& os, bool with_csv = true) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` decimal digits (fixed notation).
+std::string format_fixed(double value, int precision);
+
+}  // namespace rrsim::util

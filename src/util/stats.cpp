@@ -1,0 +1,94 @@
+#include "rrsim/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rrsim::util {
+
+void OnlineStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  max_ = std::max(max_, x);
+  min_ = std::min(min_, x);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::cv_percent() const noexcept {
+  const double m = mean();
+  return m != 0.0 ? stddev() / m * 100.0 : 0.0;
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+}
+
+Summary summarize(std::span<const double> xs) noexcept {
+  OnlineStats acc;
+  for (const double x : xs) acc.add(x);
+  Summary s;
+  s.count = acc.count();
+  if (s.count == 0) return s;
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.cv_percent = acc.cv_percent();
+  s.min = acc.min();
+  s.max = acc.max();
+  return s;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q in [0,1]");
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+std::vector<double> elementwise_ratio(std::span<const double> a,
+                                      std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("elementwise_ratio requires equal sizes");
+  }
+  std::vector<double> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (b[i] != 0.0) out.push_back(a[i] / b[i]);
+  }
+  return out;
+}
+
+}  // namespace rrsim::util

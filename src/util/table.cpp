@@ -1,0 +1,98 @@
+#include "rrsim/util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rrsim::util {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << value;
+  return ss.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("table needs >= 1 column");
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (rows_.empty()) begin_row();
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::logic_error("row has more cells than headers");
+  }
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  return add(format_fixed(value, precision));
+}
+
+Table& Table::add(long long value) { return add(std::to_string(value)); }
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream ss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      ss << cell << std::string(widths[c] - cell.size(), ' ');
+      ss << (c + 1 < headers_.size() ? "  " : "");
+    }
+    ss << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  ss << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return ss.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream ss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      ss << (c ? "," : "") << escape(row[c]);
+    }
+    ss << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return ss.str();
+}
+
+void Table::print(std::ostream& os, bool with_csv) const {
+  os << to_text();
+  if (with_csv) os << "\n# CSV\n" << to_csv();
+}
+
+}  // namespace rrsim::util

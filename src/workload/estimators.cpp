@@ -1,0 +1,55 @@
+#include "rrsim/workload/estimators.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rrsim/util/table.h"
+
+namespace rrsim::workload {
+
+PhiEstimator::PhiEstimator(double phi) : phi_(phi) {
+  if (!(phi > 0.0 && phi < 1.0)) {
+    throw std::invalid_argument("phi must be in (0, 1)");
+  }
+}
+
+double PhiEstimator::requested_for(double actual, util::Rng& rng) const {
+  const double u = rng.uniform(phi_, 1.0);
+  return actual / u;
+}
+
+std::string PhiEstimator::name() const {
+  return "phi(" + util::format_fixed(phi_, 2) + ")";
+}
+
+double PhiEstimator::mean_factor() const {
+  return std::log(1.0 / phi_) / (1.0 - phi_);
+}
+
+UniformFactorEstimator::UniformFactorEstimator(double mean) : mean_(mean) {
+  if (mean < 1.0) throw std::invalid_argument("mean factor must be >= 1");
+}
+
+double UniformFactorEstimator::requested_for(double actual,
+                                             util::Rng& rng) const {
+  const double factor = rng.uniform(1.0, 2.0 * mean_ - 1.0);
+  return actual * factor;
+}
+
+std::string UniformFactorEstimator::name() const { return "uniform-factor"; }
+
+void apply_estimator(JobStream& stream, const RuntimeEstimator& estimator,
+                     util::Rng& rng) {
+  for (JobSpec& job : stream) {
+    job.requested_time = estimator.requested_for(job.runtime, rng);
+  }
+}
+
+std::unique_ptr<RuntimeEstimator> make_estimator(const std::string& name) {
+  if (name == "exact") return std::make_unique<ExactEstimator>();
+  if (name == "phi") return std::make_unique<PhiEstimator>();
+  if (name == "uniform216") return std::make_unique<UniformFactorEstimator>();
+  throw std::invalid_argument("unknown estimator: " + name);
+}
+
+}  // namespace rrsim::workload

@@ -1,0 +1,22 @@
+// The workload-side description of a job, before it is handed to any
+// scheduler: when it arrives, how many nodes it needs, how long it will
+// actually run, and how long the user *says* it will run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rrsim::workload {
+
+/// One job as produced by a workload model or trace.
+struct JobSpec {
+  double submit_time = 0.0;     ///< seconds since experiment start
+  int nodes = 1;                ///< compute nodes required (>= 1)
+  double runtime = 1.0;         ///< actual execution time, seconds (> 0)
+  double requested_time = 1.0;  ///< user's requested wall time, >= runtime
+};
+
+/// A time-ordered stream of jobs destined for one cluster.
+using JobStream = std::vector<JobSpec>;
+
+}  // namespace rrsim::workload

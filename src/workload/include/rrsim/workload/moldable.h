@@ -1,0 +1,52 @@
+// Moldable jobs — the paper's redundancy option (iv): a job that can run
+// on several node counts submits redundant requests with *different
+// shapes* (more nodes = shorter but queues longer; fewer nodes = longer
+// but starts sooner), possibly to a single batch queue, and keeps
+// whichever starts first. The paper defers this option to future work;
+// rrsim implements it with an Amdahl speedup model.
+#pragma once
+
+#include <vector>
+
+#include "rrsim/workload/jobspec.h"
+
+namespace rrsim::workload {
+
+/// Amdahl's-law execution-time model: a fraction `parallel_fraction` of
+/// the work scales perfectly with nodes, the rest is serial.
+class AmdahlSpeedup {
+ public:
+  /// Throws std::invalid_argument unless parallel_fraction is in [0, 1].
+  explicit AmdahlSpeedup(double parallel_fraction);
+
+  /// Runtime on `nodes` nodes of a job measured to take `base_runtime`
+  /// on `base_nodes` nodes:
+  ///   T(n) = (1 - f) * T0 + f * T0 * n0 / n.
+  /// Throws std::invalid_argument on non-positive nodes/runtime.
+  double runtime(double base_runtime, int base_nodes, int nodes) const;
+
+  double parallel_fraction() const noexcept { return f_; }
+
+ private:
+  double f_;
+};
+
+/// One candidate submission shape of a moldable job.
+struct JobShape {
+  int nodes = 1;
+  double runtime = 1.0;         ///< actual execution time at this width
+  double requested_time = 1.0;  ///< user request at this width
+};
+
+/// Generates up to `count` distinct shapes for a moldable job whose
+/// measured shape is `base` (nodes/runtime/requested), by halving and
+/// doubling the node count alternately (n, n/2, 2n, n/4, 4n, ...),
+/// clamped to [1, max_nodes] and de-duplicated. Runtimes follow the
+/// speedup model; requested times keep the base shape's over-estimation
+/// factor. The base shape is always first. Throws std::invalid_argument
+/// if count < 1 or the base shape does not fit the cluster.
+std::vector<JobShape> moldable_shapes(const JobSpec& base,
+                                      const AmdahlSpeedup& speedup,
+                                      int max_nodes, int count);
+
+}  // namespace rrsim::workload

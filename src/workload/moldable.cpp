@@ -1,0 +1,59 @@
+#include "rrsim/workload/moldable.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrsim::workload {
+
+AmdahlSpeedup::AmdahlSpeedup(double parallel_fraction)
+    : f_(parallel_fraction) {
+  if (f_ < 0.0 || f_ > 1.0) {
+    throw std::invalid_argument("parallel fraction must be in [0, 1]");
+  }
+}
+
+double AmdahlSpeedup::runtime(double base_runtime, int base_nodes,
+                              int nodes) const {
+  if (base_runtime <= 0.0 || base_nodes < 1 || nodes < 1) {
+    throw std::invalid_argument("speedup: non-positive inputs");
+  }
+  const double serial = (1.0 - f_) * base_runtime;
+  const double parallel = f_ * base_runtime *
+                          static_cast<double>(base_nodes) /
+                          static_cast<double>(nodes);
+  return serial + parallel;
+}
+
+std::vector<JobShape> moldable_shapes(const JobSpec& base,
+                                      const AmdahlSpeedup& speedup,
+                                      int max_nodes, int count) {
+  if (count < 1) throw std::invalid_argument("need >= 1 shape");
+  if (base.nodes < 1 || base.nodes > max_nodes) {
+    throw std::invalid_argument("base shape does not fit the cluster");
+  }
+  const double over_estimation =
+      base.runtime > 0.0 ? base.requested_time / base.runtime : 1.0;
+  std::vector<JobShape> shapes;
+  std::vector<int> widths{base.nodes};
+  // Alternate halving and doubling: n/2, 2n, n/4, 4n, ...
+  for (int factor = 2; static_cast<int>(widths.size()) < 2 * count;
+       factor *= 2) {
+    widths.push_back(std::max(1, base.nodes / factor));
+    widths.push_back(std::min(max_nodes, base.nodes * factor));
+  }
+  for (const int nodes : widths) {
+    if (static_cast<int>(shapes.size()) >= count) break;
+    const bool seen =
+        std::any_of(shapes.begin(), shapes.end(),
+                    [nodes](const JobShape& s) { return s.nodes == nodes; });
+    if (seen) continue;
+    JobShape shape;
+    shape.nodes = nodes;
+    shape.runtime = speedup.runtime(base.runtime, base.nodes, nodes);
+    shape.requested_time = shape.runtime * over_estimation;
+    shapes.push_back(shape);
+  }
+  return shapes;
+}
+
+}  // namespace rrsim::workload

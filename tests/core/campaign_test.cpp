@@ -1,0 +1,114 @@
+#include "rrsim/core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "rrsim/core/paper.h"
+
+namespace rrsim::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig c = figure_config_quick();
+  c.n_clusters = 4;
+  c.submit_horizon = 0.4 * 3600.0;
+  c.seed = 3;
+  return c;
+}
+
+TEST(RelativeCampaign, RejectsBadArguments) {
+  ExperimentConfig c = tiny_config();
+  c.scheme = RedundancyScheme::all();
+  EXPECT_THROW(run_relative_campaign(c, 0), std::invalid_argument);
+  c.scheme = RedundancyScheme::none();
+  EXPECT_THROW(run_relative_campaign(c, 2), std::invalid_argument);
+}
+
+TEST(RelativeCampaign, ProducesOneRatioPerRepetition) {
+  ExperimentConfig c = tiny_config();
+  c.scheme = RedundancyScheme::fixed(2);
+  const RelativeMetrics rel = run_relative_campaign(c, 3);
+  EXPECT_EQ(rel.reps, 3u);
+  EXPECT_EQ(rel.per_rep_rel_stretch.size(), 3u);
+  EXPECT_GT(rel.rel_avg_stretch, 0.0);
+  EXPECT_GT(rel.rel_cv_stretch, 0.0);
+  EXPECT_GE(rel.win_rate, 0.0);
+  EXPECT_LE(rel.win_rate, 1.0);
+  EXPECT_GE(rel.worst_rel_stretch, rel.rel_avg_stretch * 0.999);
+}
+
+TEST(RelativeCampaign, PairedStreamsIdenticalUnderNone) {
+  // The two runs of each pair must see identical streams: a paired run
+  // of NONE-vs-NONE would be exactly 1.0. We emulate it by comparing two
+  // independent run_experiment calls with the same seed.
+  ExperimentConfig c = tiny_config();
+  const SimResult a = run_experiment(c);
+  const SimResult b = run_experiment(c);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_EQ(a.records[i].grid_id, b.records[i].grid_id);
+    ASSERT_EQ(a.records[i].start_time, b.records[i].start_time);
+  }
+}
+
+TEST(RelativeCampaign, SchemeDoesNotPerturbJobStreams) {
+  // Changing the scheme must not change which jobs arrive when/where:
+  // compare the multiset of (submit, nodes, actual) between NONE and ALL.
+  ExperimentConfig none = tiny_config();
+  ExperimentConfig all = tiny_config();
+  all.scheme = RedundancyScheme::all();
+  const SimResult rn = run_experiment(none);
+  const SimResult ra = run_experiment(all);
+  ASSERT_EQ(rn.records.size(), ra.records.size());
+  auto key = [](const metrics::JobRecord& r) {
+    return std::tuple(r.grid_id, r.submit_time, r.nodes, r.actual_time,
+                      r.origin_cluster);
+  };
+  std::vector<std::tuple<std::uint64_t, double, int, double, std::size_t>> kn;
+  std::vector<std::tuple<std::uint64_t, double, int, double, std::size_t>> ka;
+  for (const auto& r : rn.records) kn.push_back(key(r));
+  for (const auto& r : ra.records) ka.push_back(key(r));
+  std::sort(kn.begin(), kn.end());
+  std::sort(ka.begin(), ka.end());
+  EXPECT_EQ(kn, ka);
+}
+
+TEST(ClassifiedCampaign, CountsPerClass) {
+  ExperimentConfig c = tiny_config();
+  c.scheme = RedundancyScheme::all();
+  c.redundant_fraction = 0.5;
+  const ClassifiedCampaign res = run_classified_campaign(c, 2);
+  EXPECT_EQ(res.reps, 2u);
+  EXPECT_GT(res.redundant_jobs, 0u);
+  EXPECT_GT(res.non_redundant_jobs, 0u);
+  EXPECT_GT(res.avg_stretch_all, 0.0);
+  EXPECT_GT(res.avg_stretch_redundant, 0.0);
+  EXPECT_GT(res.avg_stretch_non_redundant, 0.0);
+}
+
+TEST(ClassifiedCampaign, ZeroPercentHasNoRedundantJobs) {
+  ExperimentConfig c = tiny_config();
+  c.scheme = RedundancyScheme::all();
+  c.redundant_fraction = 0.0;
+  const ClassifiedCampaign res = run_classified_campaign(c, 1);
+  EXPECT_EQ(res.redundant_jobs, 0u);
+  EXPECT_EQ(res.avg_stretch_redundant, 0.0);
+  EXPECT_GT(res.non_redundant_jobs, 0u);
+}
+
+TEST(PredictionCampaign, RecordsRatiosForBothClasses) {
+  ExperimentConfig c = tiny_config();
+  c.algorithm = sched::Algorithm::kCbf;
+  c.estimator = "uniform216";
+  c.scheme = RedundancyScheme::all();
+  c.redundant_fraction = 0.4;
+  const PredictionCampaign res = run_prediction_campaign(c, 1);
+  EXPECT_GT(res.all.jobs, 0u);
+  EXPECT_GT(res.redundant.jobs, 0u);
+  EXPECT_GT(res.non_redundant.jobs, 0u);
+  // Conservative requested times make queue-based predictions
+  // over-estimates on average.
+  EXPECT_GT(res.all.avg_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace rrsim::core

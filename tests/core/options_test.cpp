@@ -1,0 +1,87 @@
+#include "rrsim/core/options.h"
+
+#include <gtest/gtest.h>
+
+namespace rrsim::core {
+namespace {
+
+ExperimentConfig parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  const util::Cli cli(static_cast<int>(argv.size()), argv.data());
+  return apply_common_flags(ExperimentConfig{}, cli);
+}
+
+TEST(LoadModeParsing, RoundTrip) {
+  EXPECT_EQ(parse_load_mode("shared"), LoadMode::kSharedPeak);
+  EXPECT_EQ(parse_load_mode("peak"), LoadMode::kPerClusterPeak);
+  EXPECT_EQ(parse_load_mode("util"), LoadMode::kCalibrated);
+  EXPECT_THROW(parse_load_mode("bogus"), std::invalid_argument);
+  for (const LoadMode m : {LoadMode::kSharedPeak, LoadMode::kPerClusterPeak,
+                           LoadMode::kCalibrated}) {
+    EXPECT_EQ(parse_load_mode(load_mode_name(m)), m);
+  }
+}
+
+TEST(CommonFlags, DefaultsUntouchedWithoutFlags) {
+  const ExperimentConfig base;
+  const ExperimentConfig c = parse({});
+  EXPECT_EQ(c.n_clusters, base.n_clusters);
+  EXPECT_EQ(c.submit_horizon, base.submit_horizon);
+  EXPECT_EQ(c.scheme, base.scheme);
+  EXPECT_EQ(c.seed, base.seed);
+}
+
+TEST(CommonFlags, AppliesEachFlag) {
+  const ExperimentConfig c = parse(
+      {"--clusters=7", "--nodes=64", "--hours=3", "--algo=cbf",
+       "--estimator=phi", "--scheme=R3", "--percent=40",
+       "--placement=biased", "--load=peak", "--protocol=truncate",
+       "--seed=99"});
+  EXPECT_EQ(c.n_clusters, 7u);
+  EXPECT_EQ(c.nodes_per_cluster, 64);
+  EXPECT_DOUBLE_EQ(c.submit_horizon, 3.0 * 3600.0);
+  EXPECT_EQ(c.algorithm, sched::Algorithm::kCbf);
+  EXPECT_EQ(c.estimator, "phi");
+  EXPECT_EQ(c.scheme, RedundancyScheme::fixed(3));
+  EXPECT_DOUBLE_EQ(c.redundant_fraction, 0.4);
+  EXPECT_EQ(c.placement, "biased");
+  EXPECT_EQ(c.load_mode, LoadMode::kPerClusterPeak);
+  EXPECT_FALSE(c.drain);
+  EXPECT_EQ(c.seed, 99u);
+}
+
+TEST(CommonFlags, ExtensionFlags) {
+  const ExperimentConfig c =
+      parse({"--mw-rate=0.5", "--user-limit=2", "--users=16"});
+  EXPECT_DOUBLE_EQ(c.middleware_ops_per_sec, 0.5);
+  EXPECT_EQ(c.per_user_pending_limit, 2);
+  EXPECT_EQ(c.users_per_cluster, 16);
+  const ExperimentConfig d = parse({});
+  EXPECT_EQ(d.middleware_ops_per_sec, 0.0);
+  EXPECT_EQ(d.per_user_pending_limit, 0);
+}
+
+TEST(CommonFlags, PlacementLeastLoaded) {
+  EXPECT_EQ(parse({"--placement=least-loaded"}).placement, "least-loaded");
+}
+
+TEST(CommonFlags, UtilFlagImpliesCalibratedMode) {
+  const ExperimentConfig c = parse({"--util=0.8"});
+  EXPECT_EQ(c.load_mode, LoadMode::kCalibrated);
+  EXPECT_DOUBLE_EQ(c.target_utilization, 0.8);
+}
+
+TEST(CommonFlags, ProtocolDrain) {
+  EXPECT_TRUE(parse({"--protocol=drain"}).drain);
+  EXPECT_THROW(parse({"--protocol=xyz"}), std::invalid_argument);
+}
+
+TEST(CommonFlags, BadValuesThrow) {
+  EXPECT_THROW(parse({"--algo=unknown"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--scheme=R0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--load=none"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrsim::core

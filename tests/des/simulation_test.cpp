@@ -1,0 +1,224 @@
+#include "rrsim/des/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "rrsim/util/rng.h"
+
+namespace rrsim::des {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, SameTimeOrderedByPriority) {
+  Simulation sim;
+  std::vector<std::string> order;
+  sim.schedule_at(1.0, [&] { order.push_back("control"); },
+                  Priority::kControl);
+  sim.schedule_at(1.0, [&] { order.push_back("completion"); },
+                  Priority::kCompletion);
+  sim.schedule_at(1.0, [&] { order.push_back("arrival"); },
+                  Priority::kArrival);
+  sim.schedule_at(1.0, [&] { order.push_back("cancel"); }, Priority::kCancel);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"completion", "cancel",
+                                             "arrival", "control"}));
+}
+
+TEST(Simulation, SameTimeSamePriorityIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, CallbackCanScheduleAtCurrentTime) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(1.0, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 1.0);
+}
+
+TEST(Simulation, ScheduleInAddsDelay) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, PastSchedulingRejected) {
+  Simulation sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, NonFiniteTimeRejected) {
+  Simulation sim;
+  EXPECT_THROW(
+      sim.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+      std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(std::nan(""), [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, EmptyCallbackRejected) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_at(1.0, Simulation::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  auto handle = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.dispatched(), 0u);
+}
+
+TEST(Simulation, DoubleCancelReturnsFalse) {
+  Simulation sim;
+  auto handle = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulation, CancelAfterFireReturnsFalse) {
+  Simulation sim;
+  auto handle = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulation, DefaultHandleIsInert) {
+  Simulation::EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulation, PendingEventCountTracksCancellation) {
+  Simulation sim;
+  auto h1 = sim.schedule_at(1.0, [] {});
+  auto h2 = sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  h1.cancel();
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  (void)h2;
+}
+
+TEST(Simulation, RunUntilStopsAndAdvancesClock) {
+  Simulation sim;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&times, &sim] { times.push_back(sim.now()); });
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run();
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(Simulation, RunUntilInclusiveOfBoundary) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, RunUntilRejectsPast) {
+  Simulation sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.run_until(1.0), std::invalid_argument);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, StressRandomizedOrderProperty) {
+  // Property: regardless of insertion order, dispatch is sorted by
+  // (time, priority) and stable within equal keys.
+  util::Rng rng(99);
+  Simulation sim;
+  struct Key {
+    double time;
+    int prio;
+    std::uint64_t seq;
+  };
+  std::vector<Key> dispatched;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = std::floor(rng.uniform(0.0, 50.0));  // force ties
+    const int prio = static_cast<int>(rng.below(4));
+    const std::uint64_t s = seq++;
+    sim.schedule_at(
+        t, [&dispatched, t, prio, s] { dispatched.push_back({t, prio, s}); },
+        static_cast<Priority>(prio));
+  }
+  sim.run();
+  ASSERT_EQ(dispatched.size(), 2000u);
+  for (std::size_t i = 1; i < dispatched.size(); ++i) {
+    const Key& a = dispatched[i - 1];
+    const Key& b = dispatched[i];
+    const bool ordered =
+        a.time < b.time ||
+        (a.time == b.time &&
+         (a.prio < b.prio || (a.prio == b.prio && a.seq < b.seq)));
+    ASSERT_TRUE(ordered) << "out of order at index " << i;
+  }
+}
+
+TEST(Simulation, DispatchedCounterCounts) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.dispatched(), 5u);
+}
+
+}  // namespace
+}  // namespace rrsim::des

@@ -1,0 +1,164 @@
+#include "rrsim/grid/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rrsim::grid {
+namespace {
+
+const std::vector<int> kTenIdentical(10, 128);
+const std::vector<std::size_t> kNoQueues{};
+
+PlatformView view_of(const std::vector<int>& sizes) {
+  return PlatformView{sizes, kNoQueues};
+}
+
+TEST(UniformPlacement, NeverPicksOriginOrDuplicates) {
+  util::Rng rng(1);
+  const UniformPlacement p;
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto picks = p.choose_remotes(3, 16, view_of(kTenIdentical), 4, rng);
+    ASSERT_EQ(picks.size(), 4u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    ASSERT_EQ(unique.size(), picks.size());
+    ASSERT_EQ(unique.count(3), 0u);
+    for (const std::size_t c : picks) ASSERT_LT(c, 10u);
+  }
+}
+
+TEST(UniformPlacement, IsApproximatelyUniform) {
+  util::Rng rng(2);
+  const UniformPlacement p;
+  std::map<std::size_t, int> counts;
+  const int trials = 90000;
+  for (int i = 0; i < trials; ++i) {
+    for (const std::size_t c : p.choose_remotes(0, 1, view_of(kTenIdentical), 1, rng)) {
+      ++counts[c];
+    }
+  }
+  for (std::size_t c = 1; c < 10; ++c) {
+    EXPECT_NEAR(counts[c], trials / 9, trials / 9 * 0.1) << "cluster " << c;
+  }
+}
+
+TEST(UniformPlacement, AllRemotesWhenCountIsLarge) {
+  util::Rng rng(3);
+  const UniformPlacement p;
+  const auto picks = p.choose_remotes(0, 1, view_of(kTenIdentical), 99, rng);
+  EXPECT_EQ(picks.size(), 9u);  // everything except the origin
+}
+
+TEST(UniformPlacement, FiltersCapacityIneligibleClusters) {
+  util::Rng rng(4);
+  const UniformPlacement p;
+  const std::vector<int> sizes{16, 32, 64, 128, 256};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto picks = p.choose_remotes(4, 100, view_of(sizes), 4, rng);
+    ASSERT_EQ(picks.size(), 1u);  // only cluster 3 (128) qualifies
+    EXPECT_EQ(picks[0], 3u);
+  }
+}
+
+TEST(UniformPlacement, NoEligibleRemotes) {
+  util::Rng rng(5);
+  const UniformPlacement p;
+  const std::vector<int> sizes{256, 16, 16};
+  EXPECT_TRUE(p.choose_remotes(0, 100, view_of(sizes), 3, rng).empty());
+}
+
+TEST(BiasedPlacement, GeometricWeighting) {
+  util::Rng rng(6);
+  const BiasedPlacement p;
+  std::map<std::size_t, int> counts;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    // Origin 9 so that eligible remotes are clusters 0..8 in id order.
+    for (const std::size_t c : p.choose_remotes(9, 1, view_of(kTenIdentical), 1, rng)) {
+      ++counts[c];
+    }
+  }
+  // Each cluster should be picked ~twice as often as the next one.
+  for (std::size_t c = 0; c + 1 < 6; ++c) {
+    const double ratio = static_cast<double>(counts[c]) /
+                         static_cast<double>(counts[c + 1]);
+    EXPECT_NEAR(ratio, 2.0, 0.25) << "clusters " << c << "/" << c + 1;
+  }
+}
+
+TEST(BiasedPlacement, WithoutReplacement) {
+  util::Rng rng(7);
+  const BiasedPlacement p;
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto picks = p.choose_remotes(0, 1, view_of(kTenIdentical), 9, rng);
+    ASSERT_EQ(picks.size(), 9u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    ASSERT_EQ(unique.size(), 9u);
+    ASSERT_EQ(unique.count(0), 0u);
+  }
+}
+
+TEST(BiasedPlacement, RespectsCapacityFilter) {
+  util::Rng rng(8);
+  const BiasedPlacement p;
+  const std::vector<int> sizes{16, 256, 16, 256, 16};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto picks = p.choose_remotes(1, 100, view_of(sizes), 3, rng);
+    ASSERT_EQ(picks.size(), 1u);
+    EXPECT_EQ(picks[0], 3u);
+  }
+}
+
+TEST(LeastLoadedPlacement, PicksShortestQueues) {
+  util::Rng rng(9);
+  const LeastLoadedPlacement p;
+  const std::vector<std::size_t> queues{50, 3, 40, 1, 20, 7, 60, 2, 90, 10};
+  const PlatformView view{kTenIdentical, queues};
+  const auto picks = p.choose_remotes(0, 1, view, 3, rng);
+  // Shortest remote queues: cluster 3 (1), 7 (2), 1 (3).
+  EXPECT_EQ(picks, (std::vector<std::size_t>{3, 7, 1}));
+}
+
+TEST(LeastLoadedPlacement, TieBreaksByClusterId) {
+  util::Rng rng(10);
+  const LeastLoadedPlacement p;
+  const std::vector<int> sizes(4, 128);
+  const std::vector<std::size_t> queues{5, 5, 5, 5};
+  const PlatformView view{sizes, queues};
+  const auto picks = p.choose_remotes(2, 1, view, 2, rng);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(LeastLoadedPlacement, RespectsCapacityFilter) {
+  util::Rng rng(11);
+  const LeastLoadedPlacement p;
+  const std::vector<int> sizes{256, 16, 256, 16};
+  const std::vector<std::size_t> queues{9, 0, 5, 0};
+  const PlatformView view{sizes, queues};
+  const auto picks = p.choose_remotes(0, 100, view, 4, rng);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{2}));  // only fitting remote
+}
+
+TEST(LeastLoadedPlacement, FallsBackToUniformWithoutQueueData) {
+  util::Rng rng(12);
+  const LeastLoadedPlacement p;
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto picks = p.choose_remotes(0, 1, view_of(kTenIdentical), 1, rng);
+    ASSERT_EQ(picks.size(), 1u);
+    seen.insert(picks[0]);
+  }
+  EXPECT_GT(seen.size(), 5u);  // random spread, not a fixed answer
+}
+
+TEST(MakePlacement, Factory) {
+  EXPECT_EQ(make_placement("uniform")->name(), "uniform");
+  EXPECT_EQ(make_placement("biased")->name(), "biased");
+  EXPECT_EQ(make_placement("least-loaded")->name(), "least-loaded");
+  EXPECT_THROW(make_placement("fancy"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrsim::grid

@@ -1,0 +1,91 @@
+// Composition tests: the extension features stacked together must keep
+// the core invariants (conservation, determinism) intact.
+#include <gtest/gtest.h>
+
+#include "rrsim/core/experiment.h"
+#include "rrsim/core/paper.h"
+
+namespace rrsim::core {
+namespace {
+
+ExperimentConfig everything_on() {
+  ExperimentConfig c = figure_config_quick();
+  c.n_clusters = 5;
+  c.submit_horizon = 0.75 * 3600.0;
+  c.scheme = RedundancyScheme::all();
+  c.redundant_fraction = 0.6;
+  c.placement = "least-loaded";
+  c.estimator = "uniform216";
+  c.remote_inflation = 1.1;
+  c.middleware_ops_per_sec = 3.0;
+  c.per_user_pending_limit = 3;
+  c.users_per_cluster = 3;
+  c.seed = 404;
+  return c;
+}
+
+TEST(Composition, AllFeaturesTogetherConserveJobs) {
+  const SimResult r = run_experiment(everything_on());
+  EXPECT_GT(r.jobs_generated, 0u);
+  EXPECT_EQ(r.records.size(), r.jobs_generated);
+  EXPECT_EQ(r.ops.finishes, r.jobs_generated);
+  EXPECT_GT(r.middleware_mean_sojourn, 0.0);
+  for (const auto& rec : r.records) {
+    EXPECT_GE(rec.replicas_delivered, 1);
+    EXPECT_LE(rec.replicas_delivered, rec.replicas);
+    EXPECT_GE(rec.start_time, rec.submit_time);
+    EXPECT_GT(rec.finish_time, rec.start_time);
+  }
+}
+
+TEST(Composition, AllFeaturesTogetherDeterministic) {
+  const SimResult a = run_experiment(everything_on());
+  const SimResult b = run_experiment(everything_on());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_EQ(a.records[i].grid_id, b.records[i].grid_id);
+    ASSERT_EQ(a.records[i].start_time, b.records[i].start_time);
+    ASSERT_EQ(a.records[i].winner_cluster, b.records[i].winner_cluster);
+  }
+  EXPECT_EQ(a.replicas_rejected, b.replicas_rejected);
+  EXPECT_EQ(a.replicas_dropped, b.replicas_dropped);
+  EXPECT_EQ(a.gateway_cancels, b.gateway_cancels);
+}
+
+TEST(Composition, AccountingIdentityUnderAllFeatures) {
+  const SimResult r = run_experiment(everything_on());
+  // Every delivered replica either ran (one per job), was cancelled or
+  // declined (gateway_cancels), or is impossible: delivered = submits.
+  std::uint64_t delivered = 0;
+  for (const auto& rec : r.records) {
+    delivered += static_cast<std::uint64_t>(rec.replicas_delivered);
+  }
+  EXPECT_EQ(delivered, r.ops.submits);
+  EXPECT_EQ(r.gateway_cancels + r.jobs_generated, r.ops.submits);
+}
+
+TEST(Composition, EachAlgorithmSurvivesTheFullStack) {
+  for (const auto algo : {sched::Algorithm::kFcfs, sched::Algorithm::kEasy,
+                          sched::Algorithm::kCbf}) {
+    ExperimentConfig c = everything_on();
+    c.submit_horizon = 0.4 * 3600.0;  // keep CBF cheap
+    c.algorithm = algo;
+    const SimResult r = run_experiment(c);
+    EXPECT_EQ(r.records.size(), r.jobs_generated)
+        << sched::algorithm_name(algo);
+  }
+}
+
+TEST(Composition, TruncationComposesWithMiddleware) {
+  ExperimentConfig c = everything_on();
+  c.drain = false;
+  c.truncate_factor = 1.0;
+  const SimResult r = run_experiment(c);
+  EXPECT_LT(r.records.size(), r.jobs_generated);
+  for (const auto& rec : r.records) {
+    EXPECT_LE(rec.finish_time, c.submit_horizon + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rrsim::core

@@ -1,0 +1,177 @@
+// End-to-end assertions of the paper's qualitative findings, at reduced
+// scale so they run in CI time. Each test pins one headline claim.
+#include <gtest/gtest.h>
+
+#include "rrsim/core/campaign.h"
+#include "rrsim/core/paper.h"
+#include "rrsim/metrics/summary.h"
+
+namespace rrsim::core {
+namespace {
+
+// Shared reduced-scale base: 1.5 h of submissions instead of 6 h.
+ExperimentConfig base_config() {
+  ExperimentConfig c = figure_config();
+  c.submit_horizon = 1.5 * 3600.0;
+  c.seed = 1234;
+  return c;
+}
+
+TEST(PaperShape, RedundancyImprovesStretchAtTenClusters) {
+  // Fig 1 at N = 10: every scheme's relative average stretch < 1.
+  for (const char* scheme : {"R2", "HALF", "ALL"}) {
+    ExperimentConfig c = base_config();
+    c.scheme = RedundancyScheme::parse(scheme);
+    const RelativeMetrics rel = run_relative_campaign(c, 3);
+    EXPECT_LT(rel.rel_avg_stretch, 1.0) << "scheme " << scheme;
+  }
+}
+
+TEST(PaperShape, RedundancyImprovesFairnessAtTenClusters) {
+  // Fig 2 at N = 10, on the paper's two fairness readings. The max-stretch
+  // improvement (paper: 10-60%) is robust in our regime; the CV of
+  // stretches converges near parity rather than the paper's 0.75-0.9
+  // (see EXPERIMENTS.md), so we assert it is at least not degraded.
+  // Full 6 h window: fairness gains come from equalising queue backlogs,
+  // which takes time to develop.
+  ExperimentConfig c = base_config();
+  c.submit_horizon = 6.0 * 3600.0;
+  c.seed = 42;
+  c.scheme = RedundancyScheme::half();
+  const RelativeMetrics rel = run_relative_campaign(c, 4);
+  EXPECT_LT(rel.rel_max_stretch, 0.9);
+  EXPECT_LT(rel.rel_cv_stretch, 1.15);
+}
+
+TEST(PaperShape, RedundancyCanHurtOnTinyPlatforms) {
+  // Fig 1 at N = 2-4: redundancy is not beneficial (the paper attributes
+  // this to lost backfilling opportunities at overloaded clusters).
+  ExperimentConfig c = base_config();
+  c.n_clusters = 2;
+  c.scheme = RedundancyScheme::fixed(2);
+  const RelativeMetrics rel = run_relative_campaign(c, 3);
+  EXPECT_GT(rel.rel_avg_stretch, 0.95);
+}
+
+TEST(PaperShape, NonRedundantJobsPayAsRedundancySpreads) {
+  // Fig 4: the stretch of jobs NOT using redundant requests grows with
+  // the fraction p of jobs that use them.
+  ExperimentConfig c = base_config();
+  c.scheme = RedundancyScheme::all();
+  c.drain = true;
+  c.seed = 5;
+  c.redundant_fraction = 0.1;
+  const ClassifiedCampaign low = run_classified_campaign(c, 3);
+  c.redundant_fraction = 0.85;
+  const ClassifiedCampaign high = run_classified_campaign(c, 3);
+  EXPECT_GT(high.avg_stretch_non_redundant,
+            low.avg_stretch_non_redundant);
+}
+
+TEST(PaperShape, RedundantJobsOutperformNonRedundantOnes) {
+  // Fig 4: at any mixed p, jobs using redundancy do better than jobs
+  // not using it (the unfair-advantage finding).
+  ExperimentConfig c = base_config();
+  c.scheme = RedundancyScheme::all();
+  c.redundant_fraction = 0.4;
+  const ClassifiedCampaign res = run_classified_campaign(c, 3);
+  EXPECT_LT(res.avg_stretch_redundant, res.avg_stretch_non_redundant);
+}
+
+TEST(PaperShape, HeterogeneityAmplifiesBenefits) {
+  // Table 3: on a heterogeneous platform the relative stretch of HALF
+  // is clearly below 1 (better load balancing).
+  // Sizes from the paper's Table 3 setup; inter-arrival means are the
+  // paper's [2, 20] s draws scaled by N = 10 to stay in the shared-load
+  // figure regime (see DESIGN.md).
+  ExperimentConfig c = base_config();
+  c.cluster_nodes = {16, 32, 64, 128, 256, 16, 32, 64, 128, 256};
+  c.cluster_mean_iat = {200.0, 160.0, 120.0, 80.0, 40.0,
+                        180.0, 140.0, 100.0, 60.0, 30.0};
+  c.scheme = RedundancyScheme::half();
+  const RelativeMetrics rel = run_relative_campaign(c, 3);
+  EXPECT_LT(rel.rel_avg_stretch, 0.9);
+  EXPECT_LT(rel.rel_cv_stretch, 1.0);
+}
+
+TEST(PaperShape, BenefitsHoldAcrossSchedulingAlgorithms) {
+  // Table 1: relative metrics below 1 for EASY and FCFS (CBF covered by
+  // the predictability tests; it is slow at this load).
+  for (const auto algo : {sched::Algorithm::kEasy, sched::Algorithm::kFcfs}) {
+    ExperimentConfig c = base_config();
+    c.algorithm = algo;
+    c.scheme = RedundancyScheme::half();
+    const RelativeMetrics rel = run_relative_campaign(c, 2);
+    EXPECT_LT(rel.rel_avg_stretch, 1.0)
+        << "algo " << sched::algorithm_name(algo);
+  }
+}
+
+TEST(PaperShape, BenefitsHoldWithOverestimatedRuntimes) {
+  // Table 1 "Real Estimates" column: over-estimation does not change the
+  // direction of the result.
+  ExperimentConfig c = base_config();
+  c.estimator = "uniform216";
+  c.scheme = RedundancyScheme::half();
+  const RelativeMetrics rel = run_relative_campaign(c, 3);
+  EXPECT_LT(rel.rel_avg_stretch, 1.0);
+}
+
+TEST(PaperShape, BiasedPlacementStillBeneficial) {
+  // Table 2: heavily biased replica targeting remains beneficial.
+  ExperimentConfig c = base_config();
+  c.placement = "biased";
+  c.scheme = RedundancyScheme::fixed(3);
+  const RelativeMetrics rel = run_relative_campaign(c, 3);
+  EXPECT_LT(rel.rel_avg_stretch, 1.0);
+}
+
+TEST(PaperShape, RemoteInflationDoesNotFlipResults) {
+  // Section 3.1.2: +10% / +50% requested time on remote replicas changed
+  // nothing. Check the sign of the result is stable.
+  for (const double inflation : {1.0, 1.1, 1.5}) {
+    ExperimentConfig c = base_config();
+    c.scheme = RedundancyScheme::half();
+    c.remote_inflation = inflation;
+    const RelativeMetrics rel = run_relative_campaign(c, 2);
+    EXPECT_LT(rel.rel_avg_stretch, 1.0) << "inflation " << inflation;
+  }
+}
+
+TEST(PaperShape, SteadyStateQueuesBarelyGrowUnderAll) {
+  // Section 4.1: in steady state, the ALL scheme's maximum queue size is
+  // within a few percent of the no-redundancy one (cancellations keep the
+  // request population stable).
+  ExperimentConfig c = base_config();
+  c.load_mode = LoadMode::kCalibrated;
+  c.target_utilization = 0.7;
+  c.submit_horizon = 24.0 * 3600.0;
+  c.queue_sample_interval = 300.0;
+  ExperimentConfig all = c;
+  all.scheme = RedundancyScheme::all();
+  const SimResult r_none = run_experiment(c);
+  const SimResult r_all = run_experiment(all);
+  // Queues stay shallow in both cases; ALL must not blow them up by an
+  // order of magnitude (Little's law: replicas are cancelled as fast as
+  // redundancy shortens waits).
+  EXPECT_LT(r_all.avg_max_queue, 4.0 * (r_none.avg_max_queue + 2.0));
+}
+
+TEST(PaperShape, PeakRateGrowsQueuesByHundredsPerHour) {
+  // Section 4.1: at the literal peak arrival rate the queue grows by
+  // several hundred jobs per hour.
+  ExperimentConfig c;
+  c.n_clusters = 1;
+  c.load_mode = LoadMode::kPerClusterPeak;
+  c.submit_horizon = 4.0 * 3600.0;
+  c.drain = false;
+  c.truncate_factor = 1.0;
+  c.seed = 9;
+  const SimResult r = run_experiment(c);
+  ASSERT_EQ(r.queue_growth_per_hour.size(), 1u);
+  EXPECT_GT(r.queue_growth_per_hour[0], 200.0);
+  EXPECT_LT(r.queue_growth_per_hour[0], 720.0);  // bounded by arrivals
+}
+
+}  // namespace
+}  // namespace rrsim::core

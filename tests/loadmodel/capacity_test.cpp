@@ -1,0 +1,78 @@
+#include "rrsim/loadmodel/capacity.h"
+
+#include <gtest/gtest.h>
+
+namespace rrsim::loadmodel {
+namespace {
+
+TEST(MaxRedundancy, PaperSchedulerBound) {
+  // 6 submits/s and 6 cancels/s at iat = 5 s => r <= 30 (Section 4.1).
+  EXPECT_EQ(max_redundancy(ServiceRates{6.0, 6.0}, 5.0), 30);
+}
+
+TEST(MaxRedundancy, PaperMiddlewareBound) {
+  // GT4 WS-GRAM: 0.5/0.5 ops per second at iat = 5 s => r < 3
+  // (Section 4.2 concludes "under 3 redundant requests per job").
+  EXPECT_EQ(max_redundancy(gram_middleware(), 5.0), 2);
+}
+
+TEST(MaxRedundancy, CancelBoundBindsWhenSubmitsAreCheap) {
+  // Submits free, cancels limited to 1/s at iat 4 s: (r-1)/4 <= 1 => r=5.
+  EXPECT_EQ(max_redundancy(ServiceRates{100.0, 1.0}, 4.0), 5);
+}
+
+TEST(MaxRedundancy, AtLeastOne) {
+  EXPECT_EQ(max_redundancy(ServiceRates{0.01, 0.01}, 1.0), 1);
+}
+
+TEST(MaxRedundancy, Validation) {
+  EXPECT_THROW(max_redundancy(ServiceRates{1.0, 1.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(max_redundancy(ServiceRates{-1.0, 1.0}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(SchedulerRates, ReadsPerDirectionRateFromModel) {
+  const ExpDecayModel m = ExpDecayModel::paper_calibrated();
+  const ServiceRates rates = scheduler_rates(m, 10000.0);
+  EXPECT_NEAR(rates.submits_per_sec, 6.0, 0.5);
+  EXPECT_EQ(rates.submits_per_sec, rates.cancels_per_sec);
+}
+
+TEST(AnalyzeCapacity, ReproducesSection4Conclusions) {
+  const CapacityReport report = analyze_capacity(
+      ExpDecayModel::paper_calibrated(), 10000.0, gram_middleware(), 5.0);
+  // Scheduler tolerates ~30 requests/job; middleware only ~2; the
+  // middleware is the bottleneck — the paper's headline Section 4 result.
+  EXPECT_NEAR(report.scheduler_max_r, 30, 3);
+  EXPECT_EQ(report.middleware_max_r, 2);
+  EXPECT_EQ(report.system_max_r, report.middleware_max_r);
+  EXPECT_TRUE(report.middleware_is_bottleneck);
+}
+
+TEST(AnalyzeCapacity, FasterMiddlewareShiftsBottleneck) {
+  const CapacityReport report =
+      analyze_capacity(ExpDecayModel::paper_calibrated(), 10000.0,
+                       ServiceRates{100.0, 100.0}, 5.0);
+  EXPECT_FALSE(report.middleware_is_bottleneck);
+  EXPECT_EQ(report.system_max_r, report.scheduler_max_r);
+}
+
+TEST(AnalyzeCapacity, LongerInterarrivalAllowsMoreRedundancy) {
+  const auto fast = analyze_capacity(ExpDecayModel::paper_calibrated(),
+                                     10000.0, gram_middleware(), 2.0);
+  const auto slow = analyze_capacity(ExpDecayModel::paper_calibrated(),
+                                     10000.0, gram_middleware(), 20.0);
+  EXPECT_GT(slow.system_max_r, fast.system_max_r);
+}
+
+TEST(AnalyzeCapacity, DeeperQueuesReduceSchedulerCapacity) {
+  const auto shallow = analyze_capacity(ExpDecayModel::paper_calibrated(),
+                                        0.0, gram_middleware(), 5.0);
+  const auto deep = analyze_capacity(ExpDecayModel::paper_calibrated(),
+                                     20000.0, gram_middleware(), 5.0);
+  EXPECT_GT(shallow.scheduler_max_r, deep.scheduler_max_r);
+}
+
+}  // namespace
+}  // namespace rrsim::loadmodel

@@ -1,0 +1,61 @@
+#include "rrsim/loadmodel/throughput_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rrsim::loadmodel {
+namespace {
+
+TEST(ExpDecayModel, EvaluatesFormula) {
+  const ExpDecayModel m(5.0, 6.0, 1000.0);
+  EXPECT_DOUBLE_EQ(m.at(0.0), 11.0);
+  EXPECT_NEAR(m.at(1000.0), 5.0 + 6.0 / 2.718281828, 1e-6);
+  EXPECT_NEAR(m.at(1e9), 5.0, 1e-9);
+}
+
+TEST(ExpDecayModel, Validation) {
+  EXPECT_THROW(ExpDecayModel(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ExpDecayModel(-1.0, 1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(ExpDecayModel(1.0, -1.0, 10.0), std::invalid_argument);
+  const ExpDecayModel m(1.0, 1.0, 10.0);
+  EXPECT_THROW(m.at(-1.0), std::invalid_argument);
+}
+
+TEST(ExpDecayModel, MonotonicallyDecreasing) {
+  const ExpDecayModel m = ExpDecayModel::paper_calibrated();
+  double prev = m.at(0.0);
+  for (double q = 500.0; q <= 20000.0; q += 500.0) {
+    const double cur = m.at(q);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ExpDecayModel, PaperCalibrationHitsReportedPoints) {
+  // The paper reads ~11 ops/s empty, ~6 at 10,000, ~5 at 20,000.
+  const ExpDecayModel m = ExpDecayModel::paper_calibrated();
+  EXPECT_NEAR(m.at(0.0), 11.0, 0.5);
+  EXPECT_NEAR(m.at(10000.0), 6.0, 0.5);
+  EXPECT_NEAR(m.at(20000.0), 5.0, 0.5);
+}
+
+TEST(FitExpDecay, RecoversSyntheticParameters) {
+  const ExpDecayModel truth(4.0, 7.0, 5000.0);
+  std::vector<std::pair<double, double>> points;
+  for (double q = 0.0; q <= 20000.0; q += 2000.0) {
+    points.emplace_back(q, truth.at(q));
+  }
+  const ExpDecayModel fit = fit_exp_decay(points);
+  for (double q = 0.0; q <= 20000.0; q += 1000.0) {
+    EXPECT_NEAR(fit.at(q), truth.at(q), 0.1);
+  }
+}
+
+TEST(FitExpDecay, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_exp_decay({{0.0, 1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(fit_exp_decay({{0.0, 1.0}, {0.0, 2.0}, {0.0, 3.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrsim::loadmodel

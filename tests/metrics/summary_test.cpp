@@ -1,0 +1,113 @@
+#include "rrsim/metrics/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace rrsim::metrics {
+namespace {
+
+JobRecord make_record(double submit, double start, double actual,
+                      bool redundant = false) {
+  JobRecord r;
+  r.submit_time = submit;
+  r.start_time = start;
+  r.actual_time = actual;
+  r.finish_time = start + actual;
+  r.requested_time = actual;
+  r.redundant = redundant;
+  return r;
+}
+
+TEST(Stretch, NoWaitIsOne) {
+  EXPECT_DOUBLE_EQ(stretch_of(make_record(0.0, 0.0, 100.0)), 1.0);
+}
+
+TEST(Stretch, WaitInflatesStretch) {
+  // 100 s wait + 100 s run over 100 s runtime = 2.
+  EXPECT_DOUBLE_EQ(stretch_of(make_record(0.0, 100.0, 100.0)), 2.0);
+}
+
+TEST(Stretch, SubSecondRuntimeClamped) {
+  // 0.1 s job waiting 10 s: denominator clamps at 1 s, so stretch is
+  // 10.1 rather than 101.
+  const JobRecord r = make_record(0.0, 10.0, 0.1);
+  EXPECT_NEAR(stretch_of(r), 10.1, 1e-9);
+}
+
+TEST(ComputeMetrics, EmptyRecords) {
+  const ScheduleMetrics m = compute_metrics({});
+  EXPECT_EQ(m.jobs, 0u);
+  EXPECT_EQ(m.avg_stretch, 0.0);
+}
+
+TEST(ComputeMetrics, HandComputedValues) {
+  std::vector<JobRecord> rs;
+  rs.push_back(make_record(0.0, 0.0, 100.0));    // stretch 1
+  rs.push_back(make_record(0.0, 200.0, 100.0));  // stretch 3
+  const ScheduleMetrics m = compute_metrics(rs);
+  EXPECT_EQ(m.jobs, 2u);
+  EXPECT_DOUBLE_EQ(m.avg_stretch, 2.0);
+  EXPECT_DOUBLE_EQ(m.max_stretch, 3.0);
+  EXPECT_DOUBLE_EQ(m.avg_wait, 100.0);
+  EXPECT_DOUBLE_EQ(m.avg_turnaround, 200.0);
+  // stddev of {1,3} is sqrt(2), CV = sqrt(2)/2*100.
+  EXPECT_NEAR(m.cv_stretch_percent, 70.710678, 1e-4);
+}
+
+TEST(ClassifiedMetrics, SplitsByRedundancyFlag) {
+  std::vector<JobRecord> rs;
+  rs.push_back(make_record(0.0, 0.0, 10.0, true));     // r, stretch 1
+  rs.push_back(make_record(0.0, 10.0, 10.0, true));    // r, stretch 2
+  rs.push_back(make_record(0.0, 40.0, 10.0, false));   // n-r, stretch 5
+  const ClassifiedMetrics m = compute_classified_metrics(rs);
+  EXPECT_EQ(m.all.jobs, 3u);
+  EXPECT_EQ(m.redundant.jobs, 2u);
+  EXPECT_EQ(m.non_redundant.jobs, 1u);
+  EXPECT_DOUBLE_EQ(m.redundant.avg_stretch, 1.5);
+  EXPECT_DOUBLE_EQ(m.non_redundant.avg_stretch, 5.0);
+}
+
+TEST(PredictionAccuracy, RatioComputation) {
+  std::vector<JobRecord> rs;
+  JobRecord a = make_record(0.0, 10.0, 5.0);  // waited 10
+  a.predicted_start = 40.0;                   // predicted wait 40 -> ratio 4
+  JobRecord b = make_record(0.0, 20.0, 5.0);  // waited 20
+  b.predicted_start = 40.0;                   // ratio 2
+  rs = {a, b};
+  const PredictionAccuracy acc = compute_prediction_accuracy(rs);
+  EXPECT_EQ(acc.jobs, 2u);
+  EXPECT_DOUBLE_EQ(acc.avg_ratio, 3.0);
+}
+
+TEST(PredictionAccuracy, SkipsJobsWithoutPredictionOrWait) {
+  std::vector<JobRecord> rs;
+  rs.push_back(make_record(0.0, 10.0, 5.0));  // no prediction
+  JobRecord b = make_record(0.0, 0.5, 5.0);   // wait below threshold
+  b.predicted_start = 100.0;
+  rs.push_back(b);
+  const PredictionAccuracy acc = compute_prediction_accuracy(rs);
+  EXPECT_EQ(acc.jobs, 0u);
+}
+
+TEST(PredictionAccuracy, ClassFilters) {
+  std::vector<JobRecord> rs;
+  JobRecord a = make_record(0.0, 10.0, 5.0, true);
+  a.predicted_start = 20.0;  // ratio 2
+  JobRecord b = make_record(0.0, 10.0, 5.0, false);
+  b.predicted_start = 80.0;  // ratio 8
+  rs = {a, b};
+  EXPECT_DOUBLE_EQ(compute_prediction_accuracy(rs, true).avg_ratio, 2.0);
+  EXPECT_DOUBLE_EQ(compute_prediction_accuracy(rs, false).avg_ratio, 8.0);
+  EXPECT_DOUBLE_EQ(compute_prediction_accuracy(rs).avg_ratio, 5.0);
+}
+
+TEST(PredictionAccuracy, NegativePredictedWaitClampsToZero) {
+  std::vector<JobRecord> rs;
+  JobRecord a = make_record(100.0, 110.0, 5.0);
+  a.predicted_start = 90.0;  // "in the past": clamp to zero wait
+  rs = {a};
+  const PredictionAccuracy acc = compute_prediction_accuracy(rs);
+  EXPECT_DOUBLE_EQ(acc.avg_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace rrsim::metrics

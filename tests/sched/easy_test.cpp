@@ -1,0 +1,230 @@
+#include "rrsim/sched/easy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace rrsim::sched {
+namespace {
+
+Job make_job(JobId id, int nodes, Time requested, Time actual = -1.0) {
+  Job j;
+  j.id = id;
+  j.nodes = nodes;
+  j.requested_time = requested;
+  j.actual_time = actual < 0.0 ? requested : actual;
+  return j;
+}
+
+struct Recorder {
+  std::map<JobId, Time> start_times;
+  std::vector<JobId> start_order;
+
+  ClusterScheduler::Callbacks callbacks(des::Simulation& sim) {
+    ClusterScheduler::Callbacks cb;
+    cb.on_start = [this, &sim](const Job& j) {
+      start_times[j.id] = sim.now();
+      start_order.push_back(j.id);
+    };
+    return cb;
+  }
+};
+
+TEST(Easy, BackfillsShortNarrowJob) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks(sim));
+  sched.submit(make_job(1, 8, 100.0));  // running, all nodes
+  sched.submit(make_job(2, 8, 100.0));  // head: shadow at t=100
+  sched.submit(make_job(3, 1, 1.0));    // cannot fit: 0 free nodes
+  sim.run_until(0.0);
+  EXPECT_EQ(rec.start_order, (std::vector<JobId>{1}));
+  sim.run();
+  // Job 3 backfills when... nothing is free until 100; at 100 head starts.
+  // With exact estimates there is never idle space for 3 before 100, and
+  // at 100 job 2 takes everything; 3 runs at 200.
+  EXPECT_EQ(rec.start_times[2], 100.0);
+  EXPECT_EQ(rec.start_times[3], 200.0);
+}
+
+TEST(Easy, BackfillUsesFreeNodesBesideHead) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks(sim));
+  sched.submit(make_job(1, 6, 100.0));  // running; 2 free
+  sched.submit(make_job(2, 8, 50.0));   // head: shadow at 100
+  sched.submit(make_job(3, 2, 100.0));  // fits now but would delay head? no:
+  // 3 uses the 2 free nodes; at shadow (100) job 1's 6 + these 2 are
+  // needed by the head (8). Job 3 would still hold them until 100+? Its
+  // requested end is 100 == shadow, so it terminates exactly at the
+  // shadow: allowed.
+  sim.run_until(0.0);
+  EXPECT_EQ(rec.start_times[3], 0.0);
+  sim.run();
+  EXPECT_EQ(rec.start_times[2], 100.0);
+}
+
+TEST(Easy, BackfillRejectedWhenItWouldDelayHead) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks(sim));
+  sched.submit(make_job(1, 6, 100.0));  // running; 2 free
+  sched.submit(make_job(2, 8, 50.0));   // head: shadow 100, extra 0
+  sched.submit(make_job(3, 2, 150.0));  // fits now but ends at 150 > 100
+  sim.run_until(0.0);
+  // Job 3 must NOT start: it would hold 2 of the head's nodes past 100.
+  EXPECT_EQ(rec.start_times.count(3), 0u);
+  sim.run();
+  EXPECT_EQ(rec.start_times[2], 100.0);
+  EXPECT_EQ(rec.start_times[3], 150.0);
+}
+
+TEST(Easy, BackfillAllowedWithinExtraNodes) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks(sim));
+  sched.submit(make_job(1, 6, 100.0));  // running; 2 free
+  sched.submit(make_job(2, 6, 50.0));   // head: shadow 100, extra = 2
+  sched.submit(make_job(3, 2, 500.0));  // long, but fits in the extra
+  sim.run_until(0.0);
+  EXPECT_EQ(rec.start_times[3], 0.0);  // allowed: head keeps its 6 at 100
+  sim.run();
+  EXPECT_EQ(rec.start_times[2], 100.0);
+}
+
+TEST(Easy, HeadNeverDelayedBeyondInitialShadow_Property) {
+  // The EASY guarantee: once a job is at the queue head with shadow time
+  // S, it starts at or before S (with exact runtime estimates).
+  des::Simulation sim;
+  EasyScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks(sim));
+  sched.submit(make_job(1, 5, 80.0));
+  sched.submit(make_job(2, 4, 60.0));  // head once submitted
+  const auto shadow = sched.head_shadow_time();
+  ASSERT_TRUE(shadow.has_value());
+  // Pile on backfill candidates.
+  JobId id = 10;
+  for (int i = 0; i < 20; ++i) {
+    sched.submit(make_job(id++, 3, 10.0));
+    sched.submit(make_job(id++, 1, 200.0));
+  }
+  sim.run();
+  EXPECT_LE(rec.start_times[2], *shadow);
+}
+
+TEST(Easy, ShadowTimeReporting) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 8);
+  EXPECT_FALSE(sched.head_shadow_time().has_value());
+  sched.submit(make_job(1, 8, 100.0));
+  EXPECT_FALSE(sched.head_shadow_time().has_value());  // started, queue empty
+  sched.submit(make_job(2, 8, 10.0));
+  ASSERT_TRUE(sched.head_shadow_time().has_value());
+  EXPECT_EQ(*sched.head_shadow_time(), 100.0);
+}
+
+TEST(Easy, CancellationOpensBackfill) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks(sim));
+  sched.submit(make_job(1, 6, 100.0));  // running
+  sched.submit(make_job(2, 8, 50.0));   // head, shadow 100, extra 0
+  sched.submit(make_job(3, 2, 150.0));  // blocked (would delay head)
+  EXPECT_EQ(rec.start_times.count(3), 0u);
+  EXPECT_TRUE(sched.cancel(2));  // head leaves; 3 is the new head and fits
+  EXPECT_EQ(rec.start_times[3], 0.0);
+}
+
+TEST(Easy, EarlyCompletionTriggersBackfill) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks(sim));
+  sched.submit(make_job(1, 8, 100.0, 20.0));  // finishes early at 20
+  sched.submit(make_job(2, 4, 50.0));
+  sim.run();
+  EXPECT_EQ(rec.start_times[2], 20.0);
+}
+
+TEST(Easy, MultipleBackfillsInOnePass) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 10);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks(sim));
+  sched.submit(make_job(1, 6, 100.0));  // running; 4 free
+  sched.submit(make_job(2, 10, 50.0));  // head: shadow 100
+  sched.submit(make_job(3, 2, 90.0));   // backfill (ends 90 < 100)
+  sched.submit(make_job(4, 2, 90.0));   // backfill
+  sched.submit(make_job(5, 2, 90.0));   // no room left (0 free)
+  sim.run_until(0.0);
+  EXPECT_EQ(rec.start_times[3], 0.0);
+  EXPECT_EQ(rec.start_times[4], 0.0);
+  EXPECT_EQ(rec.start_times.count(5), 0u);
+}
+
+TEST(Easy, DeclineDuringBackfillKeepsSchedulingSound) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 8);
+  ClusterScheduler::Callbacks cb;
+  std::vector<JobId> started;
+  cb.on_grant = [](const Job& j) { return j.id != 3; };
+  cb.on_start = [&started](const Job& j) { started.push_back(j.id); };
+  sched.set_callbacks(std::move(cb));
+  sched.submit(make_job(1, 6, 100.0));  // running
+  sched.submit(make_job(2, 8, 50.0));   // head
+  sched.submit(make_job(3, 2, 50.0));   // backfill candidate -> declined
+  sched.submit(make_job(4, 2, 50.0));   // next candidate, should start
+  sim.run_until(0.0);
+  EXPECT_EQ(started, (std::vector<JobId>{1, 4}));
+  EXPECT_EQ(sched.counters().declines, 1u);
+  sim.run();
+  EXPECT_EQ(sched.counters().finishes, 3u);  // 1, 2, 4 ran
+}
+
+TEST(Easy, ExactEstimatesNeverOversubscribe_Property) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 16);
+  int max_used = 0;
+  ClusterScheduler::Callbacks cb;
+  cb.on_start = [&](const Job&) {
+    max_used = std::max(max_used, 16 - sched.free_nodes());
+    ASSERT_GE(sched.free_nodes(), 0);
+  };
+  sched.set_callbacks(std::move(cb));
+  // A mix of widths/durations arriving over time.
+  JobId id = 1;
+  for (int wave = 0; wave < 10; ++wave) {
+    sim.schedule_at(wave * 7.0, [&sched, &id] {
+      for (int k = 0; k < 6; ++k) {
+        sched.submit(make_job(id, (static_cast<int>(id) * 7 % 16) + 1,
+                              5.0 + static_cast<double>(id % 40)));
+        ++id;
+      }
+    });
+  }
+  sim.run();
+  EXPECT_LE(max_used, 16);
+  EXPECT_EQ(sched.counters().finishes, 60u);
+}
+
+TEST(Easy, QueueLengthReflectsPending) {
+  des::Simulation sim;
+  EasyScheduler sched(sim, 4);
+  sched.submit(make_job(1, 4, 10.0));
+  EXPECT_EQ(sched.queue_length(), 0u);
+  sched.submit(make_job(2, 4, 10.0));
+  sched.submit(make_job(3, 4, 10.0));
+  EXPECT_EQ(sched.queue_length(), 2u);
+  sim.run();
+  EXPECT_EQ(sched.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace rrsim::sched

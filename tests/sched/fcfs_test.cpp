@@ -1,0 +1,209 @@
+#include "rrsim/sched/fcfs.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rrsim::sched {
+namespace {
+
+Job make_job(JobId id, int nodes, Time requested, Time actual = -1.0) {
+  Job j;
+  j.id = id;
+  j.nodes = nodes;
+  j.requested_time = requested;
+  j.actual_time = actual < 0.0 ? requested : actual;
+  return j;
+}
+
+struct Recorder {
+  std::vector<JobId> starts;
+  std::vector<JobId> finishes;
+  std::vector<JobId> cancels;
+
+  ClusterScheduler::Callbacks callbacks() {
+    ClusterScheduler::Callbacks cb;
+    cb.on_start = [this](const Job& j) { starts.push_back(j.id); };
+    cb.on_finish = [this](const Job& j) { finishes.push_back(j.id); };
+    cb.on_cancelled = [this](const Job& j) { cancels.push_back(j.id); };
+    return cb;
+  }
+};
+
+TEST(Fcfs, ImmediateStartWhenIdle) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks());
+  sched.submit(make_job(1, 4, 100.0));
+  EXPECT_EQ(rec.starts, (std::vector<JobId>{1}));
+  EXPECT_EQ(sched.free_nodes(), 4);
+  sim.run();
+  EXPECT_EQ(rec.finishes, (std::vector<JobId>{1}));
+  EXPECT_EQ(sched.free_nodes(), 8);
+  EXPECT_EQ(sim.now(), 100.0);
+}
+
+TEST(Fcfs, HeadBlocksSmallerLaterJobs) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks());
+  sched.submit(make_job(1, 8, 100.0));  // occupies everything
+  sched.submit(make_job(2, 8, 10.0));   // head of queue, blocked
+  sched.submit(make_job(3, 1, 1.0));    // would fit, but FCFS blocks it
+  EXPECT_EQ(sched.queue_length(), 2u);
+  sim.run();
+  // Order must be 1, 2, 3 — no leapfrogging under FCFS.
+  EXPECT_EQ(rec.starts, (std::vector<JobId>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 111.0);
+}
+
+TEST(Fcfs, ParallelStartsWhenTheyFitInOrder) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 8);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks());
+  sched.submit(make_job(1, 3, 50.0));
+  sched.submit(make_job(2, 3, 50.0));
+  sched.submit(make_job(3, 2, 50.0));
+  EXPECT_EQ(rec.starts.size(), 3u);  // 3 + 3 + 2 = 8 nodes
+  EXPECT_EQ(sched.free_nodes(), 0);
+}
+
+TEST(Fcfs, CompletionUnblocksQueue) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 4);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks());
+  sched.submit(make_job(1, 4, 10.0));
+  sched.submit(make_job(2, 4, 10.0));
+  EXPECT_EQ(rec.starts.size(), 1u);
+  sim.run();
+  EXPECT_EQ(rec.starts.size(), 2u);
+  EXPECT_EQ(rec.finishes.size(), 2u);
+  EXPECT_EQ(sim.now(), 20.0);
+}
+
+TEST(Fcfs, CancelRemovesPendingJob) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 4);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks());
+  sched.submit(make_job(1, 4, 10.0));
+  sched.submit(make_job(2, 4, 10.0));
+  EXPECT_TRUE(sched.cancel(2));
+  EXPECT_EQ(rec.cancels, (std::vector<JobId>{2}));
+  EXPECT_EQ(sched.queue_length(), 0u);
+  sim.run();
+  EXPECT_EQ(rec.starts, (std::vector<JobId>{1}));
+}
+
+TEST(Fcfs, CancelHeadUnblocksSuccessor) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 4);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks());
+  sched.submit(make_job(1, 4, 100.0));
+  sched.submit(make_job(2, 4, 10.0));  // blocked head-of-queue
+  sched.submit(make_job(3, 2, 10.0));
+  EXPECT_TRUE(sched.cancel(2));
+  EXPECT_EQ(rec.starts, (std::vector<JobId>{1}));  // 3 still behind nothing? no: head gone, but 3 needs free nodes
+  sim.run();
+  EXPECT_EQ(rec.starts, (std::vector<JobId>{1, 3}));
+}
+
+TEST(Fcfs, CancelRunningJobFails) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 4);
+  sched.submit(make_job(1, 4, 10.0));
+  EXPECT_FALSE(sched.cancel(1));  // already running
+  EXPECT_FALSE(sched.cancel(99));  // unknown
+}
+
+TEST(Fcfs, GrantDeclineRemovesJob) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 4);
+  ClusterScheduler::Callbacks cb;
+  std::vector<JobId> started;
+  cb.on_grant = [](const Job& j) { return j.id != 2; };
+  cb.on_start = [&started](const Job& j) { started.push_back(j.id); };
+  sched.set_callbacks(std::move(cb));
+  sched.submit(make_job(1, 4, 10.0));
+  sched.submit(make_job(2, 4, 10.0));
+  sched.submit(make_job(3, 4, 10.0));
+  sim.run();
+  EXPECT_EQ(started, (std::vector<JobId>{1, 3}));
+  EXPECT_EQ(sched.counters().declines, 1u);
+}
+
+TEST(Fcfs, EarlyCompletionUsesActualTime) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 4);
+  Recorder rec;
+  sched.set_callbacks(rec.callbacks());
+  sched.submit(make_job(1, 4, 100.0, 30.0));
+  sched.submit(make_job(2, 4, 10.0));
+  sim.run();
+  EXPECT_EQ(sim.now(), 40.0);  // 30 (early finish) + 10
+}
+
+TEST(Fcfs, ActualClampedToRequested) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 4);
+  Job j = make_job(1, 4, 10.0);
+  j.actual_time = 50.0;  // user under-requested; scheduler kills at 10
+  sched.submit(j);
+  sim.run();
+  EXPECT_EQ(sim.now(), 10.0);
+}
+
+TEST(Fcfs, SubmitValidation) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 4);
+  EXPECT_THROW(sched.submit(make_job(1, 0, 10.0)), std::invalid_argument);
+  EXPECT_THROW(sched.submit(make_job(2, 5, 10.0)), std::invalid_argument);
+  EXPECT_THROW(sched.submit(make_job(3, 1, 0.0)), std::invalid_argument);
+  sched.submit(make_job(4, 1, 1.0));
+  EXPECT_THROW(sched.submit(make_job(4, 1, 1.0)), std::invalid_argument);
+}
+
+TEST(Fcfs, CountersTrackOperations) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 4);
+  sched.submit(make_job(1, 4, 10.0));
+  sched.submit(make_job(2, 4, 10.0));
+  sched.submit(make_job(3, 4, 10.0));
+  sched.cancel(3);
+  sim.run();
+  const OpCounters& c = sched.counters();
+  EXPECT_EQ(c.submits, 3u);
+  EXPECT_EQ(c.cancels, 1u);
+  EXPECT_EQ(c.starts, 2u);
+  EXPECT_EQ(c.finishes, 2u);
+  EXPECT_EQ(c.declines, 0u);
+  EXPECT_GT(c.sched_passes, 0u);
+}
+
+TEST(Fcfs, WaitTimesAreFcfsOrdered) {
+  des::Simulation sim;
+  FcfsScheduler sched(sim, 2);
+  std::vector<std::pair<JobId, Time>> starts;
+  ClusterScheduler::Callbacks cb;
+  cb.on_start = [&starts, &sim](const Job& j) {
+    starts.emplace_back(j.id, sim.now());
+  };
+  sched.set_callbacks(std::move(cb));
+  for (JobId id = 1; id <= 5; ++id) {
+    sched.submit(make_job(id, 2, 10.0));
+  }
+  sim.run();
+  ASSERT_EQ(starts.size(), 5u);
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_LT(starts[i - 1].first, starts[i].first);
+    EXPECT_LE(starts[i - 1].second, starts[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace rrsim::sched

@@ -1,0 +1,160 @@
+#include "rrsim/sched/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "rrsim/util/rng.h"
+
+namespace rrsim::sched {
+namespace {
+
+TEST(Profile, StartsFullyFree) {
+  const Profile p(64);
+  EXPECT_EQ(p.total_nodes(), 64);
+  EXPECT_EQ(p.free_at(0.0), 64);
+  EXPECT_EQ(p.free_at(1e9), 64);
+}
+
+TEST(Profile, RejectsBadConstruction) {
+  EXPECT_THROW(Profile(0), std::invalid_argument);
+  EXPECT_THROW(Profile(-5), std::invalid_argument);
+}
+
+TEST(Profile, ReserveCreatesStep) {
+  Profile p(10);
+  p.reserve(5.0, 10.0, 4);
+  EXPECT_EQ(p.free_at(0.0), 10);
+  EXPECT_EQ(p.free_at(5.0), 6);
+  EXPECT_EQ(p.free_at(14.999), 6);
+  EXPECT_EQ(p.free_at(15.0), 10);
+}
+
+TEST(Profile, OverlappingReservationsStack) {
+  Profile p(10);
+  p.reserve(0.0, 10.0, 3);
+  p.reserve(5.0, 10.0, 3);
+  EXPECT_EQ(p.free_at(2.0), 7);
+  EXPECT_EQ(p.free_at(7.0), 4);
+  EXPECT_EQ(p.free_at(12.0), 7);
+  EXPECT_EQ(p.free_at(20.0), 10);
+}
+
+TEST(Profile, ReserveRejectsOverCapacity) {
+  Profile p(4);
+  p.reserve(0.0, 10.0, 3);
+  EXPECT_THROW(p.reserve(5.0, 2.0, 2), std::logic_error);
+}
+
+TEST(Profile, ReserveRejectsBadArguments) {
+  Profile p(4);
+  EXPECT_THROW(p.reserve(-1.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(p.reserve(0.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(p.reserve(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Profile, MinFreeOverWindow) {
+  Profile p(10);
+  p.reserve(5.0, 5.0, 6);
+  EXPECT_EQ(p.min_free(0.0, 5.0), 10);   // window ends as dip begins
+  EXPECT_EQ(p.min_free(0.0, 6.0), 4);    // window overlaps the dip
+  EXPECT_EQ(p.min_free(6.0, 2.0), 4);    // inside the dip
+  EXPECT_EQ(p.min_free(10.0, 5.0), 10);  // after release
+}
+
+TEST(Profile, EarliestStartImmediateWhenFree) {
+  Profile p(8);
+  EXPECT_EQ(p.earliest_start(0.0, 8, 100.0), 0.0);
+  EXPECT_EQ(p.earliest_start(42.0, 1, 1.0), 42.0);
+}
+
+TEST(Profile, EarliestStartWaitsForRelease) {
+  Profile p(8);
+  p.reserve(0.0, 50.0, 8);
+  EXPECT_EQ(p.earliest_start(0.0, 1, 10.0), 50.0);
+}
+
+TEST(Profile, EarliestStartFindsGapBetweenReservations) {
+  Profile p(8);
+  p.reserve(0.0, 10.0, 8);
+  p.reserve(30.0, 10.0, 8);
+  // A 20-second job fits exactly in the [10, 30) gap.
+  EXPECT_EQ(p.earliest_start(0.0, 8, 20.0), 10.0);
+  // A 21-second job does not; it must wait until 40.
+  EXPECT_EQ(p.earliest_start(0.0, 8, 21.0), 40.0);
+}
+
+TEST(Profile, EarliestStartSkipsTooSmallGap) {
+  Profile p(8);
+  p.reserve(0.0, 10.0, 4);   // 4 free until 10
+  p.reserve(10.0, 10.0, 8);  // 0 free in [10, 20)
+  // 5 nodes for 15 s cannot use [0,10) (only 4 free) nor span [10,20).
+  EXPECT_EQ(p.earliest_start(0.0, 5, 15.0), 20.0);
+}
+
+TEST(Profile, EarliestStartRespectsFromInsideSegment) {
+  Profile p(8);
+  p.reserve(20.0, 10.0, 8);
+  EXPECT_EQ(p.earliest_start(5.0, 8, 15.0), 5.0);
+  EXPECT_EQ(p.earliest_start(6.0, 8, 15.0), 30.0);  // would hit the wall
+}
+
+TEST(Profile, EarliestStartRejectsBadArguments) {
+  Profile p(8);
+  EXPECT_THROW(p.earliest_start(0.0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(p.earliest_start(0.0, 9, 1.0), std::invalid_argument);
+  EXPECT_THROW(p.earliest_start(0.0, 1, 0.0), std::invalid_argument);
+}
+
+TEST(Profile, ReserveAtEarliestStartNeverThrows_Property) {
+  // Property: for any reservation pattern, reserving at the time
+  // earliest_start returns is always feasible.
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Profile p(16);
+    for (int i = 0; i < 30; ++i) {
+      const int nodes = static_cast<int>(rng.between(1, 16));
+      const double duration = rng.uniform(0.5, 50.0);
+      const double from = rng.uniform(0.0, 100.0);
+      const Time start = p.earliest_start(from, nodes, duration);
+      ASSERT_GE(start, from);
+      ASSERT_GE(p.min_free(start, duration), nodes);
+      ASSERT_NO_THROW(p.reserve(start, duration, nodes));
+    }
+    // Capacity is never negative anywhere.
+    for (const auto& [t, free] : p.steps()) {
+      ASSERT_GE(free, 0);
+      ASSERT_LE(free, 16);
+    }
+    // The final segment always returns to full capacity.
+    ASSERT_EQ(p.steps().back().second, 16);
+  }
+}
+
+TEST(Profile, EarliestStartIsEarliest_Property) {
+  // Property: no feasible start strictly earlier than the returned one
+  // exists at any breakpoint or at `from` itself.
+  util::Rng rng(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    Profile p(8);
+    for (int i = 0; i < 10; ++i) {
+      const int nodes = static_cast<int>(rng.between(1, 8));
+      const double duration = rng.uniform(1.0, 20.0);
+      const Time start = p.earliest_start(0.0, nodes, duration);
+      p.reserve(start, duration, nodes);
+    }
+    const int nodes = static_cast<int>(rng.between(1, 8));
+    const double duration = rng.uniform(1.0, 20.0);
+    const Time start = p.earliest_start(0.0, nodes, duration);
+    // Check candidate times strictly before `start`.
+    if (p.min_free(0.0, duration) >= nodes) {
+      ASSERT_EQ(start, 0.0);
+    }
+    for (const auto& [t, free] : p.steps()) {
+      if (t >= start) break;
+      ASSERT_LT(p.min_free(t, duration), nodes)
+          << "found earlier feasible anchor at " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrsim::sched

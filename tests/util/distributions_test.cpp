@@ -1,0 +1,156 @@
+#include "rrsim/util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rrsim::util {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(Normal, MomentsMatchStandardNormal) {
+  Rng rng(1);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = sample_normal(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kSamples, 1.0, 0.02);
+}
+
+TEST(Exponential, MeanMatches) {
+  Rng rng(2);
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += sample_exponential(rng, 7.5);
+  EXPECT_NEAR(sum / kSamples, 7.5, 0.1);
+}
+
+TEST(Exponential, AlwaysPositive) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(sample_exponential(rng, 0.001), 0.0);
+  }
+}
+
+TEST(Exponential, RejectsNonPositiveMean) {
+  Rng rng(4);
+  EXPECT_THROW(sample_exponential(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(sample_exponential(rng, -1.0), std::invalid_argument);
+}
+
+// Gamma moments: mean = alpha*beta, variance = alpha*beta^2.
+struct GammaCase {
+  double alpha;
+  double beta;
+};
+
+class GammaMoments : public ::testing::TestWithParam<GammaCase> {};
+
+TEST_P(GammaMoments, MeanAndVarianceMatch) {
+  const auto [alpha, beta] = GetParam();
+  Rng rng(5);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = sample_gamma(rng, alpha, beta);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum2 / kSamples - mean * mean;
+  EXPECT_NEAR(mean, alpha * beta, 0.03 * alpha * beta + 0.01);
+  EXPECT_NEAR(var, alpha * beta * beta,
+              0.10 * alpha * beta * beta + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GammaMoments,
+    ::testing::Values(GammaCase{0.3, 1.0},   // boosted branch (alpha < 1)
+                      GammaCase{1.0, 2.0},   // exponential special case
+                      GammaCase{4.2, 0.94},  // Lublin short-class ln-runtime
+                      GammaCase{10.23, 0.4871},  // paper arrival process
+                      GammaCase{312.0, 0.03}));  // Lublin long-class
+
+TEST(Gamma, RejectsBadParameters) {
+  Rng rng(6);
+  EXPECT_THROW(sample_gamma(rng, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(sample_gamma(rng, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(sample_gamma(rng, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(HyperGamma, DegenerateMixtureMatchesComponent) {
+  Rng rng(7);
+  // p = 1: only the first component is ever drawn.
+  const HyperGammaParams only_first{2.0, 3.0, 100.0, 100.0, 1.0};
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += sample_hyper_gamma(rng, only_first);
+  }
+  EXPECT_NEAR(sum / kSamples, 6.0, 0.1);
+}
+
+TEST(HyperGamma, MixtureMeanIsWeightedAverage) {
+  Rng rng(8);
+  const HyperGammaParams hg{2.0, 1.0, 10.0, 2.0, 0.25};
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += sample_hyper_gamma(rng, hg);
+  // 0.25 * 2 + 0.75 * 20 = 15.5
+  EXPECT_NEAR(sum / kSamples, 15.5, 0.25);
+}
+
+TEST(HyperGamma, RejectsBadProbability) {
+  Rng rng(9);
+  EXPECT_THROW(sample_hyper_gamma(rng, {1, 1, 1, 1, -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(sample_hyper_gamma(rng, {1, 1, 1, 1, 1.1}),
+               std::invalid_argument);
+}
+
+TEST(TwoStageUniform, StaysWithinBounds) {
+  Rng rng(10);
+  const TwoStageUniformParams p{1.0, 4.0, 7.0, 0.7};
+  for (int i = 0; i < 20000; ++i) {
+    const double x = sample_two_stage_uniform(rng, p);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LT(x, 7.0);
+  }
+}
+
+TEST(TwoStageUniform, LowerStageProbabilityRespected) {
+  Rng rng(11);
+  const TwoStageUniformParams p{0.0, 1.0, 2.0, 0.86};
+  int low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_two_stage_uniform(rng, p) < 1.0) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.86, 0.01);
+}
+
+TEST(TwoStageUniform, EmpiricalMeanMatchesClosedForm) {
+  Rng rng(12);
+  const TwoStageUniformParams p{0.8, 3.5, 7.0, 0.86};
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += sample_two_stage_uniform(rng, p);
+  }
+  EXPECT_NEAR(sum / kSamples, two_stage_uniform_mean(p), 0.02);
+}
+
+TEST(TwoStageUniform, RejectsDisorderedStages) {
+  Rng rng(13);
+  EXPECT_THROW(sample_two_stage_uniform(rng, {5.0, 4.0, 7.0, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(sample_two_stage_uniform(rng, {1.0, 4.0, 3.0, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(sample_two_stage_uniform(rng, {1.0, 2.0, 3.0, 1.5}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrsim::util

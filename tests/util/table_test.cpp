@@ -1,0 +1,77 @@
+#include "rrsim/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rrsim::util {
+namespace {
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.0, 0), "3");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, TextRenderingAligned) {
+  Table t({"name", "value"});
+  t.begin_row().add("alpha").add(1.5, 1);
+  t.begin_row().add("b").add(22LL);
+  const std::string text = t.to_text();
+  // Header, separator, two rows.
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("name"), std::string::npos);
+  EXPECT_NE(lines[1].find("---"), std::string::npos);
+  EXPECT_NE(lines[2].find("alpha"), std::string::npos);
+  EXPECT_NE(lines[2].find("1.5"), std::string::npos);
+  EXPECT_NE(lines[3].find("22"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.begin_row().add("x").add(2LL);
+  EXPECT_EQ(t.to_csv(), "a,b\nx,2\n");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a"});
+  t.begin_row().add("has,comma");
+  t.begin_row().add("has\"quote");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.begin_row().add("one");
+  EXPECT_THROW(t.add("two"), std::logic_error);
+}
+
+TEST(Table, ImplicitFirstRow) {
+  Table t({"a"});
+  t.add("auto");  // no begin_row needed for the first cell
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrintIncludesCsvBlock) {
+  Table t({"h"});
+  t.begin_row().add("v");
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("# CSV"), std::string::npos);
+  std::ostringstream out2;
+  t.print(out2, false);
+  EXPECT_EQ(out2.str().find("# CSV"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rrsim::util

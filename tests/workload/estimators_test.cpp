@@ -1,0 +1,97 @@
+#include "rrsim/workload/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rrsim::workload {
+namespace {
+
+TEST(ExactEstimator, Identity) {
+  util::Rng rng(1);
+  const ExactEstimator e;
+  EXPECT_EQ(e.requested_for(123.0, rng), 123.0);
+  EXPECT_EQ(e.mean_factor(), 1.0);
+  EXPECT_EQ(e.name(), "exact");
+}
+
+TEST(PhiEstimator, RejectsBadPhi) {
+  EXPECT_THROW(PhiEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(PhiEstimator(1.0), std::invalid_argument);
+  EXPECT_THROW(PhiEstimator(-0.2), std::invalid_argument);
+}
+
+TEST(PhiEstimator, NeverUnderestimates) {
+  util::Rng rng(2);
+  const PhiEstimator e(0.10);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(e.requested_for(100.0, rng), 100.0);
+  }
+}
+
+TEST(PhiEstimator, FactorBounded) {
+  util::Rng rng(3);
+  const PhiEstimator e(0.10);
+  for (int i = 0; i < 10000; ++i) {
+    const double f = e.requested_for(1.0, rng);
+    ASSERT_LE(f, 10.0 + 1e-9);  // at most 1/phi
+  }
+}
+
+TEST(PhiEstimator, EmpiricalMeanMatchesClosedForm) {
+  util::Rng rng(4);
+  const PhiEstimator e(0.10);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += e.requested_for(1.0, rng);
+  EXPECT_NEAR(sum / n, e.mean_factor(), 0.02);
+  // ln(10)/0.9 ~ 2.558
+  EXPECT_NEAR(e.mean_factor(), 2.558, 0.01);
+}
+
+TEST(UniformFactorEstimator, RejectsMeanBelowOne) {
+  EXPECT_THROW(UniformFactorEstimator(0.9), std::invalid_argument);
+}
+
+TEST(UniformFactorEstimator, MeanMatchesPaperValue) {
+  util::Rng rng(5);
+  const UniformFactorEstimator e;  // paper's 2.16
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += e.requested_for(1.0, rng);
+  EXPECT_NEAR(sum / n, 2.16, 0.02);
+}
+
+TEST(UniformFactorEstimator, FactorUniformlyBounded) {
+  util::Rng rng(6);
+  const UniformFactorEstimator e(2.16);
+  for (int i = 0; i < 10000; ++i) {
+    const double f = e.requested_for(1.0, rng);
+    ASSERT_GE(f, 1.0);
+    ASSERT_LE(f, 2.0 * 2.16 - 1.0);
+  }
+}
+
+TEST(ApplyEstimator, RewritesRequestedTimes) {
+  util::Rng rng(7);
+  JobStream stream(100);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i].runtime = static_cast<double>(i + 1);
+    stream[i].requested_time = stream[i].runtime;
+  }
+  apply_estimator(stream, UniformFactorEstimator(2.0), rng);
+  for (const JobSpec& j : stream) {
+    ASSERT_GE(j.requested_time, j.runtime);
+    ASSERT_LE(j.requested_time, 3.0 * j.runtime + 1e-9);
+  }
+}
+
+TEST(MakeEstimator, FactoryNames) {
+  EXPECT_EQ(make_estimator("exact")->name(), "exact");
+  EXPECT_EQ(make_estimator("phi")->name(), "phi(0.10)");
+  EXPECT_EQ(make_estimator("uniform216")->name(), "uniform-factor");
+  EXPECT_THROW(make_estimator("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrsim::workload

@@ -1,0 +1,110 @@
+#include "rrsim/workload/moldable.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rrsim::workload {
+namespace {
+
+TEST(AmdahlSpeedup, Validation) {
+  EXPECT_THROW(AmdahlSpeedup(-0.1), std::invalid_argument);
+  EXPECT_THROW(AmdahlSpeedup(1.1), std::invalid_argument);
+  const AmdahlSpeedup s(0.5);
+  EXPECT_THROW(s.runtime(0.0, 4, 8), std::invalid_argument);
+  EXPECT_THROW(s.runtime(10.0, 0, 8), std::invalid_argument);
+  EXPECT_THROW(s.runtime(10.0, 4, 0), std::invalid_argument);
+}
+
+TEST(AmdahlSpeedup, BaseShapeIsFixedPoint) {
+  const AmdahlSpeedup s(0.7);
+  EXPECT_DOUBLE_EQ(s.runtime(100.0, 8, 8), 100.0);
+}
+
+TEST(AmdahlSpeedup, PerfectlyParallelScalesLinearly) {
+  const AmdahlSpeedup s(1.0);
+  EXPECT_DOUBLE_EQ(s.runtime(100.0, 4, 8), 50.0);
+  EXPECT_DOUBLE_EQ(s.runtime(100.0, 4, 2), 200.0);
+}
+
+TEST(AmdahlSpeedup, FullySerialIgnoresNodes) {
+  const AmdahlSpeedup s(0.0);
+  EXPECT_DOUBLE_EQ(s.runtime(100.0, 4, 64), 100.0);
+  EXPECT_DOUBLE_EQ(s.runtime(100.0, 4, 1), 100.0);
+}
+
+TEST(AmdahlSpeedup, AmdahlLimitHolds) {
+  // f = 0.9: speedup can never exceed 10x the serial part.
+  const AmdahlSpeedup s(0.9);
+  EXPECT_GT(s.runtime(100.0, 1, 1000000), 10.0);
+  EXPECT_NEAR(s.runtime(100.0, 1, 1000000), 10.0, 0.1);
+}
+
+TEST(AmdahlSpeedup, MonotoneInNodes) {
+  const AmdahlSpeedup s(0.8);
+  double prev = s.runtime(100.0, 8, 1);
+  for (int n = 2; n <= 128; n *= 2) {
+    const double cur = s.runtime(100.0, 8, n);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+JobSpec base_spec(int nodes, double runtime, double requested) {
+  JobSpec s;
+  s.nodes = nodes;
+  s.runtime = runtime;
+  s.requested_time = requested;
+  return s;
+}
+
+TEST(MoldableShapes, BaseShapeFirstAndDistinctWidths) {
+  const AmdahlSpeedup s(0.9);
+  const auto shapes = moldable_shapes(base_spec(8, 100.0, 100.0), s, 128, 4);
+  ASSERT_EQ(shapes.size(), 4u);
+  EXPECT_EQ(shapes[0].nodes, 8);
+  EXPECT_DOUBLE_EQ(shapes[0].runtime, 100.0);
+  std::set<int> widths;
+  for (const JobShape& shape : shapes) widths.insert(shape.nodes);
+  EXPECT_EQ(widths.size(), shapes.size());
+  // Halve/double alternation: 8, 4, 16, 2.
+  EXPECT_EQ(shapes[1].nodes, 4);
+  EXPECT_EQ(shapes[2].nodes, 16);
+  EXPECT_EQ(shapes[3].nodes, 2);
+}
+
+TEST(MoldableShapes, WidthsClampedToCluster) {
+  const AmdahlSpeedup s(0.9);
+  const auto shapes = moldable_shapes(base_spec(96, 100.0, 100.0), s, 128, 3);
+  for (const JobShape& shape : shapes) {
+    EXPECT_GE(shape.nodes, 1);
+    EXPECT_LE(shape.nodes, 128);
+  }
+}
+
+TEST(MoldableShapes, PreservesOverestimationFactor) {
+  const AmdahlSpeedup s(0.8);
+  // Requested = 2x runtime at the base shape; every shape keeps that.
+  const auto shapes = moldable_shapes(base_spec(8, 100.0, 200.0), s, 128, 3);
+  for (const JobShape& shape : shapes) {
+    EXPECT_NEAR(shape.requested_time / shape.runtime, 2.0, 1e-9);
+  }
+}
+
+TEST(MoldableShapes, SerialJobHasLimitedShapes) {
+  const AmdahlSpeedup s(0.5);
+  // Base 1 node on a 2-node cluster: only widths 1 and 2 exist.
+  const auto shapes = moldable_shapes(base_spec(1, 100.0, 100.0), s, 2, 5);
+  EXPECT_EQ(shapes.size(), 2u);
+}
+
+TEST(MoldableShapes, Validation) {
+  const AmdahlSpeedup s(0.5);
+  EXPECT_THROW(moldable_shapes(base_spec(8, 10.0, 10.0), s, 128, 0),
+               std::invalid_argument);
+  EXPECT_THROW(moldable_shapes(base_spec(256, 10.0, 10.0), s, 128, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrsim::workload
