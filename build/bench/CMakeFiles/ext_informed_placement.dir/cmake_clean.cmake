@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_informed_placement.dir/ext_informed_placement.cpp.o"
+  "CMakeFiles/ext_informed_placement.dir/ext_informed_placement.cpp.o.d"
+  "ext_informed_placement"
+  "ext_informed_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_informed_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

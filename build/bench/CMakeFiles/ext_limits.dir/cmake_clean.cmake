@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_limits.dir/ext_limits.cpp.o"
+  "CMakeFiles/ext_limits.dir/ext_limits.cpp.o.d"
+  "ext_limits"
+  "ext_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_middleware.dir/ext_middleware.cpp.o"
+  "CMakeFiles/ext_middleware.dir/ext_middleware.cpp.o.d"
+  "ext_middleware"
+  "ext_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

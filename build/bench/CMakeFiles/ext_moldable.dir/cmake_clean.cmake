@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_moldable.dir/ext_moldable.cpp.o"
+  "CMakeFiles/ext_moldable.dir/ext_moldable.cpp.o.d"
+  "ext_moldable"
+  "ext_moldable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_moldable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_relative_stretch.dir/fig1_relative_stretch.cpp.o"
+  "CMakeFiles/fig1_relative_stretch.dir/fig1_relative_stretch.cpp.o.d"
+  "fig1_relative_stretch"
+  "fig1_relative_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_relative_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_relative_cv.dir/fig2_relative_cv.cpp.o"
+  "CMakeFiles/fig2_relative_cv.dir/fig2_relative_cv.cpp.o.d"
+  "fig2_relative_cv"
+  "fig2_relative_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_relative_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

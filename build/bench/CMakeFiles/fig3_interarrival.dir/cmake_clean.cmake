@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_interarrival.dir/fig3_interarrival.cpp.o"
+  "CMakeFiles/fig3_interarrival.dir/fig3_interarrival.cpp.o.d"
+  "fig3_interarrival"
+  "fig3_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_penalty.dir/fig4_penalty.cpp.o"
+  "CMakeFiles/fig4_penalty.dir/fig4_penalty.cpp.o.d"
+  "fig4_penalty"
+  "fig4_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec312_inflation.dir/sec312_inflation.cpp.o"
+  "CMakeFiles/sec312_inflation.dir/sec312_inflation.cpp.o.d"
+  "sec312_inflation"
+  "sec312_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec312_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_queue_growth.dir/sec41_queue_growth.cpp.o"
+  "CMakeFiles/sec41_queue_growth.dir/sec41_queue_growth.cpp.o.d"
+  "sec41_queue_growth"
+  "sec41_queue_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_queue_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

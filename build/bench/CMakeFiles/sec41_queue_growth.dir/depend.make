@@ -1,0 +1,2 @@
+# Empty dependencies file for sec41_queue_growth.
+# This may be replaced when dependencies are built.

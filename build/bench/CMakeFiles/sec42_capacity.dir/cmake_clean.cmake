@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_capacity.dir/sec42_capacity.cpp.o"
+  "CMakeFiles/sec42_capacity.dir/sec42_capacity.cpp.o.d"
+  "sec42_capacity"
+  "sec42_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_algorithms.dir/table1_algorithms.cpp.o"
+  "CMakeFiles/table1_algorithms.dir/table1_algorithms.cpp.o.d"
+  "table1_algorithms"
+  "table1_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

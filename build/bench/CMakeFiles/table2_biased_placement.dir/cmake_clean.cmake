@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_biased_placement.dir/table2_biased_placement.cpp.o"
+  "CMakeFiles/table2_biased_placement.dir/table2_biased_placement.cpp.o.d"
+  "table2_biased_placement"
+  "table2_biased_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_biased_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

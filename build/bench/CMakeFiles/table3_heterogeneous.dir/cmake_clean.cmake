@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_heterogeneous.dir/table3_heterogeneous.cpp.o"
+  "CMakeFiles/table3_heterogeneous.dir/table3_heterogeneous.cpp.o.d"
+  "table3_heterogeneous"
+  "table3_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_predictability.dir/table4_predictability.cpp.o"
+  "CMakeFiles/table4_predictability.dir/table4_predictability.cpp.o.d"
+  "table4_predictability"
+  "table4_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

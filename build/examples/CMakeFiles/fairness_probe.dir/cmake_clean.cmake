@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_probe.dir/fairness_probe.cpp.o"
+  "CMakeFiles/fairness_probe.dir/fairness_probe.cpp.o.d"
+  "fairness_probe"
+  "fairness_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

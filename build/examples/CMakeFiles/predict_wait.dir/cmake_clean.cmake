@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_wait.dir/predict_wait.cpp.o"
+  "CMakeFiles/predict_wait.dir/predict_wait.cpp.o.d"
+  "predict_wait"
+  "predict_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

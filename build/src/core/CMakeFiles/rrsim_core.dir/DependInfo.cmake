@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/rrsim_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/rrsim_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/rrsim_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/rrsim_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/core/CMakeFiles/rrsim_core.dir/options.cpp.o" "gcc" "src/core/CMakeFiles/rrsim_core.dir/options.cpp.o.d"
+  "/root/repo/src/core/paper.cpp" "src/core/CMakeFiles/rrsim_core.dir/paper.cpp.o" "gcc" "src/core/CMakeFiles/rrsim_core.dir/paper.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/rrsim_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/rrsim_core.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/rrsim_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rrsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rrsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rrsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/rrsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rrsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim_core.dir/campaign.cpp.o"
+  "CMakeFiles/rrsim_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/rrsim_core.dir/experiment.cpp.o"
+  "CMakeFiles/rrsim_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/rrsim_core.dir/options.cpp.o"
+  "CMakeFiles/rrsim_core.dir/options.cpp.o.d"
+  "CMakeFiles/rrsim_core.dir/paper.cpp.o"
+  "CMakeFiles/rrsim_core.dir/paper.cpp.o.d"
+  "CMakeFiles/rrsim_core.dir/scheme.cpp.o"
+  "CMakeFiles/rrsim_core.dir/scheme.cpp.o.d"
+  "librrsim_core.a"
+  "librrsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

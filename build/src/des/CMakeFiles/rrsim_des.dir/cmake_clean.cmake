@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim_des.dir/simulation.cpp.o"
+  "CMakeFiles/rrsim_des.dir/simulation.cpp.o.d"
+  "librrsim_des.a"
+  "librrsim_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librrsim_des.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim_forecast.dir/bmbp.cpp.o"
+  "CMakeFiles/rrsim_forecast.dir/bmbp.cpp.o.d"
+  "librrsim_forecast.a"
+  "librrsim_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/gateway.cpp" "src/grid/CMakeFiles/rrsim_grid.dir/gateway.cpp.o" "gcc" "src/grid/CMakeFiles/rrsim_grid.dir/gateway.cpp.o.d"
+  "/root/repo/src/grid/middleware.cpp" "src/grid/CMakeFiles/rrsim_grid.dir/middleware.cpp.o" "gcc" "src/grid/CMakeFiles/rrsim_grid.dir/middleware.cpp.o.d"
+  "/root/repo/src/grid/placement.cpp" "src/grid/CMakeFiles/rrsim_grid.dir/placement.cpp.o" "gcc" "src/grid/CMakeFiles/rrsim_grid.dir/placement.cpp.o.d"
+  "/root/repo/src/grid/platform.cpp" "src/grid/CMakeFiles/rrsim_grid.dir/platform.cpp.o" "gcc" "src/grid/CMakeFiles/rrsim_grid.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/rrsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rrsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rrsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/rrsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rrsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

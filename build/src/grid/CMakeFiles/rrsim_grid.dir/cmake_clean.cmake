@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim_grid.dir/gateway.cpp.o"
+  "CMakeFiles/rrsim_grid.dir/gateway.cpp.o.d"
+  "CMakeFiles/rrsim_grid.dir/middleware.cpp.o"
+  "CMakeFiles/rrsim_grid.dir/middleware.cpp.o.d"
+  "CMakeFiles/rrsim_grid.dir/placement.cpp.o"
+  "CMakeFiles/rrsim_grid.dir/placement.cpp.o.d"
+  "CMakeFiles/rrsim_grid.dir/platform.cpp.o"
+  "CMakeFiles/rrsim_grid.dir/platform.cpp.o.d"
+  "librrsim_grid.a"
+  "librrsim_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

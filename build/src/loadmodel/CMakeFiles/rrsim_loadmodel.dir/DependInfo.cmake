@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loadmodel/capacity.cpp" "src/loadmodel/CMakeFiles/rrsim_loadmodel.dir/capacity.cpp.o" "gcc" "src/loadmodel/CMakeFiles/rrsim_loadmodel.dir/capacity.cpp.o.d"
+  "/root/repo/src/loadmodel/frontend.cpp" "src/loadmodel/CMakeFiles/rrsim_loadmodel.dir/frontend.cpp.o" "gcc" "src/loadmodel/CMakeFiles/rrsim_loadmodel.dir/frontend.cpp.o.d"
+  "/root/repo/src/loadmodel/throughput_model.cpp" "src/loadmodel/CMakeFiles/rrsim_loadmodel.dir/throughput_model.cpp.o" "gcc" "src/loadmodel/CMakeFiles/rrsim_loadmodel.dir/throughput_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rrsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim_loadmodel.dir/capacity.cpp.o"
+  "CMakeFiles/rrsim_loadmodel.dir/capacity.cpp.o.d"
+  "CMakeFiles/rrsim_loadmodel.dir/frontend.cpp.o"
+  "CMakeFiles/rrsim_loadmodel.dir/frontend.cpp.o.d"
+  "CMakeFiles/rrsim_loadmodel.dir/throughput_model.cpp.o"
+  "CMakeFiles/rrsim_loadmodel.dir/throughput_model.cpp.o.d"
+  "librrsim_loadmodel.a"
+  "librrsim_loadmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim_loadmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim_metrics.dir/queue_tracker.cpp.o"
+  "CMakeFiles/rrsim_metrics.dir/queue_tracker.cpp.o.d"
+  "CMakeFiles/rrsim_metrics.dir/summary.cpp.o"
+  "CMakeFiles/rrsim_metrics.dir/summary.cpp.o.d"
+  "librrsim_metrics.a"
+  "librrsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

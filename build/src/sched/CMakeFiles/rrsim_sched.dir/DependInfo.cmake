@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cbf.cpp" "src/sched/CMakeFiles/rrsim_sched.dir/cbf.cpp.o" "gcc" "src/sched/CMakeFiles/rrsim_sched.dir/cbf.cpp.o.d"
+  "/root/repo/src/sched/easy.cpp" "src/sched/CMakeFiles/rrsim_sched.dir/easy.cpp.o" "gcc" "src/sched/CMakeFiles/rrsim_sched.dir/easy.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/rrsim_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/rrsim_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/sched/CMakeFiles/rrsim_sched.dir/fcfs.cpp.o" "gcc" "src/sched/CMakeFiles/rrsim_sched.dir/fcfs.cpp.o.d"
+  "/root/repo/src/sched/profile.cpp" "src/sched/CMakeFiles/rrsim_sched.dir/profile.cpp.o" "gcc" "src/sched/CMakeFiles/rrsim_sched.dir/profile.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/rrsim_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/rrsim_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/rrsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rrsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

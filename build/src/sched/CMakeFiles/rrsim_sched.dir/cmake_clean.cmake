@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim_sched.dir/cbf.cpp.o"
+  "CMakeFiles/rrsim_sched.dir/cbf.cpp.o.d"
+  "CMakeFiles/rrsim_sched.dir/easy.cpp.o"
+  "CMakeFiles/rrsim_sched.dir/easy.cpp.o.d"
+  "CMakeFiles/rrsim_sched.dir/factory.cpp.o"
+  "CMakeFiles/rrsim_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/rrsim_sched.dir/fcfs.cpp.o"
+  "CMakeFiles/rrsim_sched.dir/fcfs.cpp.o.d"
+  "CMakeFiles/rrsim_sched.dir/profile.cpp.o"
+  "CMakeFiles/rrsim_sched.dir/profile.cpp.o.d"
+  "CMakeFiles/rrsim_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/rrsim_sched.dir/scheduler.cpp.o.d"
+  "librrsim_sched.a"
+  "librrsim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

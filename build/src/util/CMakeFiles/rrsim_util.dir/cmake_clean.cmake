@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim_util.dir/cli.cpp.o"
+  "CMakeFiles/rrsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/rrsim_util.dir/distributions.cpp.o"
+  "CMakeFiles/rrsim_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/rrsim_util.dir/stats.cpp.o"
+  "CMakeFiles/rrsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rrsim_util.dir/table.cpp.o"
+  "CMakeFiles/rrsim_util.dir/table.cpp.o.d"
+  "librrsim_util.a"
+  "librrsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/calibrate.cpp" "src/workload/CMakeFiles/rrsim_workload.dir/calibrate.cpp.o" "gcc" "src/workload/CMakeFiles/rrsim_workload.dir/calibrate.cpp.o.d"
+  "/root/repo/src/workload/estimators.cpp" "src/workload/CMakeFiles/rrsim_workload.dir/estimators.cpp.o" "gcc" "src/workload/CMakeFiles/rrsim_workload.dir/estimators.cpp.o.d"
+  "/root/repo/src/workload/lublin.cpp" "src/workload/CMakeFiles/rrsim_workload.dir/lublin.cpp.o" "gcc" "src/workload/CMakeFiles/rrsim_workload.dir/lublin.cpp.o.d"
+  "/root/repo/src/workload/moldable.cpp" "src/workload/CMakeFiles/rrsim_workload.dir/moldable.cpp.o" "gcc" "src/workload/CMakeFiles/rrsim_workload.dir/moldable.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/rrsim_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/rrsim_workload.dir/swf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rrsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim_workload.dir/calibrate.cpp.o"
+  "CMakeFiles/rrsim_workload.dir/calibrate.cpp.o.d"
+  "CMakeFiles/rrsim_workload.dir/estimators.cpp.o"
+  "CMakeFiles/rrsim_workload.dir/estimators.cpp.o.d"
+  "CMakeFiles/rrsim_workload.dir/lublin.cpp.o"
+  "CMakeFiles/rrsim_workload.dir/lublin.cpp.o.d"
+  "CMakeFiles/rrsim_workload.dir/moldable.cpp.o"
+  "CMakeFiles/rrsim_workload.dir/moldable.cpp.o.d"
+  "CMakeFiles/rrsim_workload.dir/swf.cpp.o"
+  "CMakeFiles/rrsim_workload.dir/swf.cpp.o.d"
+  "librrsim_workload.a"
+  "librrsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_tests.dir/des/simulation_test.cpp.o"
+  "CMakeFiles/des_tests.dir/des/simulation_test.cpp.o.d"
+  "des_tests"
+  "des_tests.pdb"
+  "des_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

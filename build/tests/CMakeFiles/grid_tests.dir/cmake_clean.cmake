@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_tests.dir/grid/gateway_limits_test.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/gateway_limits_test.cpp.o.d"
+  "CMakeFiles/grid_tests.dir/grid/gateway_shapes_test.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/gateway_shapes_test.cpp.o.d"
+  "CMakeFiles/grid_tests.dir/grid/gateway_test.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/gateway_test.cpp.o.d"
+  "CMakeFiles/grid_tests.dir/grid/middleware_test.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/middleware_test.cpp.o.d"
+  "CMakeFiles/grid_tests.dir/grid/placement_test.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/placement_test.cpp.o.d"
+  "CMakeFiles/grid_tests.dir/grid/platform_test.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/platform_test.cpp.o.d"
+  "grid_tests"
+  "grid_tests.pdb"
+  "grid_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadmodel_tests.dir/loadmodel/capacity_test.cpp.o"
+  "CMakeFiles/loadmodel_tests.dir/loadmodel/capacity_test.cpp.o.d"
+  "CMakeFiles/loadmodel_tests.dir/loadmodel/frontend_test.cpp.o"
+  "CMakeFiles/loadmodel_tests.dir/loadmodel/frontend_test.cpp.o.d"
+  "CMakeFiles/loadmodel_tests.dir/loadmodel/throughput_model_test.cpp.o"
+  "CMakeFiles/loadmodel_tests.dir/loadmodel/throughput_model_test.cpp.o.d"
+  "loadmodel_tests"
+  "loadmodel_tests.pdb"
+  "loadmodel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadmodel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

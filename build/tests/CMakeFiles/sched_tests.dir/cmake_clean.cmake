@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/cbf_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/cbf_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/easy_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/easy_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/fcfs_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/fcfs_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/profile_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/profile_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/scheduler_common_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/scheduler_common_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/user_limits_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/user_limits_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

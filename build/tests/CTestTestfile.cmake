@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/des_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/grid_tests[1]_include.cmake")
+include("/root/repo/build/tests/metrics_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/forecast_tests[1]_include.cmake")
+include("/root/repo/build/tests/loadmodel_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
