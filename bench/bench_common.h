@@ -7,20 +7,41 @@
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "rrsim/core/campaign.h"
 #include "rrsim/core/options.h"
 #include "rrsim/core/paper.h"
+#include "rrsim/exec/campaign_runner.h"
 #include "rrsim/util/cli.h"
 #include "rrsim/util/table.h"
 
 namespace rrsim::bench {
 
 /// Repetition count: --reps wins; --full selects the paper's 50; otherwise
-/// `quick_default`.
+/// `quick_default`. Rejects --reps < 1 at the flag layer so the mistake is
+/// reported as a usage error, not from deep inside a campaign. Also
+/// consumes --jobs here (harnesses parse --reps before printing the
+/// banner, so the banner reports the configured worker count even when
+/// apply_common_flags runs later).
 inline int repetitions(const util::Cli& cli, int quick_default) {
-  if (cli.has("reps")) return static_cast<int>(cli.get_int("reps", 0));
+  if (cli.has("jobs")) {
+    const std::int64_t jobs = cli.get_int("jobs", 0);
+    if (jobs < 1) {
+      throw std::invalid_argument("--jobs must be >= 1 (got " +
+                                  std::to_string(jobs) + ")");
+    }
+    exec::set_default_jobs(static_cast<int>(jobs));
+  }
+  if (cli.has("reps")) {
+    const std::int64_t reps = cli.get_int("reps", 0);
+    if (reps < 1) {
+      throw std::invalid_argument("--reps must be >= 1 (got " +
+                                  std::to_string(reps) + ")");
+    }
+    return static_cast<int>(reps);
+  }
   if (cli.get_bool("full", false)) return 50;
   return quick_default;
 }
@@ -32,8 +53,8 @@ inline void banner(const std::string& experiment, const std::string& claim,
   std::printf("=== %s ===\n", experiment.c_str());
   std::printf("%s\n", claim.c_str());
   std::printf("repetitions per data point: %d (use --full for the paper's "
-              "50)\n\n",
-              reps);
+              "50); campaign workers: %d (--jobs / RRSIM_JOBS)\n\n",
+              reps, exec::default_jobs());
 }
 
 /// Runs `fn()` with top-level exception reporting; returns the process

@@ -6,7 +6,7 @@
 // paper quotes in prose ("beneficial in >85/90/95% of experiments").
 //
 //   ./fig1_relative_stretch [--reps=3|--full] [--hours=6] [--algo=easy]
-//                           [--seed=42] plus common flags.
+//                           [--seed=42] [--jobs=N] plus common flags.
 
 #include "bench_common.h"
 

@@ -5,6 +5,7 @@
 //
 //   ./grid_campaign [--clusters=10] [--scheme=HALF] [--reps=5] [--hours=6]
 //                   [--load=shared|peak|util] [--algo=easy] [--seed=1]
+//                   [--jobs=N]  (campaign worker threads; also RRSIM_JOBS)
 
 #include <cstdio>
 #include <exception>

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <exception>
+#include <stdexcept>
 
 #include "rrsim/des/simulation.h"
 #include "rrsim/sched/cbf.h"

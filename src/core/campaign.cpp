@@ -2,17 +2,33 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "rrsim/exec/campaign_runner.h"
 #include "rrsim/util/stats.h"
 
 namespace rrsim::core {
 
+// All three campaigns share the same execution shape: repetition r is an
+// independent simulation (or pair of simulations) seeded with
+// config.seed + r, and the aggregate is a fold over per-rep results in
+// repetition order. CampaignRunner::map_reduce runs the map stage on a
+// worker pool and the fold on the calling thread in order, so the output
+// is bit-identical for any --jobs value.
+
 RelativeMetrics run_relative_campaign(const ExperimentConfig& config,
-                                      int reps) {
+                                      int reps, int jobs) {
   if (reps < 1) throw std::invalid_argument("reps must be >= 1");
   if (config.scheme.is_none()) {
     throw std::invalid_argument("relative campaign needs a non-NONE scheme");
   }
+  struct RepOutcome {
+    bool valid = false;
+    double rel_stretch = 0.0;
+    double rel_cv = 0.0;
+    double rel_max = 0.0;
+    double rel_turnaround = 0.0;
+  };
   util::OnlineStats rel_stretch;
   util::OnlineStats rel_cv;
   util::OnlineStats rel_max;
@@ -20,28 +36,41 @@ RelativeMetrics run_relative_campaign(const ExperimentConfig& config,
   int wins = 0;
   RelativeMetrics out;
   out.per_rep_rel_stretch.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) {
-    ExperimentConfig with = config;
-    with.seed = config.seed + static_cast<std::uint64_t>(r);
-    ExperimentConfig without = with;
-    without.scheme = RedundancyScheme::none();
+  const exec::CampaignRunner runner(jobs);
+  runner.map_reduce(
+      reps,
+      [&config](int r) {
+        ExperimentConfig with = config;
+        with.seed = config.seed + static_cast<std::uint64_t>(r);
+        ExperimentConfig without = with;
+        without.scheme = RedundancyScheme::none();
 
-    const metrics::ScheduleMetrics m_with =
-        metrics::compute_metrics(run_experiment(with).records);
-    const metrics::ScheduleMetrics m_without =
-        metrics::compute_metrics(run_experiment(without).records);
-    if (m_without.avg_stretch <= 0.0 || m_without.cv_stretch_percent <= 0.0 ||
-        m_without.avg_turnaround <= 0.0 || m_without.max_stretch <= 0.0) {
-      continue;  // degenerate repetition (e.g. empty stream); skip
-    }
-    const double ratio = m_with.avg_stretch / m_without.avg_stretch;
-    rel_stretch.add(ratio);
-    rel_cv.add(m_with.cv_stretch_percent / m_without.cv_stretch_percent);
-    rel_max.add(m_with.max_stretch / m_without.max_stretch);
-    rel_turnaround.add(m_with.avg_turnaround / m_without.avg_turnaround);
-    if (ratio < 1.0) ++wins;
-    out.per_rep_rel_stretch.push_back(ratio);
-  }
+        const metrics::ScheduleMetrics m_with =
+            metrics::compute_metrics(run_experiment(with).records);
+        const metrics::ScheduleMetrics m_without =
+            metrics::compute_metrics(run_experiment(without).records);
+        RepOutcome o;
+        if (m_without.avg_stretch <= 0.0 ||
+            m_without.cv_stretch_percent <= 0.0 ||
+            m_without.avg_turnaround <= 0.0 || m_without.max_stretch <= 0.0) {
+          return o;  // degenerate repetition (e.g. empty stream); skip
+        }
+        o.valid = true;
+        o.rel_stretch = m_with.avg_stretch / m_without.avg_stretch;
+        o.rel_cv = m_with.cv_stretch_percent / m_without.cv_stretch_percent;
+        o.rel_max = m_with.max_stretch / m_without.max_stretch;
+        o.rel_turnaround = m_with.avg_turnaround / m_without.avg_turnaround;
+        return o;
+      },
+      [&](int, RepOutcome o) {
+        if (!o.valid) return;
+        rel_stretch.add(o.rel_stretch);
+        rel_cv.add(o.rel_cv);
+        rel_max.add(o.rel_max);
+        rel_turnaround.add(o.rel_turnaround);
+        if (o.rel_stretch < 1.0) ++wins;
+        out.per_rep_rel_stretch.push_back(o.rel_stretch);
+      });
   out.reps = rel_stretch.count();
   if (out.reps == 0) return out;
   out.rel_avg_stretch = rel_stretch.mean();
@@ -54,24 +83,28 @@ RelativeMetrics run_relative_campaign(const ExperimentConfig& config,
 }
 
 ClassifiedCampaign run_classified_campaign(const ExperimentConfig& config,
-                                           int reps) {
+                                           int reps, int jobs) {
   if (reps < 1) throw std::invalid_argument("reps must be >= 1");
   util::OnlineStats all;
   util::OnlineStats red;
   util::OnlineStats non;
   std::size_t red_jobs = 0;
   std::size_t non_jobs = 0;
-  for (int r = 0; r < reps; ++r) {
-    ExperimentConfig c = config;
-    c.seed = config.seed + static_cast<std::uint64_t>(r);
-    const metrics::ClassifiedMetrics m =
-        metrics::compute_classified_metrics(run_experiment(c).records);
-    if (m.all.jobs > 0) all.add(m.all.avg_stretch);
-    if (m.redundant.jobs > 0) red.add(m.redundant.avg_stretch);
-    if (m.non_redundant.jobs > 0) non.add(m.non_redundant.avg_stretch);
-    red_jobs += m.redundant.jobs;
-    non_jobs += m.non_redundant.jobs;
-  }
+  const exec::CampaignRunner runner(jobs);
+  runner.map_reduce(
+      reps,
+      [&config](int r) {
+        ExperimentConfig c = config;
+        c.seed = config.seed + static_cast<std::uint64_t>(r);
+        return metrics::compute_classified_metrics(run_experiment(c).records);
+      },
+      [&](int, metrics::ClassifiedMetrics m) {
+        if (m.all.jobs > 0) all.add(m.all.avg_stretch);
+        if (m.redundant.jobs > 0) red.add(m.redundant.avg_stretch);
+        if (m.non_redundant.jobs > 0) non.add(m.non_redundant.avg_stretch);
+        red_jobs += m.redundant.jobs;
+        non_jobs += m.non_redundant.jobs;
+      });
   ClassifiedCampaign out;
   out.reps = static_cast<std::size_t>(reps);
   out.avg_stretch_all = all.mean();
@@ -83,16 +116,23 @@ ClassifiedCampaign run_classified_campaign(const ExperimentConfig& config,
 }
 
 PredictionCampaign run_prediction_campaign(const ExperimentConfig& config,
-                                           int reps) {
+                                           int reps, int jobs) {
   if (reps < 1) throw std::invalid_argument("reps must be >= 1");
   metrics::JobRecords pooled;
-  for (int r = 0; r < reps; ++r) {
-    ExperimentConfig c = config;
-    c.seed = config.seed + static_cast<std::uint64_t>(r);
-    c.record_predictions = true;
-    SimResult res = run_experiment(c);
-    pooled.insert(pooled.end(), res.records.begin(), res.records.end());
-  }
+  const exec::CampaignRunner runner(jobs);
+  runner.map_reduce(
+      reps,
+      [&config](int r) {
+        ExperimentConfig c = config;
+        c.seed = config.seed + static_cast<std::uint64_t>(r);
+        c.record_predictions = true;
+        return run_experiment(c).records;
+      },
+      [&](int, metrics::JobRecords records) {
+        pooled.insert(pooled.end(),
+                      std::make_move_iterator(records.begin()),
+                      std::make_move_iterator(records.end()));
+      });
   PredictionCampaign out;
   out.reps = static_cast<std::size_t>(reps);
   out.all = metrics::compute_prediction_accuracy(pooled);

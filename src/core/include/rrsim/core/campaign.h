@@ -29,8 +29,14 @@ struct RelativeMetrics {
 /// the NONE baseline. Repetition r uses seed config.seed + r for both
 /// runs, so the job streams are identical within a pair. The scheme in
 /// `config` must not be NONE.
+///
+/// `jobs` is the worker-thread count for the repetitions (0 = the process
+/// default: --jobs flag, RRSIM_JOBS, or hardware concurrency — see
+/// rrsim/exec/campaign_runner.h). Results are bit-identical for any
+/// `jobs` value: repetitions are seeded by index and reduced in order.
+/// The same contract applies to the other campaigns below.
 RelativeMetrics run_relative_campaign(const ExperimentConfig& config,
-                                      int reps);
+                                      int reps, int jobs = 0);
 
 /// Absolute per-class metrics averaged over repetitions (Fig 4: average
 /// stretch of jobs using redundancy vs. jobs not using it).
@@ -46,7 +52,7 @@ struct ClassifiedCampaign {
 /// Runs `reps` repetitions of `config` and averages the per-class average
 /// stretches over the repetitions that have jobs of that class.
 ClassifiedCampaign run_classified_campaign(const ExperimentConfig& config,
-                                           int reps);
+                                           int reps, int jobs = 0);
 
 /// Prediction-accuracy study (Table 4), averaged over repetitions.
 struct PredictionCampaign {
@@ -59,6 +65,6 @@ struct PredictionCampaign {
 /// Runs `reps` repetitions with prediction recording forced on and
 /// aggregates the over-estimation ratios across all repetitions' jobs.
 PredictionCampaign run_prediction_campaign(const ExperimentConfig& config,
-                                           int reps);
+                                           int reps, int jobs = 0);
 
 }  // namespace rrsim::core

@@ -18,6 +18,9 @@
 //   --user-limit=L    per-user pending-request cap (0 = off)
 //   --users=U         users per cluster (population for the cap)
 //   --seed=S
+//   --jobs=N          campaign worker threads (also env RRSIM_JOBS;
+//                     default: hardware concurrency). Campaign results
+//                     are bit-identical for any N.
 #pragma once
 
 #include "rrsim/core/experiment.h"

@@ -1,6 +1,9 @@
 #include "rrsim/core/options.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "rrsim/exec/campaign_runner.h"
 
 namespace rrsim::core {
 
@@ -79,6 +82,14 @@ ExperimentConfig apply_common_flags(ExperimentConfig config,
   }
   if (cli.has("seed")) {
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  }
+  if (cli.has("jobs")) {
+    const std::int64_t jobs = cli.get_int("jobs", 0);
+    if (jobs < 1) {
+      throw std::invalid_argument("--jobs must be >= 1 (got " +
+                                  std::to_string(jobs) + ")");
+    }
+    exec::set_default_jobs(static_cast<int>(jobs));
   }
   return config;
 }

@@ -1,29 +1,29 @@
 #include "rrsim/des/simulation.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace rrsim::des {
 
-/// Shared state between the queue and any handles to the event.
-struct Simulation::EventHandle::State {
-  Callback callback;
-  bool cancelled = false;
-  bool fired = false;
-  std::size_t* live = nullptr;  // owner's live-event counter
-};
-
 bool Simulation::EventHandle::cancel() noexcept {
-  if (!state_ || state_->cancelled || state_->fired) return false;
-  state_->cancelled = true;
-  state_->callback = nullptr;  // release captured resources promptly
-  if (state_->live != nullptr && *state_->live > 0) --(*state_->live);
+  if (sim_ == nullptr || !sim_->is_live(slot_, gen_)) return false;
+  sim_->retire(slot_);  // drops the callback's captures promptly
+  if (sim_->live_ > 0) --sim_->live_;
+  sim_ = nullptr;
   return true;
 }
 
 bool Simulation::EventHandle::pending() const noexcept {
-  return state_ && !state_->cancelled && !state_->fired;
+  return sim_ != nullptr && sim_->is_live(slot_, gen_);
+}
+
+void Simulation::retire(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.callback = nullptr;  // drop captured resources; cheap if already moved
+  ++s.generation;
+  free_slots_.push_back(slot);
 }
 
 Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
@@ -32,12 +32,23 @@ Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
     throw std::invalid_argument("schedule_at: time must be finite and >= now");
   }
   if (!cb) throw std::invalid_argument("schedule_at: empty callback");
-  auto state = std::make_shared<EventHandle::State>();
-  state->callback = std::move(cb);
-  state->live = &live_;
-  queue_.push(QueueEntry{t, static_cast<int>(prio), next_seq_++, state});
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slots_.size() >= std::numeric_limits<std::uint32_t>::max()) {
+      throw std::length_error("schedule_at: event pool exhausted");
+    }
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.callback = std::move(cb);
+  queue_.push(QueueEntry{t, static_cast<int>(prio), next_seq_++, index,
+                         slot.generation});
   ++live_;
-  return EventHandle(std::move(state));
+  return EventHandle(this, index, slot.generation);
 }
 
 Simulation::EventHandle Simulation::schedule_in(Time dt, Callback cb,
@@ -48,15 +59,18 @@ Simulation::EventHandle Simulation::schedule_in(Time dt, Callback cb,
 
 bool Simulation::step() {
   while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
+    const QueueEntry entry = queue_.top();
     queue_.pop();
-    if (entry.state->cancelled) continue;
+    if (!is_live(entry.slot, entry.gen)) continue;  // cancelled; skip
     now_ = entry.time;
-    entry.state->fired = true;
+    // Move the callback out (single move-construction — cheaper than
+    // going through retire()'s assignment) and retire the slot *before*
+    // running it, so the callback can schedule new events (possibly
+    // reusing this slot) and outstanding handles read "fired".
+    Callback cb(std::move(slots_[entry.slot].callback));
+    retire(entry.slot);
     if (live_ > 0) --live_;
     ++dispatched_;
-    // Move out the callback so the state does not keep captures alive.
-    Callback cb = std::move(entry.state->callback);
     cb();
     return true;
   }
@@ -71,11 +85,12 @@ void Simulation::run() {
 void Simulation::run_until(Time t) {
   if (t < now_) throw std::invalid_argument("run_until: time in the past");
   while (!queue_.empty()) {
-    if (queue_.top().state->cancelled) {
+    const QueueEntry& top = queue_.top();
+    if (!is_live(top.slot, top.gen)) {
       queue_.pop();
       continue;
     }
-    if (queue_.top().time > t) break;
+    if (top.time > t) break;
     step();
   }
   now_ = t;

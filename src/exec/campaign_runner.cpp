@@ -1,0 +1,36 @@
+#include "rrsim/exec/campaign_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace rrsim::exec {
+
+namespace {
+std::atomic<int> g_default_jobs{0};
+
+int env_jobs() noexcept {
+  const char* env = std::getenv("RRSIM_JOBS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1 || v > 4096) return 0;
+  return static_cast<int>(v);
+}
+}  // namespace
+
+void set_default_jobs(int jobs) {
+  g_default_jobs.store(jobs < 0 ? 0 : jobs, std::memory_order_relaxed);
+}
+
+int resolve_jobs(int requested) noexcept {
+  if (requested >= 1) return requested;
+  const int configured = g_default_jobs.load(std::memory_order_relaxed);
+  if (configured >= 1) return configured;
+  const int from_env = env_jobs();
+  if (from_env >= 1) return from_env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace rrsim::exec

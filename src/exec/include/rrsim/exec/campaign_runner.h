@@ -1,0 +1,74 @@
+// Deterministic fan-out/ordered-reduce for campaigns.
+//
+// A campaign is `n` independent repetitions whose per-rep randomness is
+// derived from the repetition index (seed + r), so repetitions can run on
+// any thread in any order. Reproducibility then only requires that the
+// *reduction* over per-rep results happens in repetition order — which
+// CampaignRunner::map_reduce guarantees: map(r) runs concurrently,
+// reduce(r, result) runs on the calling thread for r = 0, 1, ..., n-1.
+// Results are therefore bit-identical for any worker count, including 1.
+#pragma once
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "rrsim/exec/thread_pool.h"
+
+namespace rrsim::exec {
+
+/// Process-wide default worker count used when a campaign is invoked with
+/// jobs = 0. Set from the --jobs flag (see core::apply_common_flags);
+/// 0 means "not configured".
+void set_default_jobs(int jobs);
+
+/// Resolves a requested worker count: `requested` if >= 1, else the value
+/// from set_default_jobs, else the RRSIM_JOBS environment variable, else
+/// std::thread::hardware_concurrency() (at least 1).
+int resolve_jobs(int requested) noexcept;
+
+/// resolve_jobs(0): the worker count campaigns use by default.
+inline int default_jobs() noexcept { return resolve_jobs(0); }
+
+/// Fans independent, index-seeded work items out across a worker pool and
+/// reduces their results in index order on the calling thread.
+class CampaignRunner {
+ public:
+  /// jobs = 0 resolves via resolve_jobs(); otherwise uses `jobs` workers.
+  explicit CampaignRunner(int jobs = 0) : jobs_(resolve_jobs(jobs)) {}
+
+  int jobs() const noexcept { return jobs_; }
+
+  /// Runs map(r) for r in [0, n), then calls reduce(r, std::move(result_r))
+  /// sequentially for r = 0..n-1 on the calling thread. With one worker
+  /// (or n <= 1) everything runs inline on the calling thread; either way
+  /// the reduce sequence — and hence the outcome — is identical.
+  /// The first exception (by repetition index) propagates to the caller.
+  template <typename Map, typename Reduce>
+  void map_reduce(int n, Map&& map, Reduce&& reduce) const {
+    using R = std::invoke_result_t<Map&, int>;
+    static_assert(!std::is_void_v<R>, "map must return the per-rep result");
+    if (n <= 0) return;
+    if (jobs_ <= 1 || n == 1) {
+      for (int r = 0; r < n; ++r) reduce(r, map(r));
+      return;
+    }
+    std::vector<std::optional<R>> results(static_cast<std::size_t>(n));
+    const int workers = jobs_ < n ? jobs_ : n;
+    {
+      ThreadPool pool(workers);
+      parallel_for_each(pool, n, [&](int r) {
+        results[static_cast<std::size_t>(r)].emplace(map(r));
+      });
+    }
+    for (int r = 0; r < n; ++r) {
+      reduce(r, std::move(*results[static_cast<std::size_t>(r)]));
+    }
+  }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace rrsim::exec

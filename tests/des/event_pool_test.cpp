@@ -1,0 +1,151 @@
+// Slab/free-list event pool behaviour: slot recycling, generation-checked
+// handles, and live-event accounting under churn. The observable kernel
+// semantics (ordering, cancellation) are covered by simulation_test.cpp;
+// this file pins down the pooling machinery those semantics now rest on.
+#include "rrsim/des/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rrsim/util/rng.h"
+
+namespace rrsim::des {
+namespace {
+
+TEST(EventPool, SlotsAreRecycledAfterFire) {
+  Simulation sim;
+  for (int round = 0; round < 100; ++round) {
+    sim.schedule_in(1.0, [] {});
+    sim.run();
+  }
+  // One slot serves all 100 sequential events.
+  EXPECT_EQ(sim.pool_capacity(), 1u);
+  EXPECT_EQ(sim.dispatched(), 100u);
+}
+
+TEST(EventPool, SlotsAreRecycledAfterCancel) {
+  Simulation sim;
+  for (int round = 0; round < 100; ++round) {
+    auto h = sim.schedule_in(1.0, [] {});
+    EXPECT_TRUE(h.cancel());
+  }
+  EXPECT_EQ(sim.pool_capacity(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.dispatched(), 0u);
+}
+
+TEST(EventPool, StaleHandleCannotCancelRecycledSlot) {
+  Simulation sim;
+  bool second_fired = false;
+  auto first = sim.schedule_at(1.0, [] {});
+  ASSERT_TRUE(first.cancel());
+  // The new event reuses the cancelled event's slot (same capacity)...
+  auto second = sim.schedule_at(2.0, [&] { second_fired = true; });
+  EXPECT_EQ(sim.pool_capacity(), 1u);
+  // ...but the stale handle's generation no longer matches, so it is
+  // inert and cannot reach the new occupant.
+  EXPECT_FALSE(first.pending());
+  EXPECT_FALSE(first.cancel());
+  EXPECT_TRUE(second.pending());
+  sim.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventPool, StaleHandleAfterFireIsInertAgainstReuse) {
+  Simulation sim;
+  auto first = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(first.pending());
+  bool fired = false;
+  auto second = sim.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_FALSE(first.cancel());  // must not cancel the slot's new occupant
+  EXPECT_TRUE(second.pending());
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventPool, CancelAfterFireIsNoOp) {
+  Simulation sim;
+  int fired = 0;
+  auto h = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.cancel());
+  EXPECT_FALSE(h.cancel());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(EventPool, CopiedHandlesShareCancellation) {
+  Simulation sim;
+  auto a = sim.schedule_at(1.0, [] {});
+  auto b = a;  // handles are cheap value types
+  EXPECT_TRUE(b.pending());
+  EXPECT_TRUE(a.cancel());
+  EXPECT_FALSE(b.pending());
+  EXPECT_FALSE(b.cancel());
+}
+
+TEST(EventPool, CallbackSchedulingReusesTheFiringSlot) {
+  Simulation sim;
+  bool inner_fired = false;
+  sim.schedule_at(1.0, [&] {
+    // The firing event's slot was retired before this callback runs, so
+    // the nested schedule may legally reuse it.
+    sim.schedule_at(2.0, [&] { inner_fired = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(inner_fired);
+  EXPECT_EQ(sim.pool_capacity(), 1u);
+  EXPECT_EQ(sim.dispatched(), 2u);
+}
+
+TEST(EventPool, PendingAccountingUnderChurn) {
+  // Random interleaving of schedules, cancels and steps; pending_events()
+  // must track the live count exactly throughout.
+  util::Rng rng(7);
+  Simulation sim;
+  std::vector<Simulation::EventHandle> handles;
+  std::size_t expected_live = 0;
+  for (int op = 0; op < 5000; ++op) {
+    const double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.5) {
+      handles.push_back(
+          sim.schedule_in(rng.uniform(0.0, 10.0), [] {},
+                          static_cast<Priority>(rng.below(4))));
+      ++expected_live;
+    } else if (dice < 0.8 && !handles.empty()) {
+      const std::size_t pick = rng.below(handles.size());
+      if (handles[pick].cancel()) --expected_live;
+    } else {
+      if (sim.step()) --expected_live;
+    }
+    ASSERT_EQ(sim.pending_events(), expected_live) << "op " << op;
+  }
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // Churn recycles slots: the slab stays far smaller than the number of
+  // events that passed through it.
+  EXPECT_LT(sim.pool_capacity(), 5000u);
+}
+
+TEST(EventPool, GenerationSurvivesManyRecyclesOfOneSlot) {
+  Simulation sim;
+  Simulation::EventHandle stale;
+  for (int i = 0; i < 10000; ++i) {
+    auto h = sim.schedule_in(1.0, [] {});
+    if (i == 0) stale = h;
+    ASSERT_TRUE(h.cancel());
+  }
+  EXPECT_EQ(sim.pool_capacity(), 1u);
+  EXPECT_FALSE(stale.pending());
+  EXPECT_FALSE(stale.cancel());
+  bool fired = false;
+  sim.schedule_in(1.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace rrsim::des

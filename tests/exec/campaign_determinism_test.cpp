@@ -1,0 +1,104 @@
+// The determinism contract of the parallel campaign layer: campaign
+// results are *bit-identical* for any worker count, because repetition r
+// derives its randomness from config.seed + r and the reduction over
+// per-rep results runs in repetition order. Every comparison below is
+// exact (EXPECT_EQ on doubles), not approximate.
+#include "rrsim/core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "rrsim/core/paper.h"
+
+namespace rrsim::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig c = figure_config_quick();
+  c.n_clusters = 3;
+  c.submit_horizon = 0.3 * 3600.0;
+  c.seed = 17;
+  return c;
+}
+
+void expect_identical(const RelativeMetrics& a, const RelativeMetrics& b,
+                      int jobs) {
+  EXPECT_EQ(a.reps, b.reps) << "jobs=" << jobs;
+  EXPECT_EQ(a.rel_avg_stretch, b.rel_avg_stretch) << "jobs=" << jobs;
+  EXPECT_EQ(a.rel_cv_stretch, b.rel_cv_stretch) << "jobs=" << jobs;
+  EXPECT_EQ(a.rel_max_stretch, b.rel_max_stretch) << "jobs=" << jobs;
+  EXPECT_EQ(a.rel_avg_turnaround, b.rel_avg_turnaround) << "jobs=" << jobs;
+  EXPECT_EQ(a.win_rate, b.win_rate) << "jobs=" << jobs;
+  EXPECT_EQ(a.worst_rel_stretch, b.worst_rel_stretch) << "jobs=" << jobs;
+  EXPECT_EQ(a.per_rep_rel_stretch, b.per_rep_rel_stretch) << "jobs=" << jobs;
+}
+
+TEST(CampaignDeterminism, RelativeCampaignIdenticalAcrossJobCounts) {
+  ExperimentConfig c = tiny_config();
+  c.scheme = RedundancyScheme::fixed(2);
+  const RelativeMetrics serial = run_relative_campaign(c, 6, 1);
+  ASSERT_GT(serial.reps, 0u);
+  for (int jobs : {2, 8}) {
+    const RelativeMetrics parallel = run_relative_campaign(c, 6, jobs);
+    expect_identical(serial, parallel, jobs);
+  }
+}
+
+TEST(CampaignDeterminism, ClassifiedCampaignIdenticalAcrossJobCounts) {
+  ExperimentConfig c = tiny_config();
+  c.scheme = RedundancyScheme::all();
+  c.redundant_fraction = 0.5;
+  const ClassifiedCampaign serial = run_classified_campaign(c, 6, 1);
+  for (int jobs : {2, 8}) {
+    const ClassifiedCampaign parallel = run_classified_campaign(c, 6, jobs);
+    EXPECT_EQ(serial.reps, parallel.reps) << "jobs=" << jobs;
+    EXPECT_EQ(serial.avg_stretch_all, parallel.avg_stretch_all)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.avg_stretch_redundant, parallel.avg_stretch_redundant)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.avg_stretch_non_redundant,
+              parallel.avg_stretch_non_redundant)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.redundant_jobs, parallel.redundant_jobs)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.non_redundant_jobs, parallel.non_redundant_jobs)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(CampaignDeterminism, PredictionCampaignIdenticalAcrossJobCounts) {
+  ExperimentConfig c = tiny_config();
+  c.algorithm = sched::Algorithm::kCbf;
+  c.estimator = "uniform216";
+  c.scheme = RedundancyScheme::all();
+  c.redundant_fraction = 0.4;
+  const PredictionCampaign serial = run_prediction_campaign(c, 4, 1);
+  ASSERT_GT(serial.all.jobs, 0u);
+  for (int jobs : {2, 8}) {
+    const PredictionCampaign parallel = run_prediction_campaign(c, 4, jobs);
+    EXPECT_EQ(serial.all.jobs, parallel.all.jobs) << "jobs=" << jobs;
+    EXPECT_EQ(serial.all.avg_ratio, parallel.all.avg_ratio)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.redundant.jobs, parallel.redundant.jobs)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.redundant.avg_ratio, parallel.redundant.avg_ratio)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.non_redundant.jobs, parallel.non_redundant.jobs)
+        << "jobs=" << jobs;
+    EXPECT_EQ(serial.non_redundant.avg_ratio,
+              parallel.non_redundant.avg_ratio)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(CampaignDeterminism, RepeatedParallelRunsAreStable) {
+  // Two identical parallel invocations must agree with each other, not
+  // just with the serial run (guards against iteration-order luck).
+  ExperimentConfig c = tiny_config();
+  c.scheme = RedundancyScheme::half();
+  const RelativeMetrics a = run_relative_campaign(c, 5, 8);
+  const RelativeMetrics b = run_relative_campaign(c, 5, 8);
+  expect_identical(a, b, 8);
+}
+
+}  // namespace
+}  // namespace rrsim::core
