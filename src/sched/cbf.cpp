@@ -1,39 +1,72 @@
 #include "rrsim/sched/cbf.h"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace rrsim::sched {
 
 void CbfScheduler::handle_submit(Job job) {
   const Time now = sim_.now();
+  // GC: every reservation whose interval expired leaves dead breakpoints
+  // behind; submissions are the steady pulse that sweeps them.
+  profile_.prune_before(now);
   const Time s =
       profile_.earliest_start(now, job.nodes, job.requested_time);
   profile_.reserve(s, job.requested_time, job.nodes);
   record_prediction(job.id, s);  // the Section 5 predictor
-  queue_.push_back(Entry{std::move(job), s});
+  const JobId id = job.id;
+  const std::uint64_t seq = next_seq_++;
+  pos_.emplace(id, queue_.size());
+  queue_.push_back(Entry{std::move(job), s, seq});
+  heap_.push(HeapEntry{s, seq, id});
   dispatch_ready();
 }
 
 Job CbfScheduler::handle_cancel(JobId id) {
-  const auto it =
-      std::find_if(queue_.begin(), queue_.end(),
-                   [id](const Entry& e) { return e.job.id == id; });
-  if (it == queue_.end()) {
+  const auto it = pos_.find(id);
+  if (it == pos_.end()) {
     throw std::logic_error("cbf: cancel of non-pending job");
   }
-  Job job = it->job;
-  queue_.erase(it);
-  rebuild_profile();  // freed slot: pull later reservations earlier
+  const std::size_t k = it->second;
+  Job job = std::move(queue_[k].job);
+  const Time r = queue_[k].reserved_start;
+  erase_entry(k);
+  if (compress_ && incremental_base_ok()) {
+    // Freed slot: drop the reservation in place and pull the suffix
+    // earlier. The prefix cannot move (its slots depend only on the
+    // running set and earlier positions), so this equals a rebuild.
+    release_reservation(r, job.requested_time, job.nodes);
+    compress_from(k);
+  } else {
+    rebuild_profile();
+  }
+  if (self_check_) verify_against_rebuild();
   dispatch_ready();
   return job;
 }
 
 void CbfScheduler::handle_completion(const Job& job) {
+  Time stored_end = 0.0;
+  const auto se = running_end_.find(job.id);
+  if (se != running_end_.end()) {
+    stored_end = se->second;
+    running_end_.erase(se);
+  }
   const bool early =
       job.finish_time < job.start_time + job.requested_time;
   if (early && compress_) {
-    rebuild_profile();
+    if (incremental_base_ok()) {
+      // Release the unused tail of the conservative footprint, then pull
+      // every reservation as early as possible.
+      const Time now = sim_.now();
+      if (stored_end > now) {
+        profile_.release_until(now, stored_end, job.nodes);
+      }
+      compress_from(0);
+    } else {
+      rebuild_profile();
+    }
+    if (self_check_) verify_against_rebuild();
   }
   dispatch_ready();
 }
@@ -46,64 +79,200 @@ std::vector<const Job*> CbfScheduler::pending_in_order() const {
 }
 
 std::optional<Time> CbfScheduler::current_reservation(JobId id) const {
-  for (const Entry& e : queue_) {
-    if (e.job.id == id) return e.reserved_start;
+  const auto it = pos_.find(id);
+  if (it == pos_.end()) return std::nullopt;
+  return queue_[it->second].reserved_start;
+}
+
+bool CbfScheduler::entry_current(const HeapEntry& e) const {
+  const auto it = pos_.find(e.id);
+  if (it == pos_.end()) return false;
+  const Entry& entry = queue_[it->second];
+  return entry.seq == e.seq && entry.reserved_start == e.time;
+}
+
+void CbfScheduler::erase_entry(std::size_t k) {
+  pos_.erase(queue_[k].job.id);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(k));
+  for (std::size_t i = k; i < queue_.size(); ++i) {
+    pos_[queue_[i].job.id] = i;
   }
-  return std::nullopt;
+}
+
+void CbfScheduler::release_reservation(Time r, Time req, int nodes) {
+  const Time now = sim_.now();
+  if (r >= now) {
+    profile_.release(r, req, nodes);
+    return;
+  }
+  // Reservation already partially in the past (a due-but-blocked job):
+  // only its future part is releasable. The end boundary must be the
+  // exact breakpoint reserve() created, hence the absolute-interval form.
+  const Time end = r + req;
+  if (end > now) profile_.release_until(now, end, nodes);
+}
+
+bool CbfScheduler::incremental_base_ok() const {
+  const Time now = sim_.now();
+  for (const auto& [id, job] : running_jobs()) {
+    const Time end = job.start_time + job.requested_time;
+    if (end <= now) continue;  // footprint contributes nothing ahead
+    const auto it = running_end_.find(id);
+    if (it == running_end_.end() || it->second != end) return false;
+    if (now + (end - now) != end) return false;
+  }
+  return true;
+}
+
+void CbfScheduler::compress_from(std::size_t from_pos) {
+  count_pass();
+  const Time now = sim_.now();
+  // Release the whole suffix before re-reserving any of it: re-reserving
+  // one job at a time around still-standing later reservations is NOT
+  // equivalent to a rebuild (a later job can grab the freed slot first).
+  for (std::size_t i = from_pos; i < queue_.size(); ++i) {
+    const Entry& e = queue_[i];
+    release_reservation(e.reserved_start, e.job.requested_time,
+                        e.job.nodes);
+  }
+  for (std::size_t i = from_pos; i < queue_.size(); ++i) {
+    Entry& e = queue_[i];
+    const Time s =
+        profile_.earliest_start(now, e.job.nodes, e.job.requested_time);
+    profile_.reserve(s, e.job.requested_time, e.job.nodes);
+    if (s != e.reserved_start) {
+      e.reserved_start = s;
+      heap_.push(HeapEntry{s, e.seq, e.job.id});
+    }
+  }
 }
 
 void CbfScheduler::rebuild_profile() {
   count_pass();
+  ++rebuilds_;
   const Time now = sim_.now();
-  profile_ = Profile(total_nodes());
-  for (const auto& [end, nodes] : running_requested_ends()) {
-    if (end > now) profile_.reserve(now, end - now, nodes);
+  profile_.reset();
+  running_end_.clear();
+  for (const auto& [id, job] : running_jobs()) {
+    const Time end = job.start_time + job.requested_time;
+    if (end > now) {
+      profile_.reserve(now, end - now, job.nodes);
+      // The stored breakpoint is now + (end - now), which is where the
+      // reserve above actually put it — not necessarily `end`.
+      running_end_[id] = now + (end - now);
+    }
   }
   for (Entry& e : queue_) {
-    e.reserved_start =
+    const Time s =
         profile_.earliest_start(now, e.job.nodes, e.job.requested_time);
-    profile_.reserve(e.reserved_start, e.job.requested_time, e.job.nodes);
+    profile_.reserve(s, e.job.requested_time, e.job.nodes);
+    if (s != e.reserved_start) {
+      e.reserved_start = s;
+      heap_.push(HeapEntry{s, e.seq, e.job.id});
+    }
   }
 }
 
 void CbfScheduler::dispatch_ready() {
   count_pass();
-  const Time now = sim_.now();
-  bool again = true;
-  while (again) {
-    again = false;
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->reserved_start > now) continue;
-      if (it->job.nodes > free_nodes()) {
-        // The reservation is due but a same-timestamp completion has not
-        // freed its nodes yet (completion events of equal time drain one
-        // at a time). That completion will re-enter dispatch_ready;
-        // starting must wait for it.
+  // Reservations whose time has arrived, collected from the heap. Entries
+  // stay in `due` across start attempts and are revalidated each round:
+  // a start can trigger callbacks that cancel or compress reentrantly.
+  std::vector<HeapEntry> due;
+  for (;;) {
+    const Time now = sim_.now();
+    while (!heap_.empty() && heap_.top().time <= now) {
+      const HeapEntry e = heap_.top();
+      heap_.pop();
+      if (entry_current(e)) due.push_back(e);
+    }
+    // The first due-and-fitting job in queue order starts; the minimum
+    // seq among due entries is that job.
+    std::size_t best = due.size();
+    for (std::size_t i = 0; i < due.size(); ++i) {
+      if (!entry_current(due[i])) continue;
+      const Entry& entry = queue_[pos_.find(due[i].id)->second];
+      if (entry.job.nodes > free_nodes()) {
+        // Due, but a same-timestamp completion has not freed its nodes
+        // yet (equal-time completions drain one at a time). That
+        // completion will re-enter dispatch_ready; starting must wait.
         continue;
       }
-      Job job = it->job;
-      queue_.erase(it);
-      if (!try_start(std::move(job))) {
-        // Declined: its reservation must be released so later jobs can
-        // move up; rebuild and rescan.
+      if (best == due.size() || due[i].seq < due[best].seq) best = i;
+    }
+    if (best == due.size()) break;
+    const JobId id = due[best].id;
+    const std::size_t k = pos_.find(id)->second;
+    const Time r = queue_[k].reserved_start;
+    const Time req = queue_[k].job.requested_time;
+    const int nodes = queue_[k].job.nodes;
+    Job job = std::move(queue_[k].job);
+    erase_entry(k);
+    if (try_start(std::move(job))) {
+      // Its footprint in the profile is the reservation it held.
+      running_end_.emplace(id, r + req);
+    } else {
+      // Declined: its reservation must be released so later jobs can
+      // move up.
+      if (compress_ && incremental_base_ok()) {
+        release_reservation(r, req, nodes);
+        compress_from(k);
+      } else {
         rebuild_profile();
       }
-      again = true;
-      break;  // iterators invalidated either way
+      if (self_check_) verify_against_rebuild();
     }
   }
   // Wake up at the next future reservation. Entries already due but
   // blocked on a same-timestamp completion need no wake-up: that
   // completion re-enters dispatch_ready after freeing its nodes.
   wakeup_.cancel();
-  Time next = des::kTimeInfinity;
-  for (const Entry& e : queue_) {
-    if (e.reserved_start > now) next = std::min(next, e.reserved_start);
+  const Time now = sim_.now();
+  for (const HeapEntry& e : due) {
+    if (entry_current(e)) heap_.push(e);  // blocked: keep indexed
   }
+  Time next = des::kTimeInfinity;
+  std::vector<HeapEntry> keep;
+  while (!heap_.empty()) {
+    const HeapEntry e = heap_.top();
+    if (!entry_current(e)) {
+      heap_.pop();  // superseded assignment: drop it for good
+      continue;
+    }
+    if (e.time <= now) {
+      heap_.pop();  // due-but-blocked: look past it for the wake-up
+      keep.push_back(e);
+      continue;
+    }
+    next = e.time;
+    break;
+  }
+  for (const HeapEntry& e : keep) heap_.push(e);
   if (next < des::kTimeInfinity) {
     wakeup_ = sim_.schedule_at(
         next, [this] { dispatch_ready(); }, des::Priority::kControl);
   }
+}
+
+void CbfScheduler::verify_against_rebuild() {
+  const Time now = sim_.now();
+  Profile& oracle = rebuild_scratch_;
+  oracle.reset();
+  for (const auto& kv : running_jobs()) {
+    const Job& job = kv.second;
+    const Time end = job.start_time + job.requested_time;
+    if (end > now) oracle.reserve(now, end - now, job.nodes);
+  }
+  bool ok = true;
+  for (const Entry& e : queue_) {
+    const Time s =
+        oracle.earliest_start(now, e.job.nodes, e.job.requested_time);
+    oracle.reserve(s, e.job.requested_time, e.job.nodes);
+    if (s != e.reserved_start) ok = false;
+  }
+  if (ok && profile_.future_equals(oracle, now)) return;
+  ++self_check_fallbacks_;
+  rebuild_profile();  // adopt the oracle's answer; behaviour stays right
 }
 
 }  // namespace rrsim::sched

@@ -22,7 +22,15 @@ Job EasyScheduler::handle_cancel(JobId id) {
   throw std::logic_error("easy: cancel of non-pending job");
 }
 
-void EasyScheduler::handle_completion(const Job&) { schedule_pass(); }
+void EasyScheduler::handle_completion(const Job& job) {
+  const auto it = running_ends_.find(
+      {job.start_time + job.requested_time, job.nodes});
+  if (it == running_ends_.end()) {
+    throw std::logic_error("easy: finished job missing from running_ends_");
+  }
+  running_ends_.erase(it);  // erase one instance, not all duplicates
+  schedule_pass();
+}
 
 std::vector<const Job*> EasyScheduler::pending_in_order() const {
   std::vector<const Job*> out;
@@ -33,10 +41,8 @@ std::vector<const Job*> EasyScheduler::pending_in_order() const {
 
 EasyScheduler::Shadow EasyScheduler::compute_shadow() const {
   const Job& head = queue_.front();
-  auto ends = running_requested_ends();
-  std::sort(ends.begin(), ends.end());
   int avail = free_nodes();
-  for (const auto& [end, nodes] : ends) {
+  for (const auto& [end, nodes] : running_ends_) {
     avail += nodes;
     if (avail >= head.nodes) {
       return Shadow{end, avail - head.nodes};
@@ -53,6 +59,16 @@ std::optional<Time> EasyScheduler::head_shadow_time() const {
   return compute_shadow().time;
 }
 
+bool EasyScheduler::start_and_track(Job job) {
+  const Time end = sim_.now() + job.requested_time;
+  const int nodes = job.nodes;
+  if (!try_start(std::move(job))) return false;
+  // `end` equals start_time + requested_time: try_start stamps
+  // start_time with the same now used above.
+  running_ends_.emplace(end, nodes);
+  return true;
+}
+
 void EasyScheduler::schedule_pass() {
   count_pass();
   for (;;) {
@@ -60,7 +76,7 @@ void EasyScheduler::schedule_pass() {
     while (!queue_.empty() && queue_.front().nodes <= free_nodes()) {
       Job job = std::move(queue_.front());
       queue_.pop_front();
-      try_start(std::move(job));
+      start_and_track(std::move(job));
     }
     if (queue_.empty()) return;
 
@@ -80,7 +96,7 @@ void EasyScheduler::schedule_pass() {
         Job job = *it;
         it = queue_.erase(it);
         if (!ends_before_shadow) shadow.extra -= job.nodes;
-        if (!try_start(std::move(job))) {
+        if (!start_and_track(std::move(job))) {
           // Decline: the start did not happen, so the shadow bookkeeping
           // above may now be stale; restart the whole pass.
           queue_changed = true;

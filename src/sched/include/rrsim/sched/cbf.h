@@ -4,8 +4,18 @@
 // frog in start order but never push anyone's reservation back. The
 // reservation made at submit time doubles as the scheduler's queue-wait
 // prediction, which Section 5 of the paper studies.
+//
+// The implementation is incremental: cancels, declines and early
+// completions release their reservation in place (Profile::release) and
+// re-reserve only the queue suffix whose slots can actually move, instead
+// of rebuilding the whole profile from scratch. Redundant-request
+// workloads are cancel-heavy by construction (degree N costs up to N-1
+// cancels per grid job), so this is the scheduler's hottest path.
 #pragma once
 
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "rrsim/sched/profile.h"
@@ -17,24 +27,46 @@ namespace rrsim::sched {
 class CbfScheduler final : public ClusterScheduler {
  public:
   /// `compress_on_early_completion`: when a job finishes before its
-  /// requested time, rebuild the profile and pull every reservation as
-  /// early as possible (the "compression" step of the published
-  /// algorithm). Disable for very deep queues where O(Q^2) compression
-  /// dominates; predictions and correctness are unaffected, only
-  /// responsiveness to early completions.
+  /// requested time, release the unused tail of its footprint and pull
+  /// every reservation as early as possible (the "compression" step of
+  /// the published algorithm). Disable for very deep queues where O(Q)
+  /// compression per completion dominates; predictions and correctness
+  /// are unaffected, only responsiveness to early completions.
   CbfScheduler(des::Simulation& sim, int total_nodes,
                bool compress_on_early_completion = true)
       : ClusterScheduler(sim, total_nodes),
         compress_(compress_on_early_completion),
-        profile_(total_nodes) {}
+        profile_(total_nodes),
+        rebuild_scratch_(total_nodes) {}
 
   std::string name() const override { return "cbf"; }
   std::size_t queue_length() const override { return queue_.size(); }
 
   /// Current (possibly compressed) reservation for a pending job, or
   /// nullopt if the job is not pending. The *submit-time* value is
-  /// available via predicted_start_at_submit().
+  /// available via predicted_start_at_submit(). O(1).
   std::optional<Time> current_reservation(JobId id) const;
+
+  /// Enables the incremental-vs-rebuild oracle: after every profile
+  /// mutation, the incremental state (profile + reservations) is checked
+  /// against a from-scratch rebuild. A mismatch adopts the rebuild result
+  /// (so behaviour stays correct) and increments self_check_fallbacks().
+  /// Off by default — this is the debug/test invariant check, O(Q) per
+  /// operation.
+  void set_self_check(bool on) { self_check_ = on; }
+
+  /// Number of self-check mismatches that forced a rebuild fallback.
+  /// Tests assert this stays 0; anything else means the incremental
+  /// update diverged from the published rebuild semantics.
+  std::uint64_t self_check_fallbacks() const noexcept {
+    return self_check_fallbacks_;
+  }
+
+  /// Number of from-scratch profile rebuilds performed (the fallback
+  /// path). With compression enabled this should be a small fraction of
+  /// cancels — it only runs when incremental_base_ok() detects that a
+  /// rebuild's floating-point snapping would not be a no-op.
+  std::uint64_t rebuilds() const noexcept { return rebuilds_; }
 
  protected:
   void handle_submit(Job job) override;
@@ -46,21 +78,85 @@ class CbfScheduler final : public ClusterScheduler {
   struct Entry {
     Job job;
     Time reserved_start = 0.0;
+    std::uint64_t seq = 0;  ///< submission order, strictly increasing
   };
 
-  /// Rebuilds the profile from the running set (requested ends) and
-  /// re-reserves every queued job in FCFS order; reservations can only
-  /// move earlier.
+  /// Lazily-invalidated wake-up/dispatch index: one entry per reservation
+  /// assignment. An entry is current iff the job is still queued with the
+  /// same seq and reserved_start (reservations only move earlier, so a
+  /// superseded entry never shadows the live one at the heap top).
+  struct HeapEntry {
+    Time time;
+    std::uint64_t seq;
+    JobId id;
+  };
+  struct HeapLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// True if `e` still describes a queued reservation.
+  bool entry_current(const HeapEntry& e) const;
+
+  /// Removes queue position `k`, keeping the id->position index in step.
+  void erase_entry(std::size_t k);
+
+  /// Releases reservation [r, r+req) from the profile, clipped to the
+  /// future (the part before `now` may already have been pruned).
+  void release_reservation(Time r, Time req, int nodes);
+
+  /// True if an incremental compression would reproduce a from-scratch
+  /// rebuild bit-exactly. A rebuild re-reserves every running footprint
+  /// as [now, now + (end - now)); the incremental profile keeps the
+  /// breakpoint the footprint was created with. Those agree only when
+  /// `now + (end - now) == end` holds in double arithmetic for every
+  /// running job (it usually does, but it is not an FP identity) and the
+  /// stored breakpoint is still the job's true requested end. O(running).
+  bool incremental_base_ok() const;
+
+  /// Compression after capacity was freed: releases every reservation at
+  /// queue position >= from_pos and greedily re-reserves them in FCFS
+  /// order. Positions before from_pos cannot move — a job's reservation
+  /// depends only on the running set and *earlier* queue positions — so
+  /// this computes exactly what a from-scratch rebuild would, touching
+  /// only the suffix. Callers must have checked incremental_base_ok().
+  void compress_from(std::size_t from_pos);
+
+  /// From-scratch fallback: resets the profile (in place) from the
+  /// running set and re-reserves every queued job in FCFS order;
+  /// reservations can only move earlier. Used when compression is
+  /// disabled (the profile may then hold conservative "ghost" footprints
+  /// of early-finished jobs that a rebuild must drop), when
+  /// incremental_base_ok() fails, and by the self-check fallback.
   void rebuild_profile();
 
   /// Starts every queued job whose reservation time has arrived, then
   /// schedules a wake-up at the next reservation.
   void dispatch_ready();
 
+  /// Self-check oracle body: compares incremental state against a
+  /// from-scratch rebuild into rebuild_scratch_.
+  void verify_against_rebuild();
+
   bool compress_;
   std::vector<Entry> queue_;  // FCFS order
   Profile profile_;
+  std::unordered_map<JobId, std::size_t> pos_;  // id -> queue position
+  /// Where each running job's footprint actually ends *in the profile*:
+  /// its reservation end at start time, possibly re-snapped by a later
+  /// rebuild. Tail releases on early completion must use this value, not
+  /// a recomputed end, to invert the stored reservation bit-exactly.
+  std::unordered_map<JobId, Time> running_end_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap_;
+  std::uint64_t next_seq_ = 0;
   des::Simulation::EventHandle wakeup_;
+
+  bool self_check_ = false;
+  std::uint64_t self_check_fallbacks_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  Profile rebuild_scratch_;
 };
 
 }  // namespace rrsim::sched

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <deque>
+#include <set>
+#include <utility>
 
 #include "rrsim/sched/scheduler.h"
 
@@ -38,15 +40,24 @@ class EasyScheduler final : public ClusterScheduler {
     int extra = 0;    ///< nodes free at that moment beyond the head's need
   };
 
-  /// Computes the head's shadow from the running set. Requires a
-  /// non-empty queue and that the head does not currently fit.
+  /// Computes the head's shadow by walking running_ends_ in end order.
+  /// Requires a non-empty queue and that the head does not currently fit.
   Shadow compute_shadow() const;
 
   /// One full scheduling pass: start from the head while possible, then
   /// backfill. Re-runs itself after any decline (queue shape changed).
   void schedule_pass();
 
+  /// Starts `job` via try_start and, on success, records its requested
+  /// end in running_ends_. `now + job.requested_time` must be computed
+  /// before the move, hence the helper.
+  bool start_and_track(Job job);
+
   std::deque<Job> queue_;
+  /// Running jobs as (requested_end, nodes), kept sorted across
+  /// start/finish so compute_shadow never re-sorts the running set. The
+  /// pair ordering matches what sorting running_requested_ends() yielded.
+  std::multiset<std::pair<Time, int>> running_ends_;
 };
 
 }  // namespace rrsim::sched

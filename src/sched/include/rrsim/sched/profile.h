@@ -16,9 +16,12 @@ using des::Time;
 ///
 /// Represented as breakpoints (t_i, free_i), sorted by t_i, meaning
 /// `free_i` nodes are available on [t_i, t_{i+1}); the last segment extends
-/// to infinity. Reservations subtract capacity over an interval; releases
-/// are done by rebuilding (profiles are small and rebuilds keep the
-/// invariants trivially true).
+/// to infinity. Reservations subtract capacity over an interval and
+/// release() adds it back in place, so cancel-heavy callers (CBF under
+/// redundant-request churn) never rebuild from scratch. The representation
+/// is kept canonical — adjacent segments always have distinct levels — and
+/// point lookups remember the last segment touched, so the sequential
+/// access pattern of backfilling scans stays O(1) per step.
 class Profile {
  public:
   /// A profile with `total_nodes` free everywhere. Throws
@@ -43,8 +46,40 @@ class Profile {
 
   /// Removes `nodes` nodes from the free count over
   /// [start, start + duration). Throws std::logic_error if that would make
-  /// any segment negative (callers must reserve only feasible slots).
+  /// any segment negative (callers must reserve only feasible slots); the
+  /// profile is unchanged when it throws.
   void reserve(Time start, Time duration, int nodes);
+
+  /// Exact inverse of reserve(): adds `nodes` back over
+  /// [start, start + duration). Throws std::logic_error if that would push
+  /// any segment above total_nodes() — i.e. if no matching reservation
+  /// covers the interval; the profile is unchanged when it throws.
+  void release(Time start, Time duration, int nodes);
+
+  /// release() with an absolute interval [start, end). Callers releasing
+  /// the *tail* of a reservation (from "now" to its end) must use this
+  /// form: the end boundary has to hit the breakpoint the original
+  /// reserve() created bit-exactly, and round-tripping it through a
+  /// duration (`end - start`) can move it by an ulp.
+  void release_until(Time start, Time end, int nodes);
+
+  /// Returns to the fully-free state without releasing storage, so a
+  /// scratch profile can be reused across predictions/rebuilds with no
+  /// reallocation.
+  void reset();
+
+  /// Garbage-collects breakpoints strictly before the segment containing
+  /// `t`: long-lived incremental profiles would otherwise accumulate one
+  /// dead breakpoint per expired reservation. Queries earlier than `t`
+  /// afterwards report the level of the earliest retained segment; the
+  /// function on [t, +inf) is unchanged.
+  void prune_before(Time t);
+
+  /// True if this profile and `other` describe the same free-node function
+  /// on [from, +inf). Both operands being canonical (no adjacent equal
+  /// levels), this compares the level at `from` and every later
+  /// breakpoint. Used by the incremental-vs-rebuild invariant checks.
+  bool future_equals(const Profile& other, Time from) const;
 
   /// Breakpoints, for inspection/tests.
   const std::vector<std::pair<Time, int>>& steps() const noexcept {
@@ -52,11 +87,26 @@ class Profile {
   }
 
  private:
+  /// Index of the segment containing `t` (hinted: sequential lookups near
+  /// the previous one skip the binary search).
+  std::size_t segment_index(Time t) const;
+
   /// Ensures a breakpoint exists exactly at `t`; returns its index.
   std::size_t split_at(Time t);
 
+  /// Adds `delta` to every segment level in [start, end), after checking
+  /// the result stays within [0, total]. Shared by reserve() and
+  /// release()/release_until().
+  void apply(Time start, Time end, int delta);
+
+  /// Restores canonicality around the just-modified index range
+  /// [first, last]: removes any breakpoint whose level equals its
+  /// predecessor's.
+  void coalesce_around(std::size_t first, std::size_t last);
+
   int total_;
   std::vector<std::pair<Time, int>> steps_;
+  mutable std::size_t hint_ = 0;  // last segment index returned
 };
 
 }  // namespace rrsim::sched

@@ -9,6 +9,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rrsim/des/simulation.h"
@@ -78,6 +79,9 @@ class ClusterScheduler {
 
   /// Cancels a *pending* request (qdel). Returns true if the job was
   /// pending and has been removed; false if unknown, running, or done.
+  /// The membership check is an O(1) hash lookup on the lifecycle index
+  /// (redundant-request workloads are cancel-heavy: every grid job with
+  /// redundancy degree N issues up to N-1 cancels).
   bool cancel(JobId id);
 
   /// Algorithm name ("fcfs", "easy", "cbf").
@@ -117,6 +121,13 @@ class ClusterScheduler {
   /// Running jobs as (requested_end_time, nodes), unsorted.
   std::vector<std::pair<Time, int>> running_requested_ends() const;
 
+  /// The authoritative running set, keyed by id (iteration order is id
+  /// order — profile rebuilds must reserve footprints in this order to
+  /// reproduce historical results exactly).
+  const std::map<JobId, Job>& running_jobs() const noexcept {
+    return running_;
+  }
+
   /// Pending jobs in FCFS (submission) order, for prediction profiles.
   virtual std::vector<const Job*> pending_in_order() const = 0;
 
@@ -149,7 +160,12 @@ class ClusterScheduler {
   std::map<UserId, int> pending_per_user_;
   std::map<JobId, Job> running_;
   std::map<JobId, Time> predictions_;  // submit-time predicted starts
-  std::map<JobId, char> known_ids_;    // duplicate-id guard
+  /// Lifecycle of every id ever submitted: duplicate-id guard and the
+  /// O(1) pending/running membership check behind cancel().
+  std::unordered_map<JobId, JobState> known_ids_;
+  /// Reused by predict_hypothetical_start (reset, not reallocated):
+  /// Section-5 prediction sweeps call it per job submission.
+  mutable Profile scratch_profile_;
 };
 
 }  // namespace rrsim::sched

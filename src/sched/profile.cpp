@@ -10,24 +10,32 @@ Profile::Profile(int total_nodes) : total_(total_nodes) {
   steps_.emplace_back(0.0, total_);
 }
 
-namespace {
-
-// Index of the segment containing time t: the last step with time <= t.
-std::size_t segment_index(const std::vector<std::pair<Time, int>>& steps,
-                          Time t) {
-  // upper_bound on time, then step back one.
+std::size_t Profile::segment_index(Time t) const {
+  // The hint is only an accelerator: validity is checked from scratch, so
+  // a stale value (after inserts/erases) can never produce a wrong index.
+  if (hint_ < steps_.size() && steps_[hint_].first <= t) {
+    if (hint_ + 1 == steps_.size() || t < steps_[hint_ + 1].first) {
+      return hint_;
+    }
+    // One step forward covers the sequential scans of reserve/release.
+    if (hint_ + 2 == steps_.size() || t < steps_[hint_ + 2].first) {
+      return ++hint_;
+    }
+  }
   auto it = std::upper_bound(
-      steps.begin(), steps.end(), t,
+      steps_.begin(), steps_.end(), t,
       [](Time value, const std::pair<Time, int>& s) { return value < s.first; });
-  if (it == steps.begin()) return 0;  // t before first breakpoint
-  return static_cast<std::size_t>(it - steps.begin()) - 1;
+  if (it == steps_.begin()) {
+    hint_ = 0;  // t before first breakpoint
+  } else {
+    hint_ = static_cast<std::size_t>(it - steps_.begin()) - 1;
+  }
+  return hint_;
 }
-
-}  // namespace
 
 int Profile::free_at(Time t) const {
   if (t < 0.0) throw std::invalid_argument("free_at: negative time");
-  return steps_[segment_index(steps_, t)].second;
+  return steps_[segment_index(t)].second;
 }
 
 int Profile::min_free(Time start, Time duration) const {
@@ -35,7 +43,7 @@ int Profile::min_free(Time start, Time duration) const {
     throw std::invalid_argument("min_free: bad interval");
   }
   const Time end = start + duration;
-  std::size_t i = segment_index(steps_, start);
+  std::size_t i = segment_index(start);
   int min_free_count = steps_[i].second;
   for (++i; i < steps_.size() && steps_[i].first < end; ++i) {
     min_free_count = std::min(min_free_count, steps_[i].second);
@@ -55,7 +63,7 @@ Time Profile::earliest_start(Time from, int nodes, Time duration) const {
   // anchor whose whole window [t, t + duration) has capacity wins. The
   // final segment always has full capacity (reserve() restores the level
   // at each reservation's end), so the scan terminates.
-  const std::size_t start_seg = segment_index(steps_, from);
+  const std::size_t start_seg = segment_index(from);
   for (std::size_t a = start_seg; a < steps_.size(); ++a) {
     const Time candidate = std::max(from, steps_[a].first);
     if (steps_[a].second < nodes) continue;
@@ -74,25 +82,102 @@ Time Profile::earliest_start(Time from, int nodes, Time duration) const {
 }
 
 std::size_t Profile::split_at(Time t) {
-  const std::size_t i = segment_index(steps_, t);
+  const std::size_t i = segment_index(t);
   if (steps_[i].first == t) return i;
   steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                 {t, steps_[i].second});
   return i + 1;
 }
 
+void Profile::apply(Time start, Time end, int delta) {
+  const std::size_t first = split_at(start);
+  const std::size_t last = split_at(end);  // breakpoint at interval end
+  for (std::size_t i = first; i < last; ++i) {
+    const int level = steps_[i].second + delta;
+    if (level < 0 || level > total_) {
+      // Undo the splits so a throwing call leaves the profile untouched
+      // (the splits are level-neutral; coalescing removes them).
+      coalesce_around(first, last);
+      throw std::logic_error(delta < 0
+                                 ? "reserve: capacity would go negative"
+                                 : "release: no matching reservation");
+    }
+  }
+  for (std::size_t i = first; i < last; ++i) steps_[i].second += delta;
+  coalesce_around(first, last);
+}
+
+void Profile::coalesce_around(std::size_t first, std::size_t last) {
+  // Levels changed on [first, last); the boundaries first-1/first and
+  // last-1/last may now be equal as well. Scan once over the closed
+  // neighbourhood and drop redundant breakpoints.
+  std::size_t lo = first > 0 ? first - 1 : 0;
+  std::size_t hi = std::min(last + 1, steps_.size());
+  std::size_t write = lo;
+  for (std::size_t read = lo; read < hi; ++read) {
+    if (write > 0 && steps_[read].second == steps_[write - 1].second) {
+      continue;  // same level as predecessor: breakpoint is redundant
+    }
+    if (write != read) steps_[write] = steps_[read];
+    ++write;
+  }
+  if (write != hi) {
+    steps_.erase(steps_.begin() + static_cast<std::ptrdiff_t>(write),
+                 steps_.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+}
+
 void Profile::reserve(Time start, Time duration, int nodes) {
   if (start < 0.0 || duration <= 0.0 || nodes < 1) {
     throw std::invalid_argument("reserve: bad arguments");
   }
-  const Time end = start + duration;
-  const std::size_t first = split_at(start);
-  const std::size_t last = split_at(end);  // breakpoint at release time
-  for (std::size_t i = first; i < last; ++i) {
-    if (steps_[i].second < nodes) {
-      throw std::logic_error("reserve: capacity would go negative");
-    }
-    steps_[i].second -= nodes;
+  apply(start, start + duration, -nodes);
+}
+
+void Profile::release(Time start, Time duration, int nodes) {
+  if (start < 0.0 || duration <= 0.0 || nodes < 1) {
+    throw std::invalid_argument("release: bad arguments");
+  }
+  apply(start, start + duration, nodes);
+}
+
+void Profile::release_until(Time start, Time end, int nodes) {
+  if (start < 0.0 || end <= start || nodes < 1) {
+    throw std::invalid_argument("release_until: bad arguments");
+  }
+  apply(start, end, nodes);
+}
+
+void Profile::reset() {
+  steps_.clear();
+  steps_.emplace_back(0.0, total_);
+  hint_ = 0;
+}
+
+void Profile::prune_before(Time t) {
+  const std::size_t i = segment_index(t);
+  if (i == 0) return;
+  // The breakpoint times are kept verbatim (no rewriting to `t`), so the
+  // function on [t, inf) — including the exact double values earliest_start
+  // can return — is bit-identical to the unpruned profile's.
+  steps_.erase(steps_.begin(),
+               steps_.begin() + static_cast<std::ptrdiff_t>(i));
+  hint_ = 0;
+}
+
+bool Profile::future_equals(const Profile& other, Time from) const {
+  if (free_at(from) != other.free_at(from)) return false;
+  std::size_t i = segment_index(from) + 1;
+  std::size_t j = other.segment_index(from) + 1;
+  // Both representations are canonical, so the change points after `from`
+  // must agree pairwise.
+  while (true) {
+    const bool ai = i < steps_.size();
+    const bool bj = j < other.steps_.size();
+    if (!ai || !bj) return ai == bj;
+    if (steps_[i] != other.steps_[j]) return false;
+    ++i;
+    ++j;
   }
 }
 

@@ -6,7 +6,10 @@
 namespace rrsim::sched {
 
 ClusterScheduler::ClusterScheduler(des::Simulation& sim, int total_nodes)
-    : sim_(sim), total_nodes_(total_nodes), free_nodes_(total_nodes) {
+    : sim_(sim),
+      total_nodes_(total_nodes),
+      free_nodes_(total_nodes),
+      scratch_profile_(total_nodes < 1 ? 1 : total_nodes) {
   if (total_nodes_ < 1) {
     throw std::invalid_argument("scheduler needs >= 1 node");
   }
@@ -31,7 +34,7 @@ bool ClusterScheduler::submit(Job job) {
     ++counters_.rejects;
     return false;
   }
-  if (!known_ids_.emplace(job.id, 0).second) {
+  if (!known_ids_.emplace(job.id, JobState::kPending).second) {
     throw std::invalid_argument("duplicate job id submitted");
   }
   job.actual_time = std::min(job.actual_time, job.requested_time);
@@ -44,21 +47,20 @@ bool ClusterScheduler::submit(Job job) {
 }
 
 bool ClusterScheduler::cancel(JobId id) {
-  // Only pending jobs are cancellable; concrete schedulers own the queue,
-  // so probe them via handle_cancel after a cheap membership check through
-  // pending_in_order would be O(Q) — instead handle_cancel returns a
-  // Cancelled-state job or throws; we translate "not pending" to false.
-  for (const Job* j : pending_in_order()) {
-    if (j->id == id) {
-      Job job = handle_cancel(id);
-      job.state = JobState::kCancelled;
-      ++counters_.cancels;
-      --pending_per_user_[job.user];
-      if (callbacks_.on_cancelled) callbacks_.on_cancelled(job);
-      return true;
-    }
+  // Only pending jobs are cancellable. The lifecycle index answers the
+  // membership question in O(1) — no walk over the pending queue — and
+  // handle_cancel is then guaranteed to find the job in its structures.
+  const auto it = known_ids_.find(id);
+  if (it == known_ids_.end() || it->second != JobState::kPending) {
+    return false;
   }
-  return false;
+  Job job = handle_cancel(id);
+  job.state = JobState::kCancelled;
+  it->second = JobState::kCancelled;
+  ++counters_.cancels;
+  --pending_per_user_[job.user];
+  if (callbacks_.on_cancelled) callbacks_.on_cancelled(job);
+  return true;
 }
 
 bool ClusterScheduler::try_start(Job job) {
@@ -70,6 +72,7 @@ bool ClusterScheduler::try_start(Job job) {
   --pending_per_user_[job.user];
   if (callbacks_.on_grant && !callbacks_.on_grant(job)) {
     ++counters_.declines;
+    known_ids_[job.id] = JobState::kDeclined;
     return false;
   }
   job.state = JobState::kRunning;
@@ -78,6 +81,7 @@ bool ClusterScheduler::try_start(Job job) {
   free_nodes_ -= job.nodes;
   ++counters_.starts;
   const JobId id = job.id;
+  known_ids_[id] = JobState::kRunning;
   running_.emplace(id, job);
   sim_.schedule_at(
       job.finish_time, [this, id] { complete_job(id); },
@@ -94,6 +98,7 @@ void ClusterScheduler::complete_job(JobId id) {
   Job job = it->second;
   running_.erase(it);
   job.state = JobState::kFinished;
+  known_ids_[id] = JobState::kFinished;
   free_nodes_ += job.nodes;
   ++counters_.finishes;
   if (callbacks_.on_finish) callbacks_.on_finish(job);
@@ -127,11 +132,17 @@ Time ClusterScheduler::predict_hypothetical_start(int nodes,
     throw std::invalid_argument("hypothetical job cannot run here");
   }
   const Time now = sim_.now();
-  Profile profile(total_nodes_);
+  // The scratch profile is reset in place — prediction sweeps call this
+  // once per submission, and a fresh Profile per call was the dominant
+  // allocation of the Section-5 studies.
+  Profile& profile = scratch_profile_;
+  profile.reset();
   // Running jobs hold their nodes until their *requested* end — the
   // conservative assumption every queue-based predictor makes.
-  for (const auto& [end, n] : running_requested_ends()) {
-    if (end > now) profile.reserve(now, end - now, n);
+  for (const auto& kv : running_) {
+    const Job& job = kv.second;
+    const Time end = job.start_time + job.requested_time;
+    if (end > now) profile.reserve(now, end - now, job.nodes);
   }
   // Queued jobs claim slots in FCFS order.
   for (const Job* j : pending_in_order()) {

@@ -90,6 +90,66 @@ TEST(CampaignDeterminism, PredictionCampaignIdenticalAcrossJobCounts) {
   }
 }
 
+// Golden values captured from the pre-incremental-scheduler build (PR 1)
+// with the exact configs below. The scheduler core has since been made
+// incremental (O(1) cancels, in-place profile release, suffix-only CBF
+// compression) under a behaviour-preservation contract: every metric must
+// still come out bit-identical. Hex float literals pin every mantissa bit.
+TEST(CampaignDeterminism, GoldenValuesMatchPreIncrementalScheduler) {
+  {
+    ExperimentConfig c = tiny_config();
+    c.scheme = RedundancyScheme::fixed(2);
+    const RelativeMetrics m = run_relative_campaign(c, 6, 1);
+    EXPECT_EQ(m.reps, 6u);
+    EXPECT_EQ(m.rel_avg_stretch, 0x1.54ffd4d8c6d1bp-1);
+    EXPECT_EQ(m.rel_cv_stretch, 0x1.1de5af55aefd3p+0);
+    EXPECT_EQ(m.rel_max_stretch, 0x1.5d26b2f1be5c5p-1);
+    EXPECT_EQ(m.rel_avg_turnaround, 0x1.99c4f4e240079p-1);
+    EXPECT_EQ(m.win_rate, 0x1.5555555555555p-1);
+    EXPECT_EQ(m.worst_rel_stretch, 0x1.1d7c490632cd3p+0);
+  }
+  {
+    ExperimentConfig c = tiny_config();
+    c.algorithm = sched::Algorithm::kCbf;
+    c.scheme = RedundancyScheme::fixed(3);
+    const RelativeMetrics m = run_relative_campaign(c, 4, 1);
+    EXPECT_EQ(m.reps, 4u);
+    EXPECT_EQ(m.rel_avg_stretch, 0x1.35e597336ace3p-1);
+    EXPECT_EQ(m.rel_cv_stretch, 0x1.dc2164b67bee1p-1);
+    EXPECT_EQ(m.rel_max_stretch, 0x1.22e50f4868ea1p-1);
+    EXPECT_EQ(m.rel_avg_turnaround, 0x1.b5e1e23ddc70fp-1);
+    EXPECT_EQ(m.win_rate, 0x1p+0);
+    EXPECT_EQ(m.worst_rel_stretch, 0x1.9b959cab86f41p-1);
+  }
+  {
+    ExperimentConfig c = tiny_config();
+    c.algorithm = sched::Algorithm::kFcfs;
+    c.scheme = RedundancyScheme::all();
+    c.redundant_fraction = 0.5;
+    const ClassifiedCampaign m = run_classified_campaign(c, 6, 1);
+    EXPECT_EQ(m.reps, 6u);
+    EXPECT_EQ(m.redundant_jobs, 2005u);
+    EXPECT_EQ(m.non_redundant_jobs, 2118u);
+    EXPECT_EQ(m.avg_stretch_all, 0x1.35e5560a129fap+8);
+    EXPECT_EQ(m.avg_stretch_redundant, 0x1.164aef99bc07dp+8);
+    EXPECT_EQ(m.avg_stretch_non_redundant, 0x1.532fb92d3e033p+8);
+  }
+  {
+    ExperimentConfig c = tiny_config();
+    c.algorithm = sched::Algorithm::kCbf;
+    c.estimator = "uniform216";
+    c.scheme = RedundancyScheme::all();
+    c.redundant_fraction = 0.4;
+    const PredictionCampaign m = run_prediction_campaign(c, 4, 1);
+    EXPECT_EQ(m.all.jobs, 1696u);
+    EXPECT_EQ(m.redundant.jobs, 559u);
+    EXPECT_EQ(m.non_redundant.jobs, 1137u);
+    EXPECT_EQ(m.all.avg_ratio, 0x1.8cae5cb7686edp+2);
+    EXPECT_EQ(m.redundant.avg_ratio, 0x1.9229ec7ca86c3p+2);
+    EXPECT_EQ(m.non_redundant.avg_ratio, 0x1.89fc4eff1242fp+2);
+  }
+}
+
 TEST(CampaignDeterminism, RepeatedParallelRunsAreStable) {
   // Two identical parallel invocations must agree with each other, not
   // just with the serial run (guards against iteration-order luck).

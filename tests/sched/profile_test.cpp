@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "rrsim/util/rng.h"
 
 namespace rrsim::sched {
@@ -153,6 +156,191 @@ TEST(Profile, EarliestStartIsEarliest_Property) {
       ASSERT_LT(p.min_free(t, duration), nodes)
           << "found earlier feasible anchor at " << t;
     }
+  }
+}
+
+TEST(Profile, ReleaseIsExactInverseOfReserve) {
+  Profile p(10);
+  p.reserve(0.0, 20.0, 3);
+  p.reserve(5.0, 10.0, 4);
+  const auto before = p.steps();
+  p.reserve(7.5, 4.0, 2);
+  p.release(7.5, 4.0, 2);
+  EXPECT_EQ(p.steps(), before);  // breakpoints restored bit-exactly
+}
+
+TEST(Profile, ReleaseCoalescesAdjacentEqualLevels) {
+  Profile p(10);
+  p.reserve(5.0, 10.0, 4);
+  p.release(5.0, 10.0, 4);
+  // Back to a single fully-free segment: no leftover breakpoints.
+  ASSERT_EQ(p.steps().size(), 1u);
+  EXPECT_EQ(p.steps().front(), (std::pair<Time, int>{0.0, 10}));
+}
+
+TEST(Profile, ReleaseRejectsUnmatchedAndLeavesProfileUntouched) {
+  Profile p(10);
+  p.reserve(0.0, 10.0, 3);
+  const auto before = p.steps();
+  // [5, 15) is only covered by a reservation on [5, 10): releasing 3
+  // nodes over the whole window would push [10, 15) above capacity.
+  EXPECT_THROW(p.release(5.0, 10.0, 3), std::logic_error);
+  EXPECT_EQ(p.steps(), before);
+  EXPECT_THROW(p.release(-1.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(p.release(0.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(p.release(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Profile, ReserveRejectsOverCapacityAndLeavesProfileUntouched) {
+  Profile p(4);
+  p.reserve(0.0, 10.0, 3);
+  const auto before = p.steps();
+  EXPECT_THROW(p.reserve(5.0, 10.0, 2), std::logic_error);
+  EXPECT_EQ(p.steps(), before);
+}
+
+TEST(Profile, ReleaseUntilHitsExactEndBreakpoint) {
+  Profile p(8);
+  const Time start = 0.1;
+  const Time duration = 0.2;
+  p.reserve(start, duration, 5);
+  // 0.1 + 0.2 is not representable; the breakpoint sits at the rounded
+  // sum. Releasing the tail from mid-interval must erase it exactly.
+  const Time end = start + duration;
+  p.release_until(0.15, end, 5);
+  p.release_until(start, 0.15, 5);
+  ASSERT_EQ(p.steps().size(), 1u);
+  EXPECT_EQ(p.free_at(0.2), 8);
+}
+
+TEST(Profile, ResetRestoresFullyFree) {
+  Profile p(6);
+  p.reserve(1.0, 2.0, 3);
+  p.reserve(10.0, 5.0, 6);
+  p.reset();
+  ASSERT_EQ(p.steps().size(), 1u);
+  EXPECT_EQ(p.free_at(0.0), 6);
+  EXPECT_EQ(p.total_nodes(), 6);
+}
+
+TEST(Profile, PruneBeforePreservesTheFutureFunction) {
+  Profile p(8);
+  p.reserve(0.0, 10.0, 8);   // expired by t=20
+  p.reserve(15.0, 10.0, 4);  // active at t=20
+  p.reserve(30.0, 10.0, 6);
+  const Profile copy = p;
+  p.prune_before(20.0);
+  EXPECT_LT(p.steps().size(), copy.steps().size());
+  for (double t : {20.0, 24.999, 25.0, 30.0, 39.0, 40.0, 100.0}) {
+    EXPECT_EQ(p.free_at(t), copy.free_at(t)) << "t=" << t;
+  }
+  // The result-defining anchors survive with their exact values.
+  EXPECT_EQ(p.earliest_start(20.0, 6, 5.0), copy.earliest_start(20.0, 6, 5.0));
+  EXPECT_EQ(p.earliest_start(20.0, 8, 1.0), copy.earliest_start(20.0, 8, 1.0));
+  EXPECT_TRUE(p.future_equals(copy, 20.0));
+}
+
+TEST(Profile, FutureEqualsDiscriminates) {
+  Profile a(8);
+  Profile b(8);
+  a.reserve(10.0, 5.0, 3);
+  b.reserve(10.0, 5.0, 3);
+  EXPECT_TRUE(a.future_equals(b, 0.0));
+  b.reserve(20.0, 1.0, 1);
+  EXPECT_FALSE(a.future_equals(b, 0.0));
+  EXPECT_TRUE(a.future_equals(b, 21.0));  // past differences invisible
+}
+
+TEST(Profile, CanonicalAfterRandomReserveRelease_Property) {
+  // Property: after any interleaving of reserves and exact releases, the
+  // representation stays canonical (no adjacent equal levels) and the
+  // capacity function matches a brute-force per-unit-time oracle.
+  // Integer-valued times keep the oracle's unit sampling exact.
+  constexpr int kTotal = 12;
+  constexpr int kHorizon = 200;
+  util::Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    Profile p(kTotal);
+    std::vector<int> oracle(kHorizon, kTotal);  // free nodes per unit slot
+    struct Res {
+      Time start, duration;
+      int nodes;
+    };
+    std::vector<Res> active;
+    for (int op = 0; op < 120; ++op) {
+      const bool do_release = !active.empty() && rng.chance(0.4);
+      if (do_release) {
+        const std::size_t k = rng.below(active.size());
+        const Res r = active[k];
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(k));
+        ASSERT_NO_THROW(p.release(r.start, r.duration, r.nodes));
+        for (int t = static_cast<int>(r.start);
+             t < static_cast<int>(r.start + r.duration); ++t) {
+          oracle[static_cast<std::size_t>(t)] += r.nodes;
+        }
+      } else {
+        const Res r{static_cast<Time>(rng.between(0, 150)),
+                    static_cast<Time>(rng.between(1, 40)),
+                    static_cast<int>(rng.between(1, kTotal))};
+        const int end = static_cast<int>(r.start + r.duration);
+        const int window_min = *std::min_element(
+            oracle.begin() + static_cast<int>(r.start), oracle.begin() + end);
+        if (window_min < r.nodes) {
+          ASSERT_THROW(p.reserve(r.start, r.duration, r.nodes),
+                       std::logic_error);
+          continue;
+        }
+        ASSERT_NO_THROW(p.reserve(r.start, r.duration, r.nodes));
+        active.push_back(r);
+        for (int t = static_cast<int>(r.start); t < end; ++t) {
+          oracle[static_cast<std::size_t>(t)] -= r.nodes;
+        }
+      }
+      // Canonical: strictly increasing times, no adjacent equal levels.
+      const auto& steps = p.steps();
+      for (std::size_t i = 1; i < steps.size(); ++i) {
+        ASSERT_LT(steps[i - 1].first, steps[i].first);
+        ASSERT_NE(steps[i - 1].second, steps[i].second);
+      }
+      // Function matches the oracle at every unit-slot midpoint.
+      for (int t = 0; t < kHorizon; ++t) {
+        ASSERT_EQ(p.free_at(t + 0.5), oracle[static_cast<std::size_t>(t)])
+            << "trial=" << trial << " op=" << op << " t=" << t;
+      }
+    }
+    // Releasing everything returns the profile to a single free segment.
+    for (const Res& r : active) p.release(r.start, r.duration, r.nodes);
+    ASSERT_EQ(p.steps().size(), 1u);
+    ASSERT_EQ(p.steps().front().second, kTotal);
+  }
+}
+
+TEST(Profile, HintedLookupsMatchBruteForce_Property) {
+  // Property: point lookups are hint-independent — interleaving sequential
+  // scans with far jumps (which make the hint maximally stale) always
+  // matches a from-scratch scan over steps().
+  util::Rng rng(22);
+  Profile p(16);
+  for (int i = 0; i < 40; ++i) {
+    const int nodes = static_cast<int>(rng.between(1, 8));
+    const double duration = rng.uniform(0.5, 30.0);
+    const Time start = p.earliest_start(rng.uniform(0.0, 300.0), nodes,
+                                        duration);
+    p.reserve(start, duration, nodes);
+  }
+  const auto& steps = p.steps();
+  auto brute = [&](Time t) {
+    int level = steps.front().second;
+    for (const auto& [bt, free] : steps) {
+      if (bt <= t) level = free;
+    }
+    return level;
+  };
+  for (int q = 0; q < 2000; ++q) {
+    // Alternate short forward steps with uniform jumps.
+    const Time t = (q % 3 == 2) ? rng.uniform(0.0, 400.0)
+                                : static_cast<Time>(q) * 0.2;
+    ASSERT_EQ(p.free_at(t), brute(t)) << "t=" << t;
   }
 }
 
