@@ -4,18 +4,23 @@
 // rrsim/core/options.h plus --reps and --full (paper-scale repetitions).
 #pragma once
 
+#include <cinttypes>
 #include <cstdio>
+#include <ctime>
 #include <exception>
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "rrsim/core/campaign.h"
 #include "rrsim/core/options.h"
 #include "rrsim/core/paper.h"
+#include "rrsim/core/sweep.h"
 #include "rrsim/exec/campaign_runner.h"
 #include "rrsim/util/cli.h"
 #include "rrsim/util/table.h"
+#include "rrsim/workload/trace_cache.h"
 
 namespace rrsim::bench {
 
@@ -55,6 +60,40 @@ inline void banner(const std::string& experiment, const std::string& claim,
   std::printf("repetitions per data point: %d (use --full for the paper's "
               "50); campaign workers: %d (--jobs / RRSIM_JOBS)\n\n",
               reps, exec::default_jobs());
+}
+
+/// Prints the sweep execution summary harnesses emit after their tables:
+/// worker count and trace-cache effectiveness. A sweep over K points with
+/// shared streams should show roughly (K-1)/K hit rate per distinct
+/// (seed, shape) pair; 0 hits on a sweep means the cache key is varying
+/// when it should not (or the sweep genuinely shares nothing).
+inline void sweep_summary(int jobs) {
+  const workload::TraceCache& cache = workload::TraceCache::global();
+  std::printf(
+      "\n[sweep] workers: %d of %u hardware threads; trace cache: %" PRIu64
+      " hits / %" PRIu64 " misses (%zu streams resident, %.1f MiB)\n",
+      jobs, std::thread::hardware_concurrency(), cache.hits(),
+      cache.misses(), cache.entries(),
+      static_cast<double>(cache.resident_bytes()) / (1024.0 * 1024.0));
+}
+
+/// Writes the execution-environment fields every BENCH_*.json record
+/// carries (trailing comma included): the machine's hardware concurrency,
+/// the worker count actually used, and a UTC timestamp. PR 1's record was
+/// taken on a 1-core box with no way to tell from the JSON — these fields
+/// make perf records comparable across machines and time.
+inline void write_json_env_fields(std::FILE* f, int jobs_used) {
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  std::fprintf(f,
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"jobs_used\": %d,\n"
+               "  \"timestamp_utc\": \"%s\",\n",
+               std::thread::hardware_concurrency(), jobs_used, stamp);
 }
 
 /// Runs `fn()` with top-level exception reporting; returns the process

@@ -23,23 +23,36 @@ int main(int argc, char** argv) {
     core::ExperimentConfig base =
         core::apply_common_flags(core::figure_config(), cli);
 
+    const std::vector<const char*> schemes{"R2", "R3", "HALF"};
+    const std::vector<const char*> placements{"uniform", "biased",
+                                              "least-loaded"};
+    std::vector<std::vector<core::RelativeMetrics>> grid(
+        schemes.size(), std::vector<core::RelativeMetrics>(placements.size()));
+    core::CampaignSweep sweep(reps);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      for (std::size_t j = 0; j < placements.size(); ++j) {
+        core::ExperimentConfig c = base;
+        c.scheme = core::RedundancyScheme::parse(schemes[i]);
+        c.placement = placements[j];
+        sweep.add_relative(c, [&grid, i, j](const core::RelativeMetrics& m) {
+          grid[i][j] = m;
+        });
+      }
+    }
+    sweep.run();
+
     util::Table table({"scheme", "uniform (blind)", "biased",
                        "least-loaded (informed)"});
-    for (const char* scheme : {"R2", "R3", "HALF"}) {
-      table.begin_row().add(scheme);
-      for (const char* placement : {"uniform", "biased", "least-loaded"}) {
-        core::ExperimentConfig c = base;
-        c.scheme = core::RedundancyScheme::parse(scheme);
-        c.placement = placement;
-        const core::RelativeMetrics rel =
-            core::run_relative_campaign(c, reps);
-        table.add(rel.rel_avg_stretch, 3);
-        std::fflush(stdout);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      table.begin_row().add(schemes[i]);
+      for (std::size_t j = 0; j < placements.size(); ++j) {
+        table.add(grid[i][j].rel_avg_stretch, 3);
       }
     }
     table.print(std::cout);
     std::printf("\ninformed placement extracts most of the benefit with "
                 "fewer replicas\n(R2 informed vs HALF blind), i.e. a "
                 "metascheduler needs less redundancy\n");
+    bench::sweep_summary(sweep.jobs());
   });
 }

@@ -27,20 +27,36 @@ int main(int argc, char** argv) {
     base.users_per_cluster = 4;  // few users -> many jobs per user
     base = core::apply_common_flags(base, cli);
 
+    const std::vector<int> limits{0, 16, 8, 4, 2, 1};
+    std::vector<core::ClassifiedCampaign> results(limits.size());
+    std::vector<core::SimResult> probes(limits.size());
+    core::CampaignSweep sweep(reps);
+    for (std::size_t i = 0; i < limits.size(); ++i) {
+      core::ExperimentConfig c = base;
+      c.per_user_pending_limit = limits[i];
+      sweep.add_classified(
+          c, [&results, i](const core::ClassifiedCampaign& m) {
+            results[i] = m;
+          });
+      // Ops from one representative run (ops scale linearly with reps).
+      sweep.runner().add(
+          1,
+          [c](int) {
+            return core::run_experiment(c, core::thread_workspace());
+          },
+          [&probes, i](int, core::SimResult r) { probes[i] = std::move(r); });
+    }
+    sweep.run();
+
     util::Table table({"per-user cap", "r stretch", "n-r stretch",
                        "advantage", "replica submits", "rejected",
                        "cancellations"});
-    for (const int limit : {0, 16, 8, 4, 2, 1}) {
-      core::ExperimentConfig c = base;
-      c.per_user_pending_limit = limit;
-      const core::ClassifiedCampaign res =
-          core::run_classified_campaign(c, reps);
-      // Ops from one representative run (ops scale linearly with reps).
-      core::ExperimentConfig probe = c;
-      const core::SimResult sim = core::run_experiment(probe);
+    for (std::size_t i = 0; i < limits.size(); ++i) {
+      const core::ClassifiedCampaign& res = results[i];
+      const core::SimResult& sim = probes[i];
       table.begin_row()
-          .add(limit == 0 ? std::string("off")
-                          : std::to_string(limit))
+          .add(limits[i] == 0 ? std::string("off")
+                              : std::to_string(limits[i]))
           .add(res.avg_stretch_redundant, 2)
           .add(res.avg_stretch_non_redundant, 2)
           .add(res.avg_stretch_redundant > 0.0
@@ -51,10 +67,10 @@ int main(int argc, char** argv) {
           .add(static_cast<long long>(sim.ops.submits))
           .add(static_cast<long long>(sim.replicas_rejected))
           .add(static_cast<long long>(sim.gateway_cancels));
-      std::fflush(stdout);
     }
     table.print(std::cout);
     std::printf("\ntight caps trim replicas (fewer submits/cancels) and "
                 "shrink the\nredundant users' advantage toward fairness\n");
+    bench::sweep_summary(sweep.jobs());
   });
 }

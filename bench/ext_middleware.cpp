@@ -35,29 +35,43 @@ int main(int argc, char** argv) {
         base.base_workload.mean_interarrival() *
         static_cast<double>(base.n_clusters);
 
+    const std::vector<const char*> schemes{"NONE", "R2", "R4", "HALF",
+                                           "ALL"};
+    std::vector<core::SimResult> runs(schemes.size());
+    core::CampaignSweep sweep(1);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      core::ExperimentConfig c = base;
+      c.scheme = core::RedundancyScheme::parse(schemes[i]);
+      sweep.runner().add(
+          1,
+          [c](int) {
+            return core::run_experiment(c, core::thread_workspace());
+          },
+          [&runs, i](int, core::SimResult r) { runs[i] = std::move(r); });
+    }
+    sweep.run();
+
     util::Table table({"scheme", "ops offered /s/cluster", "max backlog",
                        "mean op latency (s)", "avg stretch"});
-    for (const char* scheme : {"NONE", "R2", "R4", "HALF", "ALL"}) {
-      core::ExperimentConfig c = base;
-      c.scheme = core::RedundancyScheme::parse(scheme);
-      const core::SimResult r = core::run_experiment(c);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const core::SimResult& r = runs[i];
       const auto m = metrics::compute_metrics(r.records);
       const double degree = static_cast<double>(
-          c.scheme.degree(c.n_clusters));
+          core::RedundancyScheme::parse(schemes[i]).degree(base.n_clusters));
       // Each job contributes `degree` submissions + (degree-1) cancels,
       // spread uniformly over the N clusters; arrivals are per system.
       const double offered =
           (2.0 * degree - 1.0) / cluster_iat;
       table.begin_row()
-          .add(scheme)
+          .add(schemes[i])
           .add(offered, 3)
           .add(r.middleware_max_backlog, 0)
           .add(r.middleware_mean_sojourn, 1)
           .add(m.avg_stretch, 1);
-      std::fflush(stdout);
     }
     table.print(std::cout);
     std::printf("\nbacklog/latency stay flat while offered < %.2f ops/s and "
                 "blow up past it\n", rate);
+    bench::sweep_summary(sweep.jobs());
   });
 }

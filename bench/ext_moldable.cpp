@@ -45,57 +45,84 @@ int main(int argc, char** argv) {
       parallel_fraction.push_back(frac_rng.uniform(0.5, 0.98));
     }
 
+    // Each shape-count K is one custom work unit on the sweep pool; the
+    // unit builds its own single-cluster world (the shared experiment
+    // workspace models the paper's multi-cluster grid, not this one).
+    struct Row {
+      double avg_stretch = 0.0;
+      double avg_turnaround = 0.0;
+      double avg_wait = 0.0;
+      double nodes_used = 0.0;
+    };
+    std::vector<Row> rows(static_cast<std::size_t>(max_shapes));
+    core::CampaignSweep sweep(1);
+    sweep.runner().add(
+        max_shapes,
+        [&stream, &parallel_fraction, &params, nodes](int unit) {
+          const int k = unit + 1;
+          des::Simulation sim;
+          grid::Platform platform(
+              sim, grid::homogeneous_configs(1, nodes, params),
+              sched::Algorithm::kEasy);
+          grid::Gateway gateway(sim, platform);
+          std::vector<grid::GridJob> jobs;
+          jobs.reserve(stream.size());
+          grid::GridJobId id = 1;
+          for (std::size_t i = 0; i < stream.size(); ++i) {
+            const workload::AmdahlSpeedup speedup(parallel_fraction[i]);
+            const auto shapes =
+                workload::moldable_shapes(stream[i], speedup, nodes, k);
+            grid::GridJob job;
+            job.id = id++;
+            job.origin = 0;
+            job.spec = stream[i];
+            job.targets.assign(shapes.size(), 0);
+            job.redundant = shapes.size() > 1;
+            for (const workload::JobShape& s : shapes) {
+              workload::JobSpec spec;
+              spec.nodes = s.nodes;
+              spec.runtime = s.runtime;
+              spec.requested_time = s.requested_time;
+              job.replica_specs.push_back(spec);
+            }
+            jobs.push_back(std::move(job));
+          }
+          for (const grid::GridJob& job : jobs) {
+            sim.schedule_at(job.spec.submit_time,
+                            [&gateway, &job] { gateway.submit(job); },
+                            des::Priority::kArrival);
+          }
+          sim.run();
+          const auto m = metrics::compute_metrics(gateway.records());
+          Row row;
+          row.avg_stretch = m.avg_stretch;
+          row.avg_turnaround = m.avg_turnaround;
+          row.avg_wait = m.avg_wait;
+          for (const auto& rec : gateway.records()) {
+            row.nodes_used += rec.nodes;
+          }
+          row.nodes_used /=
+              static_cast<double>(gateway.records().size());
+          return row;
+        },
+        [&rows](int unit, Row row) {
+          rows[static_cast<std::size_t>(unit)] = row;
+        });
+    sweep.run();
+
     util::Table table({"shape variants", "avg stretch", "avg turnaround (s)",
                        "avg wait (s)", "avg nodes used"});
     for (int k = 1; k <= max_shapes; ++k) {
-      des::Simulation sim;
-      grid::Platform platform(
-          sim, grid::homogeneous_configs(1, nodes, params),
-          sched::Algorithm::kEasy);
-      grid::Gateway gateway(sim, platform);
-      std::vector<grid::GridJob> jobs;
-      jobs.reserve(stream.size());
-      grid::GridJobId id = 1;
-      for (std::size_t i = 0; i < stream.size(); ++i) {
-        const workload::AmdahlSpeedup speedup(parallel_fraction[i]);
-        const auto shapes =
-            workload::moldable_shapes(stream[i], speedup, nodes, k);
-        grid::GridJob job;
-        job.id = id++;
-        job.origin = 0;
-        job.spec = stream[i];
-        job.targets.assign(shapes.size(), 0);
-        job.redundant = shapes.size() > 1;
-        for (const workload::JobShape& s : shapes) {
-          workload::JobSpec spec;
-          spec.nodes = s.nodes;
-          spec.runtime = s.runtime;
-          spec.requested_time = s.requested_time;
-          job.replica_specs.push_back(spec);
-        }
-        jobs.push_back(std::move(job));
-      }
-      for (const grid::GridJob& job : jobs) {
-        sim.schedule_at(job.spec.submit_time,
-                        [&gateway, &job] { gateway.submit(job); },
-                        des::Priority::kArrival);
-      }
-      sim.run();
-      const auto m = metrics::compute_metrics(gateway.records());
-      double nodes_used = 0.0;
-      for (const auto& rec : gateway.records()) {
-        nodes_used += rec.nodes;
-      }
-      nodes_used /= static_cast<double>(gateway.records().size());
+      const Row& row = rows[static_cast<std::size_t>(k - 1)];
       table.begin_row()
           .add(static_cast<long long>(k))
-          .add(m.avg_stretch, 2)
-          .add(m.avg_turnaround, 0)
-          .add(m.avg_wait, 0)
-          .add(nodes_used, 1);
-      std::fflush(stdout);
+          .add(row.avg_stretch, 2)
+          .add(row.avg_turnaround, 0)
+          .add(row.avg_wait, 0)
+          .add(row.nodes_used, 1);
     }
     table.print(std::cout);
+    bench::sweep_summary(sweep.jobs());
     std::printf("\n(stretch is measured against each job's *winning* shape "
                 "runtime;\nmore variants = earlier starts, often on fewer "
                 "nodes)\n");

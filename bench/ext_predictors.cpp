@@ -90,35 +90,47 @@ int main(int argc, char** argv) {
     core::ExperimentConfig base =
         core::apply_common_flags(core::figure_config(), cli);
 
-    util::Table table({"population", "class", "jobs", "coverage %",
-                       "median-ish tightness (x actual)"});
     struct Scenario {
       const char* label;
       double fraction;
     };
-    for (const Scenario s : {Scenario{"no redundancy", 0.0},
-                             Scenario{"40% ALL", 0.4},
-                             Scenario{"100% ALL", 1.0}}) {
+    const std::vector<Scenario> scenarios{{"no redundancy", 0.0},
+                                          {"40% ALL", 0.4},
+                                          {"100% ALL", 1.0}};
+    std::vector<core::SimResult> runs(scenarios.size());
+    core::CampaignSweep sweep(1);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
       core::ExperimentConfig cfg = base;
       cfg.scheme = core::RedundancyScheme::all();
-      cfg.redundant_fraction = s.fraction;
-      const core::SimResult r = core::run_experiment(cfg);
+      cfg.redundant_fraction = scenarios[i].fraction;
+      sweep.runner().add(
+          1,
+          [cfg](int) {
+            return core::run_experiment(cfg, core::thread_workspace());
+          },
+          [&runs, i](int, core::SimResult r) { runs[i] = std::move(r); });
+    }
+    sweep.run();
+
+    util::Table table({"population", "class", "jobs", "coverage %",
+                       "median-ish tightness (x actual)"});
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
       const auto eval =
-          evaluate_bmbp(r.records, cfg.n_clusters, q, c);
+          evaluate_bmbp(runs[i].records, base.n_clusters, q, c);
       const char* class_names[2] = {"n-r jobs", "r jobs"};
       for (int k = 0; k < 2; ++k) {
         if (eval[static_cast<std::size_t>(k)].evaluated == 0) continue;
         const Evaluation& e = eval[static_cast<std::size_t>(k)];
         table.begin_row()
-            .add(s.label)
+            .add(scenarios[i].label)
             .add(class_names[k])
             .add(static_cast<long long>(e.evaluated))
             .add(e.coverage() * 100.0, 1)
             .add(e.tightness.mean(), 1);
       }
-      std::fflush(stdout);
     }
     table.print(std::cout);
+    bench::sweep_summary(sweep.jobs());
     std::printf(
         "\nreading: redundancy keeps BMBP coverage healthy for the jobs "
         "that use\nit (their waits shrink below the learned bound) while "

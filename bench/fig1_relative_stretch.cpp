@@ -27,30 +27,43 @@ int main(int argc, char** argv) {
     const std::vector<std::size_t> ns{2, 3, 4, 5, 10, 20};
     const std::vector<std::string> schemes{"R2", "R3", "R4", "HALF", "ALL"};
 
+    // One sweep: every (N, scheme) point queued up front, all
+    // (point x replication) units scheduled across one worker pool.
+    std::vector<std::vector<core::RelativeMetrics>> grid(
+        ns.size(), std::vector<core::RelativeMetrics>(schemes.size()));
+    core::CampaignSweep sweep(reps);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      for (std::size_t j = 0; j < schemes.size(); ++j) {
+        core::ExperimentConfig c = base;
+        c.n_clusters = ns[i];
+        c.scheme = core::RedundancyScheme::parse(schemes[j]);
+        sweep.add_relative(c, [&grid, i, j](const core::RelativeMetrics& m) {
+          grid[i][j] = m;
+        });
+      }
+    }
+    sweep.run();
+
     util::Table table({"N", "R2", "R3", "R4", "HALF", "ALL"});
     util::Table wins({"N", "scheme", "win rate %", "worst ratio"});
-    for (const std::size_t n : ns) {
-      table.begin_row().add(static_cast<long long>(n));
-      for (const std::string& scheme : schemes) {
-        core::ExperimentConfig c = base;
-        c.n_clusters = n;
-        c.scheme = core::RedundancyScheme::parse(scheme);
-        const core::RelativeMetrics rel =
-            core::run_relative_campaign(c, reps);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      table.begin_row().add(static_cast<long long>(ns[i]));
+      for (std::size_t j = 0; j < schemes.size(); ++j) {
+        const core::RelativeMetrics& rel = grid[i][j];
         table.add(rel.rel_avg_stretch, 3);
-        if (n >= 10) {
+        if (ns[i] >= 10) {
           wins.begin_row()
-              .add(static_cast<long long>(n))
-              .add(scheme)
+              .add(static_cast<long long>(ns[i]))
+              .add(schemes[j])
               .add(rel.win_rate * 100.0, 0)
               .add(rel.worst_rel_stretch, 3);
         }
-        std::fflush(stdout);
       }
     }
     table.print(std::cout);
     std::printf("\nWin rates over the NONE baseline (paper: >85%% for N=10, "
                 ">95%% for N=20):\n");
     wins.print(std::cout, false);
+    bench::sweep_summary(sweep.jobs());
   });
 }

@@ -25,20 +25,31 @@ int main(int argc, char** argv) {
     const std::vector<std::size_t> ns{2, 3, 4, 5, 10, 20};
     const std::vector<std::string> schemes{"R2", "R4", "HALF", "ALL"};
 
+    std::vector<std::vector<core::RelativeMetrics>> grid(
+        ns.size(), std::vector<core::RelativeMetrics>(schemes.size()));
+    core::CampaignSweep sweep(reps);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      for (std::size_t j = 0; j < schemes.size(); ++j) {
+        core::ExperimentConfig c = base;
+        c.n_clusters = ns[i];
+        c.scheme = core::RedundancyScheme::parse(schemes[j]);
+        sweep.add_relative(c, [&grid, i, j](const core::RelativeMetrics& m) {
+          grid[i][j] = m;
+        });
+      }
+    }
+    sweep.run();
+
     util::Table table({"N", "R2 cv", "R2 max", "R4 cv", "R4 max", "HALF cv",
                        "HALF max", "ALL cv", "ALL max"});
-    for (const std::size_t n : ns) {
-      table.begin_row().add(static_cast<long long>(n));
-      for (const std::string& scheme : schemes) {
-        core::ExperimentConfig c = base;
-        c.n_clusters = n;
-        c.scheme = core::RedundancyScheme::parse(scheme);
-        const core::RelativeMetrics rel =
-            core::run_relative_campaign(c, reps);
-        table.add(rel.rel_cv_stretch, 3).add(rel.rel_max_stretch, 3);
-        std::fflush(stdout);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      table.begin_row().add(static_cast<long long>(ns[i]));
+      for (std::size_t j = 0; j < schemes.size(); ++j) {
+        table.add(grid[i][j].rel_cv_stretch, 3)
+            .add(grid[i][j].rel_max_stretch, 3);
       }
     }
     table.print(std::cout);
+    bench::sweep_summary(sweep.jobs());
   });
 }

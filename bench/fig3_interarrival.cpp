@@ -28,23 +28,34 @@ int main(int argc, char** argv) {
     const std::vector<double> alphas{4.0, 6.0, 10.23, 15.0, 20.0};
     const double base_mean = base.base_workload.mean_interarrival();
 
+    const std::vector<std::string> schemes{"R2", "R3", "R4", "HALF", "ALL"};
+    std::vector<std::vector<core::RelativeMetrics>> grid(
+        alphas.size(), std::vector<core::RelativeMetrics>(schemes.size()));
+    core::CampaignSweep sweep(reps);
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+      const double mean_iat = base_mean * alphas[i] / 10.23;
+      for (std::size_t j = 0; j < schemes.size(); ++j) {
+        core::ExperimentConfig c = base;
+        c.base_workload.arrival_alpha = alphas[i];
+        c.base_workload = c.base_workload.with_mean_interarrival(mean_iat);
+        c.scheme = core::RedundancyScheme::parse(schemes[j]);
+        sweep.add_relative(c, [&grid, i, j](const core::RelativeMetrics& m) {
+          grid[i][j] = m;
+        });
+      }
+    }
+    sweep.run();
+
     util::Table table({"alpha", "mean iat (s, system)", "R2", "R3", "R4",
                        "HALF", "ALL"});
-    for (const double alpha : alphas) {
-      const double mean_iat = base_mean * alpha / 10.23;
-      table.begin_row().add(alpha, 2).add(mean_iat, 2);
-      for (const char* scheme : {"R2", "R3", "R4", "HALF", "ALL"}) {
-        core::ExperimentConfig c = base;
-        c.base_workload.arrival_alpha = alpha;
-        c.base_workload =
-            c.base_workload.with_mean_interarrival(mean_iat);
-        c.scheme = core::RedundancyScheme::parse(scheme);
-        const core::RelativeMetrics rel =
-            core::run_relative_campaign(c, reps);
-        table.add(rel.rel_avg_stretch, 3);
-        std::fflush(stdout);
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+      table.begin_row().add(alphas[i], 2).add(base_mean * alphas[i] / 10.23,
+                                              2);
+      for (std::size_t j = 0; j < schemes.size(); ++j) {
+        table.add(grid[i][j].rel_avg_stretch, 3);
       }
     }
     table.print(std::cout);
+    bench::sweep_summary(sweep.jobs());
   });
 }

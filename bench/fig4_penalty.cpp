@@ -26,22 +26,34 @@ int main(int argc, char** argv) {
     const std::vector<double> percents{0.0, 20.0, 40.0, 60.0, 80.0, 100.0};
     const std::vector<std::string> schemes{"R2", "R4", "HALF", "ALL"};
 
+    std::vector<std::vector<core::ClassifiedCampaign>> grid(
+        percents.size(),
+        std::vector<core::ClassifiedCampaign>(schemes.size()));
+    core::CampaignSweep sweep(reps);
+    for (std::size_t i = 0; i < percents.size(); ++i) {
+      for (std::size_t j = 0; j < schemes.size(); ++j) {
+        core::ExperimentConfig c = base;
+        c.scheme = core::RedundancyScheme::parse(schemes[j]);
+        c.redundant_fraction = percents[i] / 100.0;
+        sweep.add_classified(
+            c, [&grid, i, j](const core::ClassifiedCampaign& m) {
+              grid[i][j] = m;
+            });
+      }
+    }
+    sweep.run();
+
     util::Table table({"p %", "R2 r", "R2 n-r", "R4 r", "R4 n-r", "HALF r",
                        "HALF n-r", "ALL r", "ALL n-r"});
-    for (const double p : percents) {
-      table.begin_row().add(p, 0);
-      for (const std::string& scheme : schemes) {
-        core::ExperimentConfig c = base;
-        c.scheme = core::RedundancyScheme::parse(scheme);
-        c.redundant_fraction = p / 100.0;
-        const core::ClassifiedCampaign res =
-            core::run_classified_campaign(c, reps);
-        table.add(res.avg_stretch_redundant, 2)
-            .add(res.avg_stretch_non_redundant, 2);
-        std::fflush(stdout);
+    for (std::size_t i = 0; i < percents.size(); ++i) {
+      table.begin_row().add(percents[i], 0);
+      for (std::size_t j = 0; j < schemes.size(); ++j) {
+        table.add(grid[i][j].avg_stretch_redundant, 2)
+            .add(grid[i][j].avg_stretch_non_redundant, 2);
       }
     }
     table.print(std::cout);
+    bench::sweep_summary(sweep.jobs());
     std::printf("\n(zero cells mean the class is empty at that p)\n");
   });
 }

@@ -228,7 +228,9 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"benchmark\": \"micro_campaign\",\n"
+                 "  \"benchmark\": \"micro_campaign\",\n");
+    bench::write_json_env_fields(f, jobs);
+    std::fprintf(f,
                  "  \"kernel_events\": %zu,\n"
                  "  \"kernel_events_per_sec_legacy_shared_ptr\": %.0f,\n"
                  "  \"kernel_events_per_sec_pooled\": %.0f,\n"

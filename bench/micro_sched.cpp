@@ -311,7 +311,9 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"benchmark\": \"micro_sched\",\n"
+                 "  \"benchmark\": \"micro_sched\",\n");
+    bench::write_json_env_fields(f, 1);
+    std::fprintf(f,
                  "  \"submissions\": %d,\n"
                  "  \"nodes\": %d,\n"
                  "  \"cancels\": %llu,\n"

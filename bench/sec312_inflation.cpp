@@ -23,24 +23,34 @@ int main(int argc, char** argv) {
         core::apply_common_flags(core::figure_config(), cli);
     base.scheme = core::RedundancyScheme::half();
 
+    const std::vector<double> inflations{1.0, 1.1, 1.5};
+    std::vector<core::RelativeMetrics> results(inflations.size());
+    core::CampaignSweep sweep(reps);
+    for (std::size_t i = 0; i < inflations.size(); ++i) {
+      core::ExperimentConfig c = base;
+      c.remote_inflation = inflations[i];
+      sweep.add_relative(c, [&results, i](const core::RelativeMetrics& m) {
+        results[i] = m;
+      });
+    }
+    sweep.run();
+
     util::Table table({"remote inflation", "rel avg stretch",
                        "per-rep stddev", "rel CV", "rel max stretch",
                        "win rate %"});
-    for (const double inflation : {1.0, 1.1, 1.5}) {
-      core::ExperimentConfig c = base;
-      c.remote_inflation = inflation;
-      const core::RelativeMetrics rel = core::run_relative_campaign(c, reps);
+    for (std::size_t i = 0; i < inflations.size(); ++i) {
+      const core::RelativeMetrics& rel = results[i];
       const util::Summary spread = util::summarize(rel.per_rep_rel_stretch);
       table.begin_row()
-          .add("x" + util::format_fixed(inflation, 2))
+          .add("x" + util::format_fixed(inflations[i], 2))
           .add(rel.rel_avg_stretch, 3)
           .add(spread.stddev, 3)
           .add(rel.rel_cv_stretch, 3)
           .add(rel.rel_max_stretch, 3)
           .add(rel.win_rate * 100.0, 0);
-      std::fflush(stdout);
     }
     table.print(std::cout);
+    bench::sweep_summary(sweep.jobs());
     std::printf(
         "\nthe sign never flips: redundancy stays beneficial under "
         "inflation.\nIn this regime inflation further *improves* the "

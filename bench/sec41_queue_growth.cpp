@@ -16,43 +16,62 @@ int main(int argc, char** argv) {
     std::printf("=== Section 4.1 - queue growth and redundancy's effect on "
                 "queue size ===\n\n");
 
+    // All three runs (peak-rate growth + the ALL/NONE steady-state pair)
+    // go through one sweep pool as independent single-run units.
+    core::ExperimentConfig peak;
+    peak.n_clusters = 3;
+    peak.load_mode = core::LoadMode::kPerClusterPeak;
+    peak.submit_horizon = cli.get_double("hours", 4.0) * 3600.0;
+    peak.drain = false;
+    peak.truncate_factor = 1.0;
+    peak.seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
+
+    core::ExperimentConfig steady = core::figure_config();
+    steady.load_mode = core::LoadMode::kCalibrated;
+    steady.target_utilization = 0.7;
+    steady.submit_horizon = 24.0 * 3600.0;
+    steady.queue_sample_interval = 300.0;
+    steady.seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
+    steady = core::apply_common_flags(steady, cli);
+    core::ExperimentConfig steady_all = steady;
+    steady_all.scheme = core::RedundancyScheme::all();
+
+    core::SimResult r_peak;
+    core::SimResult r_none;
+    core::SimResult r_all;
+    core::CampaignSweep sweep(1);
+    const auto queue_run = [&sweep](const core::ExperimentConfig& c,
+                                    core::SimResult& out) {
+      sweep.runner().add(
+          1,
+          [c](int) {
+            return core::run_experiment(c, core::thread_workspace());
+          },
+          [&out](int, core::SimResult r) { out = std::move(r); });
+    };
+    queue_run(peak, r_peak);
+    queue_run(steady, r_none);
+    queue_run(steady_all, r_all);
+    sweep.run();
+
     // (1) Peak-rate growth, no redundancy.
     {
-      core::ExperimentConfig c;
-      c.n_clusters = 3;
-      c.load_mode = core::LoadMode::kPerClusterPeak;
-      c.submit_horizon = cli.get_double("hours", 4.0) * 3600.0;
-      c.drain = false;
-      c.truncate_factor = 1.0;
-      c.seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
-      const core::SimResult r = core::run_experiment(c);
       util::Table table({"cluster", "queue growth (jobs/hour)"});
       double avg = 0.0;
-      for (std::size_t i = 0; i < c.n_clusters; ++i) {
+      for (std::size_t i = 0; i < peak.n_clusters; ++i) {
         table.begin_row()
             .add(static_cast<long long>(i))
-            .add(r.queue_growth_per_hour[i], 0);
-        avg += r.queue_growth_per_hour[i];
+            .add(r_peak.queue_growth_per_hour[i], 0);
+        avg += r_peak.queue_growth_per_hour[i];
       }
       table.print(std::cout, false);
       std::printf("average growth: %.0f jobs/hour (paper: ~700 at the 5 s "
                   "peak rate)\n\n",
-                  avg / static_cast<double>(c.n_clusters));
+                  avg / static_cast<double>(peak.n_clusters));
     }
 
     // (2) Steady-state max queue size, ALL vs NONE.
     {
-      core::ExperimentConfig c = core::figure_config();
-      c.load_mode = core::LoadMode::kCalibrated;
-      c.target_utilization = 0.7;
-      c.submit_horizon = 24.0 * 3600.0;
-      c.queue_sample_interval = 300.0;
-      c.seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
-      c = core::apply_common_flags(c, cli);
-      core::ExperimentConfig all = c;
-      all.scheme = core::RedundancyScheme::all();
-      const core::SimResult r_none = core::run_experiment(c);
-      const core::SimResult r_all = core::run_experiment(all);
       util::Table table({"scheme", "avg max queue size", "replica submits",
                          "cancellations"});
       table.begin_row()
@@ -77,5 +96,6 @@ int main(int argc, char** argv) {
                   static_cast<double>(r_all.ops.submits) /
                       static_cast<double>(r_none.ops.submits));
     }
+    bench::sweep_summary(sweep.jobs());
   });
 }

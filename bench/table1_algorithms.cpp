@@ -38,29 +38,33 @@ int main(int argc, char** argv) {
     };
     const Col cols[] = {{"exact", "Exact"}, {"uniform216", "Real"}};
 
+    std::vector<std::vector<core::RelativeMetrics>> grid(
+        3, std::vector<core::RelativeMetrics>(2));
+    core::CampaignSweep sweep(reps);
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        core::ExperimentConfig c = base;
+        c.algorithm = rows[i].algo;
+        c.estimator = cols[e].estimator;
+        sweep.add_relative(c, [&grid, i, e](const core::RelativeMetrics& m) {
+          grid[i][e] = m;
+        });
+      }
+    }
+    sweep.run();
+
     util::Table table({"algorithm", "rel stretch (Exact)",
                        "rel stretch (Real)", "rel CV (Exact)",
                        "rel CV (Real)"});
-    for (const Row& row : rows) {
-      double stretch[2] = {0.0, 0.0};
-      double cv[2] = {0.0, 0.0};
-      for (int e = 0; e < 2; ++e) {
-        core::ExperimentConfig c = base;
-        c.algorithm = row.algo;
-        c.estimator = cols[e].estimator;
-        const core::RelativeMetrics rel =
-            core::run_relative_campaign(c, reps);
-        stretch[e] = rel.rel_avg_stretch;
-        cv[e] = rel.rel_cv_stretch;
-        std::fflush(stdout);
-      }
+    for (std::size_t i = 0; i < 3; ++i) {
       table.begin_row()
-          .add(row.label)
-          .add(stretch[0], 2)
-          .add(stretch[1], 2)
-          .add(cv[0], 2)
-          .add(cv[1], 2);
+          .add(rows[i].label)
+          .add(grid[i][0].rel_avg_stretch, 2)
+          .add(grid[i][1].rel_avg_stretch, 2)
+          .add(grid[i][0].rel_cv_stretch, 2)
+          .add(grid[i][1].rel_cv_stretch, 2);
     }
     table.print(std::cout);
+    bench::sweep_summary(sweep.jobs());
   });
 }

@@ -23,21 +23,28 @@ int main(int argc, char** argv) {
         core::apply_common_flags(core::figure_config(), cli);
     base.placement = "biased";
 
-    util::Table table({"metric", "R2", "R3", "R4", "HALF"});
-    std::vector<double> stretch;
-    std::vector<double> cv;
-    for (const char* scheme : {"R2", "R3", "R4", "HALF"}) {
+    const std::vector<std::string> schemes{"R2", "R3", "R4", "HALF"};
+    std::vector<core::RelativeMetrics> results(schemes.size());
+    core::CampaignSweep sweep(reps);
+    for (std::size_t j = 0; j < schemes.size(); ++j) {
       core::ExperimentConfig c = base;
-      c.scheme = core::RedundancyScheme::parse(scheme);
-      const core::RelativeMetrics rel = core::run_relative_campaign(c, reps);
-      stretch.push_back(rel.rel_avg_stretch);
-      cv.push_back(rel.rel_cv_stretch);
-      std::fflush(stdout);
+      c.scheme = core::RedundancyScheme::parse(schemes[j]);
+      sweep.add_relative(c, [&results, j](const core::RelativeMetrics& m) {
+        results[j] = m;
+      });
     }
+    sweep.run();
+
+    util::Table table({"metric", "R2", "R3", "R4", "HALF"});
     table.begin_row().add("Relative Average Stretch");
-    for (const double v : stretch) table.add(v, 2);
+    for (const core::RelativeMetrics& m : results) {
+      table.add(m.rel_avg_stretch, 2);
+    }
     table.begin_row().add("Relative C.V. of Stretches");
-    for (const double v : cv) table.add(v, 2);
+    for (const core::RelativeMetrics& m : results) {
+      table.add(m.rel_cv_stretch, 2);
+    }
     table.print(std::cout);
+    bench::sweep_summary(sweep.jobs());
   });
 }

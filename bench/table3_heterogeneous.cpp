@@ -46,18 +46,27 @@ int main(int argc, char** argv) {
     }
     std::printf("\n\n");
 
+    const std::vector<std::string> schemes{"R2", "R3", "R4", "HALF", "ALL"};
+    std::vector<core::RelativeMetrics> results(schemes.size());
+    core::CampaignSweep sweep(reps);
+    for (std::size_t j = 0; j < schemes.size(); ++j) {
+      core::ExperimentConfig c = base;
+      c.scheme = core::RedundancyScheme::parse(schemes[j]);
+      sweep.add_relative(c, [&results, j](const core::RelativeMetrics& m) {
+        results[j] = m;
+      });
+    }
+    sweep.run();
+
     util::Table table(
         {"scheme", "Relative Average Stretch", "Relative C.V. of Stretches"});
-    for (const char* scheme : {"R2", "R3", "R4", "HALF", "ALL"}) {
-      core::ExperimentConfig c = base;
-      c.scheme = core::RedundancyScheme::parse(scheme);
-      const core::RelativeMetrics rel = core::run_relative_campaign(c, reps);
+    for (std::size_t j = 0; j < schemes.size(); ++j) {
       table.begin_row()
-          .add(scheme)
-          .add(rel.rel_avg_stretch, 2)
-          .add(rel.rel_cv_stretch, 2);
-      std::fflush(stdout);
+          .add(schemes[j])
+          .add(results[j].rel_avg_stretch, 2)
+          .add(results[j].rel_cv_stretch, 2);
     }
     table.print(std::cout);
+    bench::sweep_summary(sweep.jobs());
   });
 }

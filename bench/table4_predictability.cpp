@@ -34,14 +34,21 @@ int main(int argc, char** argv) {
     base = core::apply_common_flags(base, cli);
     base.algorithm = sched::Algorithm::kCbf;  // Table 4 is CBF by definition
 
-    const core::PredictionCampaign baseline =
-        core::run_prediction_campaign(base, reps);
-
     core::ExperimentConfig mixed = base;
     mixed.scheme = core::RedundancyScheme::all();
     mixed.redundant_fraction = 0.4;
-    const core::PredictionCampaign with =
-        core::run_prediction_campaign(mixed, reps);
+
+    core::PredictionCampaign baseline;
+    core::PredictionCampaign with;
+    core::CampaignSweep sweep(reps);
+    sweep.add_prediction(
+        base, [&baseline](const core::PredictionCampaign& m) {
+          baseline = m;
+        });
+    sweep.add_prediction(mixed, [&with](const core::PredictionCampaign& m) {
+      with = m;
+    });
+    sweep.run();
 
     util::Table table({"", "0% jobs redundant",
                        "40% ALL: jobs not using RR",
@@ -62,5 +69,6 @@ int main(int argc, char** argv) {
                 "3.9x)\n",
                 with.non_redundant.avg_ratio / baseline.all.avg_ratio,
                 with.redundant.avg_ratio / baseline.all.avg_ratio);
+    bench::sweep_summary(sweep.jobs());
   });
 }

@@ -1,143 +1,44 @@
 #include "rrsim/core/campaign.h"
 
-#include <algorithm>
 #include <stdexcept>
-#include <utility>
 
-#include "rrsim/exec/campaign_runner.h"
-#include "rrsim/util/stats.h"
+#include "rrsim/core/sweep.h"
 
 namespace rrsim::core {
 
-// All three campaigns share the same execution shape: repetition r is an
-// independent simulation (or pair of simulations) seeded with
-// config.seed + r, and the aggregate is a fold over per-rep results in
-// repetition order. CampaignRunner::map_reduce runs the map stage on a
-// worker pool and the fold on the calling thread in order, so the output
-// is bit-identical for any --jobs value.
+// The run_*_campaign entry points are one-point sweeps: all of the
+// execution machinery — flat (point x replication) scheduling, per-thread
+// workspace reuse, trace memoization, in-order reduction — lives in
+// CampaignSweep (rrsim/core/sweep.h). Multi-point callers should queue
+// their points on one CampaignSweep instead of looping over these, so
+// work units from different points share the worker pool.
 
 RelativeMetrics run_relative_campaign(const ExperimentConfig& config,
                                       int reps, int jobs) {
-  if (reps < 1) throw std::invalid_argument("reps must be >= 1");
-  if (config.scheme.is_none()) {
-    throw std::invalid_argument("relative campaign needs a non-NONE scheme");
-  }
-  struct RepOutcome {
-    bool valid = false;
-    double rel_stretch = 0.0;
-    double rel_cv = 0.0;
-    double rel_max = 0.0;
-    double rel_turnaround = 0.0;
-  };
-  util::OnlineStats rel_stretch;
-  util::OnlineStats rel_cv;
-  util::OnlineStats rel_max;
-  util::OnlineStats rel_turnaround;
-  int wins = 0;
   RelativeMetrics out;
-  out.per_rep_rel_stretch.reserve(static_cast<std::size_t>(reps));
-  const exec::CampaignRunner runner(jobs);
-  runner.map_reduce(
-      reps,
-      [&config](int r) {
-        ExperimentConfig with = config;
-        with.seed = config.seed + static_cast<std::uint64_t>(r);
-        ExperimentConfig without = with;
-        without.scheme = RedundancyScheme::none();
-
-        const metrics::ScheduleMetrics m_with =
-            metrics::compute_metrics(run_experiment(with).records);
-        const metrics::ScheduleMetrics m_without =
-            metrics::compute_metrics(run_experiment(without).records);
-        RepOutcome o;
-        if (m_without.avg_stretch <= 0.0 ||
-            m_without.cv_stretch_percent <= 0.0 ||
-            m_without.avg_turnaround <= 0.0 || m_without.max_stretch <= 0.0) {
-          return o;  // degenerate repetition (e.g. empty stream); skip
-        }
-        o.valid = true;
-        o.rel_stretch = m_with.avg_stretch / m_without.avg_stretch;
-        o.rel_cv = m_with.cv_stretch_percent / m_without.cv_stretch_percent;
-        o.rel_max = m_with.max_stretch / m_without.max_stretch;
-        o.rel_turnaround = m_with.avg_turnaround / m_without.avg_turnaround;
-        return o;
-      },
-      [&](int, RepOutcome o) {
-        if (!o.valid) return;
-        rel_stretch.add(o.rel_stretch);
-        rel_cv.add(o.rel_cv);
-        rel_max.add(o.rel_max);
-        rel_turnaround.add(o.rel_turnaround);
-        if (o.rel_stretch < 1.0) ++wins;
-        out.per_rep_rel_stretch.push_back(o.rel_stretch);
-      });
-  out.reps = rel_stretch.count();
-  if (out.reps == 0) return out;
-  out.rel_avg_stretch = rel_stretch.mean();
-  out.rel_cv_stretch = rel_cv.mean();
-  out.rel_max_stretch = rel_max.mean();
-  out.rel_avg_turnaround = rel_turnaround.mean();
-  out.win_rate = static_cast<double>(wins) / static_cast<double>(out.reps);
-  out.worst_rel_stretch = rel_stretch.max();
+  CampaignSweep sweep(reps, jobs);
+  sweep.add_relative(config, [&out](const RelativeMetrics& m) { out = m; });
+  sweep.run();
   return out;
 }
 
 ClassifiedCampaign run_classified_campaign(const ExperimentConfig& config,
                                            int reps, int jobs) {
-  if (reps < 1) throw std::invalid_argument("reps must be >= 1");
-  util::OnlineStats all;
-  util::OnlineStats red;
-  util::OnlineStats non;
-  std::size_t red_jobs = 0;
-  std::size_t non_jobs = 0;
-  const exec::CampaignRunner runner(jobs);
-  runner.map_reduce(
-      reps,
-      [&config](int r) {
-        ExperimentConfig c = config;
-        c.seed = config.seed + static_cast<std::uint64_t>(r);
-        return metrics::compute_classified_metrics(run_experiment(c).records);
-      },
-      [&](int, metrics::ClassifiedMetrics m) {
-        if (m.all.jobs > 0) all.add(m.all.avg_stretch);
-        if (m.redundant.jobs > 0) red.add(m.redundant.avg_stretch);
-        if (m.non_redundant.jobs > 0) non.add(m.non_redundant.avg_stretch);
-        red_jobs += m.redundant.jobs;
-        non_jobs += m.non_redundant.jobs;
-      });
   ClassifiedCampaign out;
-  out.reps = static_cast<std::size_t>(reps);
-  out.avg_stretch_all = all.mean();
-  out.avg_stretch_redundant = red.mean();
-  out.avg_stretch_non_redundant = non.mean();
-  out.redundant_jobs = red_jobs;
-  out.non_redundant_jobs = non_jobs;
+  CampaignSweep sweep(reps, jobs);
+  sweep.add_classified(config,
+                       [&out](const ClassifiedCampaign& m) { out = m; });
+  sweep.run();
   return out;
 }
 
 PredictionCampaign run_prediction_campaign(const ExperimentConfig& config,
                                            int reps, int jobs) {
-  if (reps < 1) throw std::invalid_argument("reps must be >= 1");
-  metrics::JobRecords pooled;
-  const exec::CampaignRunner runner(jobs);
-  runner.map_reduce(
-      reps,
-      [&config](int r) {
-        ExperimentConfig c = config;
-        c.seed = config.seed + static_cast<std::uint64_t>(r);
-        c.record_predictions = true;
-        return run_experiment(c).records;
-      },
-      [&](int, metrics::JobRecords records) {
-        pooled.insert(pooled.end(),
-                      std::make_move_iterator(records.begin()),
-                      std::make_move_iterator(records.end()));
-      });
   PredictionCampaign out;
-  out.reps = static_cast<std::size_t>(reps);
-  out.all = metrics::compute_prediction_accuracy(pooled);
-  out.redundant = metrics::compute_prediction_accuracy(pooled, true);
-  out.non_redundant = metrics::compute_prediction_accuracy(pooled, false);
+  CampaignSweep sweep(reps, jobs);
+  sweep.add_prediction(config,
+                       [&out](const PredictionCampaign& m) { out = m; });
+  sweep.run();
   return out;
 }
 

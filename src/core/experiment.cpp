@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "rrsim/des/simulation.h"
 #include "rrsim/grid/gateway.h"
@@ -12,12 +13,21 @@
 #include "rrsim/workload/calibrate.h"
 #include "rrsim/workload/estimators.h"
 #include "rrsim/workload/swf.h"
+#include "rrsim/workload/trace_cache.h"
 
 namespace rrsim::core {
 
 int ExperimentConfig::nodes_of(std::size_t i) const {
   if (!cluster_nodes.empty()) return cluster_nodes.at(i);
   return nodes_per_cluster;
+}
+
+ExperimentWorkspace::ExperimentWorkspace() = default;
+ExperimentWorkspace::~ExperimentWorkspace() = default;
+
+ExperimentWorkspace& thread_workspace() {
+  thread_local ExperimentWorkspace workspace;
+  return workspace;
 }
 
 namespace {
@@ -36,6 +46,12 @@ enum Substream : std::uint64_t {
 }  // namespace
 
 SimResult run_experiment(const ExperimentConfig& config) {
+  ExperimentWorkspace workspace;
+  return run_experiment(config, workspace);
+}
+
+SimResult run_experiment(const ExperimentConfig& config,
+                         ExperimentWorkspace& workspace) {
   if (config.n_clusters == 0) {
     throw std::invalid_argument("need >= 1 cluster");
   }
@@ -55,7 +71,8 @@ SimResult run_experiment(const ExperimentConfig& config) {
   }
 
   util::Rng master(config.seed);
-  des::Simulation sim;
+  des::Simulation& sim = workspace.sim_;
+  sim.reset();
 
   // --- Resolve per-cluster workload parameters --------------------------
   // Calibration and stream generation use substreams that depend only on
@@ -83,17 +100,52 @@ SimResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
-  grid::Platform platform(sim, cluster_configs, config.algorithm);
   if (config.per_user_pending_limit < 0 || config.users_per_cluster < 1) {
     throw std::invalid_argument("invalid per-user limit configuration");
   }
+
+  // --- Acquire platform + gateway (reuse when the shape matches) --------
+  // Schedulers depend only on (algorithm, node count), so a workspace
+  // whose platform has the same cluster layout is reset in place; any
+  // mismatch reconstructs. The workload parameters stored inside the
+  // platform's configs are never read here — stream generation uses the
+  // freshly resolved cluster_configs above.
+  {
+    bool reuse = workspace.platform_ != nullptr &&
+                 workspace.platform_->algorithm() == config.algorithm &&
+                 workspace.platform_->size() == config.n_clusters;
+    if (reuse) {
+      for (std::size_t i = 0; i < config.n_clusters; ++i) {
+        if (workspace.platform_->cluster_sizes()[i] !=
+            cluster_configs[i].nodes) {
+          reuse = false;
+          break;
+        }
+      }
+    }
+    if (reuse) {
+      workspace.platform_->reset();
+      workspace.gateway_->reset(config.record_predictions);
+      ++workspace.reuses_;
+    } else {
+      // The gateway references the platform; destroy it first.
+      workspace.gateway_.reset();
+      workspace.platform_.reset();
+      workspace.platform_ = std::make_unique<grid::Platform>(
+          sim, cluster_configs, config.algorithm);
+      workspace.gateway_ = std::make_unique<grid::Gateway>(
+          sim, *workspace.platform_, config.record_predictions);
+    }
+  }
+  grid::Platform& platform = *workspace.platform_;
+  grid::Gateway& gateway = *workspace.gateway_;
+
   if (config.per_user_pending_limit > 0) {
     for (std::size_t i = 0; i < platform.size(); ++i) {
       platform.scheduler(i).set_per_user_pending_limit(
           config.per_user_pending_limit);
     }
   }
-  grid::Gateway gateway(sim, platform, config.record_predictions);
   std::vector<std::unique_ptr<grid::MiddlewareStation>> stations;
   if (config.middleware_ops_per_sec > 0.0) {
     std::vector<grid::MiddlewareStation*> raw;
@@ -112,32 +164,49 @@ SimResult run_experiment(const ExperimentConfig& config) {
   util::Rng users_rng = master.fork(kStreamUsers);
   auto placement_rng =
       std::make_unique<util::Rng>(master.fork(kStreamPlacement));
-  auto jobs = std::make_unique<std::vector<grid::GridJob>>();
+  std::vector<grid::GridJob>& jobs = workspace.jobs_;
+  jobs.clear();
   grid::GridJobId next_id = 1;
   for (std::size_t i = 0; i < config.n_clusters; ++i) {
     util::Rng stream_rng = master.fork(kStreamWorkloadBase + i);
     util::Rng est_rng = master.fork(kStreamEstimatorBase + i);
-    workload::JobStream stream;
+    workload::TraceCache::StreamPtr shared_stream;  // Lublin path
+    workload::JobStream own_stream;                 // SWF path
     if (!config.trace_files.empty()) {
-      stream = workload::read_swf_file(
+      own_stream = workload::read_swf_file(
           config.trace_files[i % config.trace_files.size()]);
       // Shift to t=0, drop jobs that cannot run here, cut at the horizon.
-      const double t0 = stream.empty() ? 0.0 : stream.front().submit_time;
+      const double t0 =
+          own_stream.empty() ? 0.0 : own_stream.front().submit_time;
       workload::JobStream filtered;
-      for (workload::JobSpec spec : stream) {
+      for (workload::JobSpec spec : own_stream) {
         spec.submit_time -= t0;
         if (spec.submit_time > config.submit_horizon) break;
         if (spec.submit_time <= 0.0) spec.submit_time = 1e-6;
         if (spec.nodes > cluster_configs[i].nodes) continue;
         filtered.push_back(spec);
       }
-      stream = std::move(filtered);
+      own_stream = std::move(filtered);
     } else {
-      const workload::LublinModel model(cluster_configs[i].workload,
-                                        cluster_configs[i].nodes);
-      stream = model.generate_stream(stream_rng, config.submit_horizon);
-      workload::apply_estimator(stream, *estimator, est_rng);
+      // Memoized: sweep points sharing (seed, params, shape) — the common-
+      // random-number pairing every figure uses — generate this stream
+      // once per process. The Rng forks above happen unconditionally, so a
+      // cache hit leaves every other substream exactly where a miss would.
+      const workload::TraceKey key = workload::TraceKey::of(
+          cluster_configs[i].workload, cluster_configs[i].nodes,
+          config.submit_horizon, stream_rng, est_rng, *estimator);
+      shared_stream = workload::TraceCache::global().get_or_generate(
+          key, [&]() {
+            const workload::LublinModel model(cluster_configs[i].workload,
+                                              cluster_configs[i].nodes);
+            workload::JobStream s =
+                model.generate_stream(stream_rng, config.submit_horizon);
+            workload::apply_estimator(s, *estimator, est_rng);
+            return s;
+          });
     }
+    const workload::JobStream& stream =
+        shared_stream ? *shared_stream : own_stream;
     for (const workload::JobSpec& spec : stream) {
       grid::GridJob job;
       job.id = next_id++;
@@ -150,17 +219,22 @@ SimResult run_experiment(const ExperimentConfig& config) {
       job.redundant = !config.scheme.is_none() &&
                       redundancy_rng.chance(config.redundant_fraction);
       job.targets = {i};
-      jobs->push_back(std::move(job));
+      jobs.push_back(std::move(job));
     }
   }
+  // Record storage sized once: every generated job finishes exactly once
+  // under drain, so this is the exact final size (an upper bound under
+  // truncation) and the per-finish push_back never reallocates.
+  gateway.reserve_records(jobs.size());
 
   // --- Schedule arrivals --------------------------------------------------
   // Remote targets are chosen at submission time so informed placement
   // policies (least-loaded) observe the live queue lengths; arrival events
   // fire in deterministic order, so the placement stream stays
-  // reproducible.
+  // reproducible. `jobs` is fully built before any lambda captures an
+  // element reference, and never resized afterwards.
   const std::size_t degree = config.scheme.degree(config.n_clusters);
-  for (grid::GridJob& job : *jobs) {
+  for (grid::GridJob& job : jobs) {
     sim.schedule_at(
         job.spec.submit_time,
         [&gateway, &platform, &job, &placement = *placement,
@@ -209,7 +283,7 @@ SimResult run_experiment(const ExperimentConfig& config) {
   }
 
   SimResult result;
-  result.records = gateway.records();
+  const std::size_t jobs_generated = jobs.size();
   result.ops = platform.total_counters();
   result.gateway_cancels = gateway.cancellations_issued();
   result.replicas_rejected = gateway.replicas_rejected();
@@ -221,17 +295,22 @@ SimResult run_experiment(const ExperimentConfig& config) {
     result.middleware_mean_sojourn +=
         station->mean_sojourn() / static_cast<double>(stations.size());
   }
-  result.jobs_generated = jobs->size();
+  result.jobs_generated = jobs_generated;
   result.avg_max_queue = tracker.avg_max_length();
   result.queue_growth_per_hour.reserve(config.n_clusters);
   for (std::size_t i = 0; i < config.n_clusters; ++i) {
     result.queue_growth_per_hour.push_back(tracker.growth_per_hour(i));
   }
   result.end_time = sim.now();
-  if (config.drain && result.records.size() != jobs->size()) {
+  result.records = gateway.take_records();
+  if (config.drain && result.records.size() != jobs_generated) {
     throw std::logic_error(
         "conservation violation: not every grid job finished exactly once");
   }
+  // Leave the workspace inert: arrival lambdas captured references to
+  // locals of this call (placement, estimator, stations); reset() both
+  // frees the slab's callbacks and guarantees none can ever fire.
+  sim.reset();
   return result;
 }
 

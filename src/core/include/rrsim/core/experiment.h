@@ -5,15 +5,23 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "rrsim/core/scheme.h"
+#include "rrsim/des/simulation.h"
 #include "rrsim/metrics/record.h"
 #include "rrsim/sched/factory.h"
 #include "rrsim/sched/scheduler.h"
 #include "rrsim/workload/lublin.h"
+
+namespace rrsim::grid {
+class Gateway;
+class Platform;
+struct GridJob;
+}  // namespace rrsim::grid
 
 namespace rrsim::core {
 
@@ -131,8 +139,50 @@ struct SimResult {
   double end_time = 0.0;  ///< simulated time when everything drained
 };
 
+/// Reusable per-run simulation state: the DES event slab, the Platform
+/// (schedulers with their profiles and queues), the Gateway (replica maps
+/// and record buffer), and the grid-job staging vector. Sweep workers keep
+/// one workspace per thread and run every work unit through it, so the
+/// arenas those structures grew on the first replication stay warm for all
+/// later ones. Reuse is strictly behaviour-preserving: every component is
+/// reset to its just-constructed state between runs (the tests pin
+/// equality against fresh construction), and the Platform/Gateway pair is
+/// reconstructed whenever the cluster shape or algorithm changes.
+class ExperimentWorkspace {
+ public:
+  ExperimentWorkspace();
+  ~ExperimentWorkspace();
+  ExperimentWorkspace(const ExperimentWorkspace&) = delete;
+  ExperimentWorkspace& operator=(const ExperimentWorkspace&) = delete;
+
+  /// Runs that reused the previous run's Platform/Gateway (observability
+  /// for tests and the sweep benchmark; a shape change resets nothing
+  /// visible here, it just reconstructs).
+  std::uint64_t platform_reuses() const noexcept { return reuses_; }
+
+ private:
+  friend SimResult run_experiment(const ExperimentConfig& config,
+                                  ExperimentWorkspace& workspace);
+  des::Simulation sim_;
+  std::unique_ptr<grid::Platform> platform_;
+  std::unique_ptr<grid::Gateway> gateway_;
+  std::vector<grid::GridJob> jobs_;
+  std::uint64_t reuses_ = 0;
+};
+
 /// Runs one experiment under the configured measurement protocol (drain or
 /// truncate). Deterministic in config.seed.
 SimResult run_experiment(const ExperimentConfig& config);
+
+/// Same semantics and bit-identical results, but runs inside `workspace`,
+/// reusing its simulation slab, schedulers, and gateway allocations. The
+/// workspace must not be used concurrently from two threads.
+SimResult run_experiment(const ExperimentConfig& config,
+                         ExperimentWorkspace& workspace);
+
+/// This thread's lazily-constructed workspace. Sweep workers route every
+/// work unit through it so arenas persist for the lifetime of the worker
+/// thread, not one unit.
+ExperimentWorkspace& thread_workspace();
 
 }  // namespace rrsim::core

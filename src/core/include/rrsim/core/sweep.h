@@ -1,0 +1,72 @@
+// The campaign-level face of the sweep engine: queue every point of a
+// figure or table as a campaign, then run them all as one flat
+// (point x replication) work pool on a single worker pool.
+//
+// This is what the bench binaries build on instead of hand-rolled serial
+// loops: each add_*() call queues one sweep point and a completion
+// callback that receives the point's aggregate; run() executes all
+// replications of all points concurrently (see exec::SweepRunner for the
+// scheduling and determinism contract) and fires the callbacks in add()
+// order on the calling thread. Results are bit-identical to running the
+// equivalent run_*_campaign() calls back-to-back, for any --jobs value.
+//
+// Replications execute inside the worker thread's reusable
+// ExperimentWorkspace (warm DES slab, schedulers, gateway) and pull their
+// job streams from the global workload::TraceCache, so the common-random-
+// number streams shared by every point of a figure are generated once.
+#pragma once
+
+#include <functional>
+
+#include "rrsim/core/campaign.h"
+#include "rrsim/core/experiment.h"
+#include "rrsim/exec/sweep_runner.h"
+
+namespace rrsim::core {
+
+/// Deterministic multi-campaign sweep. Not thread-safe; build and run it
+/// from one thread.
+class CampaignSweep {
+ public:
+  /// Every queued campaign runs `reps` replications (seed + r pairing, as
+  /// in run_*_campaign). jobs = 0 resolves the process default.
+  /// Throws std::invalid_argument if reps < 1.
+  explicit CampaignSweep(int reps, int jobs = 0);
+
+  int reps() const noexcept { return reps_; }
+  int jobs() const noexcept { return runner_.jobs(); }
+
+  /// Queues a paired scheme-vs-NONE campaign (see run_relative_campaign;
+  /// config.scheme must not be NONE — throws immediately otherwise).
+  /// `done` fires during run(), after the point's last replication folded.
+  void add_relative(const ExperimentConfig& config,
+                    std::function<void(const RelativeMetrics&)> done);
+
+  /// Queues a per-class (r-jobs / n-r-jobs) campaign.
+  void add_classified(const ExperimentConfig& config,
+                      std::function<void(const ClassifiedCampaign&)> done);
+
+  /// Queues a prediction-accuracy campaign (record_predictions forced on).
+  void add_prediction(const ExperimentConfig& config,
+                      std::function<void(const PredictionCampaign&)> done);
+
+  /// Queues `reps` independent runs of `config` (replication r uses seed
+  /// config.seed + r); `per_rep` fires once per replication, in order.
+  /// For studies that consume raw SimResults rather than a campaign
+  /// aggregate (middleware load, queue growth, rejection counts).
+  void add_experiments(const ExperimentConfig& config,
+                       std::function<void(int, const SimResult&)> per_rep);
+
+  /// Escape hatch for custom work-unit shapes (e.g. per-shape moldable
+  /// units): tasks queued here interleave into the same flat pool.
+  exec::SweepRunner& runner() noexcept { return runner_; }
+
+  /// Executes everything queued; see exec::SweepRunner::run().
+  void run() { runner_.run(); }
+
+ private:
+  int reps_;
+  exec::SweepRunner runner_;
+};
+
+}  // namespace rrsim::core

@@ -1,0 +1,181 @@
+#include "rrsim/core/sweep.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "rrsim/metrics/summary.h"
+#include "rrsim/util/stats.h"
+
+namespace rrsim::core {
+
+CampaignSweep::CampaignSweep(int reps, int jobs)
+    : reps_(reps), runner_(jobs) {
+  if (reps < 1) throw std::invalid_argument("reps must be >= 1");
+}
+
+// Replications run through the worker thread's persistent workspace: the
+// map stage is the only code that executes on pool threads, and each
+// thread owns exactly one workspace, so no locking is needed and arenas
+// stay warm across every unit the thread picks up.
+
+void CampaignSweep::add_relative(
+    const ExperimentConfig& config,
+    std::function<void(const RelativeMetrics&)> done) {
+  if (config.scheme.is_none()) {
+    throw std::invalid_argument("relative campaign needs a non-NONE scheme");
+  }
+  struct RepOutcome {
+    bool valid = false;
+    double rel_stretch = 0.0;
+    double rel_cv = 0.0;
+    double rel_max = 0.0;
+    double rel_turnaround = 0.0;
+  };
+  struct Acc {
+    util::OnlineStats rel_stretch;
+    util::OnlineStats rel_cv;
+    util::OnlineStats rel_max;
+    util::OnlineStats rel_turnaround;
+    int wins = 0;
+    RelativeMetrics out;
+  };
+  auto acc = std::make_shared<Acc>();
+  acc->out.per_rep_rel_stretch.reserve(static_cast<std::size_t>(reps_));
+  runner_.add(
+      reps_,
+      [config](int r) {
+        ExperimentConfig with = config;
+        with.seed = config.seed + static_cast<std::uint64_t>(r);
+        ExperimentConfig without = with;
+        without.scheme = RedundancyScheme::none();
+
+        ExperimentWorkspace& ws = thread_workspace();
+        const metrics::ScheduleMetrics m_with =
+            metrics::compute_metrics(run_experiment(with, ws).records);
+        const metrics::ScheduleMetrics m_without =
+            metrics::compute_metrics(run_experiment(without, ws).records);
+        RepOutcome o;
+        if (m_without.avg_stretch <= 0.0 ||
+            m_without.cv_stretch_percent <= 0.0 ||
+            m_without.avg_turnaround <= 0.0 || m_without.max_stretch <= 0.0) {
+          return o;  // degenerate repetition (e.g. empty stream); skip
+        }
+        o.valid = true;
+        o.rel_stretch = m_with.avg_stretch / m_without.avg_stretch;
+        o.rel_cv = m_with.cv_stretch_percent / m_without.cv_stretch_percent;
+        o.rel_max = m_with.max_stretch / m_without.max_stretch;
+        o.rel_turnaround = m_with.avg_turnaround / m_without.avg_turnaround;
+        return o;
+      },
+      [acc, done = std::move(done), reps = reps_](int r, RepOutcome o) {
+        if (o.valid) {
+          acc->rel_stretch.add(o.rel_stretch);
+          acc->rel_cv.add(o.rel_cv);
+          acc->rel_max.add(o.rel_max);
+          acc->rel_turnaround.add(o.rel_turnaround);
+          if (o.rel_stretch < 1.0) ++acc->wins;
+          acc->out.per_rep_rel_stretch.push_back(o.rel_stretch);
+        }
+        if (r != reps - 1) return;
+        RelativeMetrics& out = acc->out;
+        out.reps = acc->rel_stretch.count();
+        if (out.reps != 0) {
+          out.rel_avg_stretch = acc->rel_stretch.mean();
+          out.rel_cv_stretch = acc->rel_cv.mean();
+          out.rel_max_stretch = acc->rel_max.mean();
+          out.rel_avg_turnaround = acc->rel_turnaround.mean();
+          out.win_rate = static_cast<double>(acc->wins) /
+                         static_cast<double>(out.reps);
+          out.worst_rel_stretch = acc->rel_stretch.max();
+        }
+        done(out);
+      });
+}
+
+void CampaignSweep::add_classified(
+    const ExperimentConfig& config,
+    std::function<void(const ClassifiedCampaign&)> done) {
+  struct Acc {
+    util::OnlineStats all;
+    util::OnlineStats red;
+    util::OnlineStats non;
+    std::size_t red_jobs = 0;
+    std::size_t non_jobs = 0;
+  };
+  auto acc = std::make_shared<Acc>();
+  runner_.add(
+      reps_,
+      [config](int r) {
+        ExperimentConfig c = config;
+        c.seed = config.seed + static_cast<std::uint64_t>(r);
+        return metrics::compute_classified_metrics(
+            run_experiment(c, thread_workspace()).records);
+      },
+      [acc, done = std::move(done), reps = reps_](int r,
+                                                  metrics::ClassifiedMetrics
+                                                      m) {
+        if (m.all.jobs > 0) acc->all.add(m.all.avg_stretch);
+        if (m.redundant.jobs > 0) acc->red.add(m.redundant.avg_stretch);
+        if (m.non_redundant.jobs > 0) {
+          acc->non.add(m.non_redundant.avg_stretch);
+        }
+        acc->red_jobs += m.redundant.jobs;
+        acc->non_jobs += m.non_redundant.jobs;
+        if (r != reps - 1) return;
+        ClassifiedCampaign out;
+        out.reps = static_cast<std::size_t>(reps);
+        out.avg_stretch_all = acc->all.mean();
+        out.avg_stretch_redundant = acc->red.mean();
+        out.avg_stretch_non_redundant = acc->non.mean();
+        out.redundant_jobs = acc->red_jobs;
+        out.non_redundant_jobs = acc->non_jobs;
+        done(out);
+      });
+}
+
+void CampaignSweep::add_prediction(
+    const ExperimentConfig& config,
+    std::function<void(const PredictionCampaign&)> done) {
+  auto pooled = std::make_shared<metrics::JobRecords>();
+  runner_.add(
+      reps_,
+      [config](int r) {
+        ExperimentConfig c = config;
+        c.seed = config.seed + static_cast<std::uint64_t>(r);
+        c.record_predictions = true;
+        return run_experiment(c, thread_workspace()).records;
+      },
+      [pooled, done = std::move(done), reps = reps_](int r,
+                                                     metrics::JobRecords
+                                                         records) {
+        pooled->insert(pooled->end(),
+                       std::make_move_iterator(records.begin()),
+                       std::make_move_iterator(records.end()));
+        if (r != reps - 1) return;
+        PredictionCampaign out;
+        out.reps = static_cast<std::size_t>(reps);
+        out.all = metrics::compute_prediction_accuracy(*pooled);
+        out.redundant = metrics::compute_prediction_accuracy(*pooled, true);
+        out.non_redundant =
+            metrics::compute_prediction_accuracy(*pooled, false);
+        done(out);
+      });
+}
+
+void CampaignSweep::add_experiments(
+    const ExperimentConfig& config,
+    std::function<void(int, const SimResult&)> per_rep) {
+  runner_.add(
+      reps_,
+      [config](int r) {
+        ExperimentConfig c = config;
+        c.seed = config.seed + static_cast<std::uint64_t>(r);
+        return run_experiment(c, thread_workspace());
+      },
+      [per_rep = std::move(per_rep)](int r, SimResult result) {
+        per_rep(r, result);
+      });
+}
+
+}  // namespace rrsim::core

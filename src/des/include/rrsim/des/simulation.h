@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace rrsim::des {
@@ -112,6 +111,15 @@ class Simulation {
   /// tests and benchmarks, not part of the simulation semantics.
   std::size_t pool_capacity() const noexcept { return slots_.size(); }
 
+  /// Returns the simulation to its initial state — time 0, no events, no
+  /// dispatch history — while keeping the event slab, free list, and heap
+  /// storage allocated, so a reset simulation schedules its first events
+  /// with warm arenas. Every outstanding EventHandle becomes inert (each
+  /// slot's generation is bumped), so a stale handle can neither cancel
+  /// nor report pending for events of the next run. A reset simulation is
+  /// indistinguishable, event-order-wise, from a freshly constructed one.
+  void reset() noexcept;
+
  private:
   // One pooled event. `generation` counts retirements of the slot: a
   // queue entry or handle created with generation g is live iff the slot
@@ -131,8 +139,10 @@ class Simulation {
     std::uint64_t gen;
   };
   struct Compare {
-    // std::priority_queue is a max-heap; invert so the earliest
-    // (time, priority, seq) triple is dispatched first.
+    // std::push_heap/pop_heap build a max-heap; invert so the earliest
+    // (time, priority, seq) triple is dispatched first. The heap lives in
+    // a plain vector (not std::priority_queue) so reset() can clear it
+    // without surrendering its capacity.
     bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       if (a.priority != b.priority) return a.priority > b.priority;
@@ -149,13 +159,17 @@ class Simulation {
   /// move it out first), bumps the generation, recycles the index.
   void retire(std::uint32_t slot) noexcept;
 
+  /// Heap helpers over heap_ (min-first per Compare).
+  void heap_push(const QueueEntry& e);
+  void heap_pop() noexcept;
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::size_t live_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Compare> queue_;
+  std::vector<QueueEntry> heap_;
 };
 
 }  // namespace rrsim::des

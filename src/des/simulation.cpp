@@ -1,5 +1,6 @@
 #include "rrsim/des/simulation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -26,6 +27,16 @@ void Simulation::retire(std::uint32_t slot) noexcept {
   free_slots_.push_back(slot);
 }
 
+void Simulation::heap_push(const QueueEntry& e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), Compare{});
+}
+
+void Simulation::heap_pop() noexcept {
+  std::pop_heap(heap_.begin(), heap_.end(), Compare{});
+  heap_.pop_back();
+}
+
 Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
                                                 Priority prio) {
   if (!(t >= now_) || !std::isfinite(t)) {
@@ -45,8 +56,8 @@ Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
   }
   Slot& slot = slots_[index];
   slot.callback = std::move(cb);
-  queue_.push(QueueEntry{t, static_cast<int>(prio), next_seq_++, index,
-                         slot.generation});
+  heap_push(QueueEntry{t, static_cast<int>(prio), next_seq_++, index,
+                       slot.generation});
   ++live_;
   return EventHandle(this, index, slot.generation);
 }
@@ -58,9 +69,9 @@ Simulation::EventHandle Simulation::schedule_in(Time dt, Callback cb,
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const QueueEntry entry = heap_.front();
+    heap_pop();
     if (!is_live(entry.slot, entry.gen)) continue;  // cancelled; skip
     now_ = entry.time;
     // Move the callback out (single move-construction — cheaper than
@@ -84,16 +95,35 @@ void Simulation::run() {
 
 void Simulation::run_until(Time t) {
   if (t < now_) throw std::invalid_argument("run_until: time in the past");
-  while (!queue_.empty()) {
-    const QueueEntry& top = queue_.top();
+  while (!heap_.empty()) {
+    const QueueEntry& top = heap_.front();
     if (!is_live(top.slot, top.gen)) {
-      queue_.pop();
+      heap_pop();
       continue;
     }
     if (top.time > t) break;
     step();
   }
   now_ = t;
+}
+
+void Simulation::reset() noexcept {
+  now_ = 0.0;
+  next_seq_ = 0;
+  dispatched_ = 0;
+  live_ = 0;
+  heap_.clear();
+  // Retire every slot: destroy lingering callbacks (a truncated run leaves
+  // events queued) and bump generations so handles from the previous run
+  // are inert. The free list is rebuilt highest-index-first so the next
+  // run allocates slot 0, 1, 2, ... exactly like a fresh slab would.
+  free_slots_.clear();
+  free_slots_.reserve(slots_.size());
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    slots_[i].callback = nullptr;
+    ++slots_[i].generation;
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+  }
 }
 
 }  // namespace rrsim::des

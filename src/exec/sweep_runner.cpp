@@ -1,0 +1,38 @@
+#include "rrsim/exec/sweep_runner.h"
+
+namespace rrsim::exec {
+
+void SweepRunner::run() {
+  // Flatten (task, unit) in queue order. Units are *claimed* by workers in
+  // this order too (the pool's queue is FIFO), which keeps early tasks'
+  // reductions unblocked as soon as possible without any effect on the
+  // results — reduction order is fixed below regardless.
+  std::vector<std::pair<std::size_t, int>> flat;
+  flat.reserve(total_units_);
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    for (int u = 0; u < tasks_[t].units; ++u) flat.emplace_back(t, u);
+  }
+  const int n = static_cast<int>(flat.size());
+  try {
+    if (jobs_ <= 1 || n <= 1) {
+      for (const auto& [t, u] : flat) tasks_[t].run_unit(u);
+    } else {
+      ThreadPool pool(jobs_ < n ? jobs_ : n);
+      parallel_for_each(pool, n, [&](int i) {
+        const auto& [t, u] = flat[static_cast<std::size_t>(i)];
+        tasks_[t].run_unit(u);
+      });
+    }
+    for (Task& task : tasks_) task.reduce_all();
+  } catch (...) {
+    // A partially-executed batch is not replayable; drop it whole so the
+    // runner stays usable for fresh tasks.
+    tasks_.clear();
+    total_units_ = 0;
+    throw;
+  }
+  tasks_.clear();
+  total_units_ = 0;
+}
+
+}  // namespace rrsim::exec

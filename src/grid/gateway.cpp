@@ -122,6 +122,23 @@ void Gateway::submit(const GridJob& job, double remote_inflation) {
   }
 }
 
+void Gateway::reset(bool record_predictions) {
+  record_predictions_ = record_predictions;
+  middleware_.clear();
+  next_replica_id_ = 1;
+  replica_to_grid_.clear();
+  tracked_.clear();
+  records_.clear();
+  submitted_ = 0;
+  finished_ = 0;
+  cancels_issued_ = 0;
+  rejected_ = 0;
+  dropped_ = 0;
+  // Re-install callbacks: a scheduler reset keeps its hooks, but going
+  // through the constructor path again makes reuse self-contained.
+  for (std::size_t c = 0; c < platform_.size(); ++c) install_callbacks(c);
+}
+
 void Gateway::set_middleware(std::vector<MiddlewareStation*> stations) {
   if (!stations.empty() && stations.size() != platform_.size()) {
     throw std::invalid_argument("need one middleware station per cluster");

@@ -76,6 +76,23 @@ class Gateway {
   /// Records of all grid jobs that finished so far.
   const metrics::JobRecords& records() const noexcept { return records_; }
 
+  /// Moves the collected records out, leaving the internal vector empty.
+  /// Experiment drivers use this instead of copying records(): the result
+  /// takes ownership of the buffer and the gateway re-reserves on reuse.
+  metrics::JobRecords take_records() noexcept { return std::move(records_); }
+
+  /// Pre-sizes the record vector for `n` finished jobs, so the per-finish
+  /// collection path never reallocates mid-run. Drivers know the job
+  /// count up front (the workload trace is generated before submission).
+  void reserve_records(std::size_t n) { records_.reserve(n); }
+
+  /// Returns the gateway to its just-constructed state (with the given
+  /// prediction-recording mode), keeping hash-table buckets and record
+  /// capacity warm. Middleware routing reverts to direct delivery;
+  /// scheduler callbacks are re-installed. The platform and simulation
+  /// must have been reset alongside.
+  void reset(bool record_predictions = false);
+
   /// Grid jobs submitted / finished (conservation checks in tests).
   std::uint64_t submitted() const noexcept { return submitted_; }
   std::uint64_t finished() const noexcept { return finished_; }

@@ -45,6 +45,16 @@ class Platform {
   /// Sum of operation counters over all schedulers.
   sched::OpCounters total_counters() const;
 
+  /// Resets every scheduler in place (see ClusterScheduler::reset),
+  /// keeping their arenas warm. Shape, workload configs, and algorithm
+  /// are immutable, so a Platform may only be reused for an experiment
+  /// with an identical cluster layout — callers compare size(),
+  /// cluster_sizes(), algorithm(), and config() first and reconstruct on
+  /// any mismatch. The owning Simulation must be reset alongside.
+  void reset() {
+    for (auto& s : schedulers_) s->reset();
+  }
+
  private:
   std::vector<ClusterConfig> configs_;
   std::vector<std::unique_ptr<sched::ClusterScheduler>> schedulers_;

@@ -68,6 +68,19 @@ class CbfScheduler final : public ClusterScheduler {
   /// rebuild's floating-point snapping would not be a no-op.
   std::uint64_t rebuilds() const noexcept { return rebuilds_; }
 
+  void reset() override {
+    ClusterScheduler::reset();
+    queue_.clear();
+    profile_.reset();
+    pos_.clear();
+    running_end_.clear();
+    heap_ = {};  // priority_queue has no clear(); small, rebuilt on demand
+    next_seq_ = 0;
+    wakeup_ = {};  // the underlying event died with the Simulation reset
+    self_check_fallbacks_ = 0;
+    rebuilds_ = 0;
+  }
+
  protected:
   void handle_submit(Job job) override;
   Job handle_cancel(JobId id) override;

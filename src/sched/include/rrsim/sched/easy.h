@@ -23,6 +23,12 @@ class EasyScheduler final : public ClusterScheduler {
   std::string name() const override { return "easy"; }
   std::size_t queue_length() const override { return queue_.size(); }
 
+  void reset() override {
+    ClusterScheduler::reset();
+    queue_.clear();
+    running_ends_.clear();
+  }
+
   /// Shadow reservation currently protecting the queue head: the time at
   /// which the head is guaranteed to start, or nullopt if the queue is
   /// empty. Exposed for tests of the no-head-delay invariant.

@@ -18,6 +18,11 @@ class FcfsScheduler final : public ClusterScheduler {
   std::string name() const override { return "fcfs"; }
   std::size_t queue_length() const override { return queue_.size(); }
 
+  void reset() override {
+    ClusterScheduler::reset();
+    queue_.clear();
+  }
+
  protected:
   void handle_submit(Job job) override;
   Job handle_cancel(JobId id) override;

@@ -109,6 +109,16 @@ class ClusterScheduler {
   /// predictor the paper describes. Does not modify state.
   Time predict_hypothetical_start(int nodes, Time requested_time) const;
 
+  /// Returns the scheduler to its just-constructed state — empty queue,
+  /// all nodes free, zeroed counters, no lifecycle history, no per-user
+  /// limit — while keeping container storage allocated where the
+  /// representation allows, so a reused scheduler runs its next
+  /// experiment with warm arenas. Owner callbacks are kept (they bind
+  /// the scheduler to its Gateway, which outlives resets). Callers must
+  /// reset the owning Simulation first/alongside: completion events
+  /// scheduled by the previous run are orphaned, not cancelled, here.
+  virtual void reset();
+
  protected:
   // --- Services for concrete algorithms ----------------------------------
 

@@ -15,6 +15,16 @@ ClusterScheduler::ClusterScheduler(des::Simulation& sim, int total_nodes)
   }
 }
 
+void ClusterScheduler::reset() {
+  free_nodes_ = total_nodes_;
+  counters_ = OpCounters{};
+  per_user_limit_.reset();
+  pending_per_user_.clear();
+  running_.clear();
+  predictions_.clear();
+  known_ids_.clear();
+}
+
 void ClusterScheduler::set_per_user_pending_limit(std::optional<int> limit) {
   if (limit && *limit < 0) {
     throw std::invalid_argument("per-user pending limit must be >= 0");

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 
 namespace rrsim::util {
 
@@ -49,6 +50,12 @@ class Pcg32 {
   static constexpr result_type max() noexcept {
     return std::numeric_limits<result_type>::max();
   }
+
+  /// Raw generator state / increment. Together they determine the entire
+  /// future output sequence exactly, which makes them usable as cache keys
+  /// for "everything this generator would produce from here".
+  std::uint64_t state() const noexcept { return state_; }
+  std::uint64_t increment() const noexcept { return inc_; }
 
  private:
   std::uint64_t state_;
@@ -112,6 +119,13 @@ class Rng {
   Rng fork(std::uint64_t substream) noexcept {
     return Rng(next_u64() ^ (substream * 0xbf58476d1ce4e5b9ULL),
                substream + 1);
+  }
+
+  /// Exact (state, increment) fingerprint of this generator: two Rngs with
+  /// equal fingerprints produce identical output forever. Used as a cache
+  /// key for deterministically generated data (see workload::TraceCache).
+  std::pair<std::uint64_t, std::uint64_t> fingerprint() const noexcept {
+    return {gen_.state(), gen_.increment()};
   }
 
  private:

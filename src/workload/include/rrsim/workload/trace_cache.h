@@ -1,0 +1,132 @@
+// Memoization of deterministically generated workload traces.
+//
+// Sweep campaigns use common random numbers: every point of a figure
+// (redundancy degree N, fraction p, scheduler, ...) replays the *same*
+// job stream, because the stream is produced from a seed-derived Rng whose
+// draws do not depend on the swept parameter. Regenerating that stream at
+// every sweep point is pure waste — for the Lublin model it is tens of
+// thousands of gamma/hyper-gamma samples per cluster per point. The cache
+// keys a generated (and estimator-applied) stream by everything that
+// determines it bit-exactly — model parameters, cluster size, horizon,
+// the exact Rng states, and the estimator — and hands out shared read-only
+// snapshots, so each distinct trace is generated once per process no
+// matter how many sweep points or worker threads consume it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "rrsim/util/rng.h"
+#include "rrsim/workload/estimators.h"
+#include "rrsim/workload/lublin.h"
+
+namespace rrsim::workload {
+
+/// Everything that determines a generated job stream bit-exactly. Two keys
+/// compare equal iff generation would produce identical streams: the model
+/// parameters and horizon are compared on their exact double bits, and the
+/// Rng fingerprints pin the entire future output of the generators (see
+/// util::Rng::fingerprint).
+struct TraceKey {
+  LublinParams params;
+  int max_nodes = 1;
+  double horizon = 0.0;
+  std::pair<std::uint64_t, std::uint64_t> stream_rng{0, 0};
+  std::pair<std::uint64_t, std::uint64_t> est_rng{0, 0};
+  /// Estimator identity: name() alone does not always encode the
+  /// estimator's parameters (UniformFactorEstimator's does not), so the
+  /// mean factor rides along to disambiguate.
+  std::string estimator_name;
+  double estimator_mean_factor = 1.0;
+
+  /// Convenience constructor from the live objects at the generation site.
+  static TraceKey of(const LublinParams& params, int max_nodes,
+                     double horizon, const util::Rng& stream_rng,
+                     const util::Rng& est_rng,
+                     const RuntimeEstimator& estimator) {
+    TraceKey k;
+    k.params = params;
+    k.max_nodes = max_nodes;
+    k.horizon = horizon;
+    k.stream_rng = stream_rng.fingerprint();
+    k.est_rng = est_rng.fingerprint();
+    k.estimator_name = estimator.name();
+    k.estimator_mean_factor = estimator.mean_factor();
+    return k;
+  }
+
+  /// Flat byte encoding of the key (exact double bits, no canonicalisation
+  /// of NaNs/-0.0 — "identical bits" is precisely the contract). Used as
+  /// the hash-map key.
+  std::string bytes() const;
+};
+
+/// Process-wide, thread-safe memo of generated job streams.
+///
+/// Values are shared immutable snapshots: consumers must treat the stream
+/// as read-only and copy before mutating (experiment drivers copy anyway,
+/// because submission-time bookkeeping annotates specs per run). Lookups
+/// that miss run the supplied generator *outside* the cache lock; when two
+/// threads race on the same key, both may generate, and the first to
+/// publish wins (generation is deterministic, so the discarded duplicate
+/// is bit-identical — no blocking, no torn results).
+class TraceCache {
+ public:
+  using StreamPtr = std::shared_ptr<const JobStream>;
+  using Generator = std::function<JobStream()>;
+
+  TraceCache() = default;
+  TraceCache(const TraceCache&) = delete;
+  TraceCache& operator=(const TraceCache&) = delete;
+
+  /// Returns the cached stream for `key`, generating (and publishing) it
+  /// via `generate` on a miss. When the cache is disabled, always calls
+  /// `generate` and publishes nothing.
+  StreamPtr get_or_generate(const TraceKey& key, const Generator& generate);
+
+  /// Turns memoization on/off. Disabling does not drop existing entries
+  /// (use clear()); it makes every lookup generate afresh — the serial-
+  /// baseline mode of bench/micro_sweep.
+  void set_enabled(bool on);
+  bool enabled() const;
+
+  /// Caps the resident bytes of cached streams (approximate: payload
+  /// bytes, not map overhead). Insertion evicts oldest-first until under
+  /// budget; in-flight shared_ptrs keep evicted streams alive. 0 means
+  /// unlimited (default). A sweep's working set is typically a handful of
+  /// streams, far below any sane budget.
+  void set_byte_budget(std::size_t bytes);
+
+  /// Drops all entries and zeroes the hit/miss counters.
+  void clear();
+
+  // --- Statistics (cumulative since last clear()) ------------------------
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t entries() const;
+  std::size_t resident_bytes() const;
+
+  /// The process-wide instance every experiment driver consults.
+  static TraceCache& global();
+
+ private:
+  void evict_to_budget_locked();
+
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  std::size_t byte_budget_ = 0;  // 0 = unlimited
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::unordered_map<std::string, StreamPtr> map_;
+  std::list<std::string> insertion_order_;  // oldest first, for eviction
+};
+
+}  // namespace rrsim::workload

@@ -1,0 +1,151 @@
+#include "rrsim/workload/trace_cache.h"
+
+#include <bit>
+#include <cstring>
+
+namespace rrsim::workload {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void append_double(std::string& out, double v) {
+  append_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::string TraceKey::bytes() const {
+  std::string out;
+  out.reserve(30 * sizeof(std::uint64_t) + estimator_name.size());
+  // Field-by-field (never memcpy of the struct): padding bytes are
+  // indeterminate and would make equal keys compare unequal.
+  append_double(out, params.arrival_alpha);
+  append_double(out, params.arrival_beta);
+  append_double(out, params.serial_prob);
+  append_double(out, params.pow2_prob);
+  append_double(out, params.ulow);
+  append_double(out, params.uprob);
+  append_double(out, params.umed_offset);
+  append_double(out, params.rt_a1);
+  append_double(out, params.rt_b1);
+  append_double(out, params.rt_a2);
+  append_double(out, params.rt_b2);
+  append_double(out, params.rt_pa);
+  append_double(out, params.rt_pb);
+  append_double(out, params.rt_log_base);
+  append_double(out, params.min_runtime);
+  append_double(out, params.max_runtime);
+  append_u64(out, static_cast<std::uint64_t>(max_nodes));
+  append_double(out, horizon);
+  append_u64(out, stream_rng.first);
+  append_u64(out, stream_rng.second);
+  append_u64(out, est_rng.first);
+  append_u64(out, est_rng.second);
+  append_double(out, estimator_mean_factor);
+  out += estimator_name;
+  return out;
+}
+
+TraceCache::StreamPtr TraceCache::get_or_generate(const TraceKey& key,
+                                                  const Generator& generate) {
+  std::string k = key.bytes();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) {
+      // Count the lookup as a miss so disabled-mode stats still show how
+      // much regeneration the cache would have absorbed.
+      ++misses_;
+    } else if (const auto it = map_.find(k); it != map_.end()) {
+      ++hits_;
+      return it->second;
+    } else {
+      ++misses_;
+    }
+  }
+  // Generate outside the lock: Lublin streams take milliseconds and other
+  // threads should neither wait on us nor serialize their own misses.
+  auto stream = std::make_shared<const JobStream>(generate());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return stream;
+  const auto [it, inserted] = map_.emplace(std::move(k), stream);
+  if (!inserted) {
+    // A racing thread published first. Generation is deterministic, so
+    // the two streams are bit-identical; adopt the published one so all
+    // consumers share a single buffer.
+    return it->second;
+  }
+  insertion_order_.push_back(it->first);
+  resident_bytes_ += it->second->size() * sizeof(JobSpec);
+  evict_to_budget_locked();
+  return it->second;
+}
+
+void TraceCache::evict_to_budget_locked() {
+  if (byte_budget_ == 0) return;
+  while (resident_bytes_ > byte_budget_ && !insertion_order_.empty()) {
+    const std::string& oldest = insertion_order_.front();
+    const auto it = map_.find(oldest);
+    if (it != map_.end()) {
+      resident_bytes_ -= it->second->size() * sizeof(JobSpec);
+      map_.erase(it);
+    }
+    insertion_order_.pop_front();
+  }
+}
+
+void TraceCache::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = on;
+}
+
+bool TraceCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void TraceCache::set_byte_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = bytes;
+  evict_to_budget_locked();
+}
+
+void TraceCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  insertion_order_.clear();
+  resident_bytes_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::uint64_t TraceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t TraceCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t TraceCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::size_t TraceCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+TraceCache& TraceCache::global() {
+  static TraceCache instance;
+  return instance;
+}
+
+}  // namespace rrsim::workload

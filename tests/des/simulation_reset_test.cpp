@@ -1,0 +1,99 @@
+// Simulation::reset() contract: a reset kernel is indistinguishable,
+// event-order-wise, from a freshly constructed one; every handle from
+// before the reset is inert; and the slab/heap storage survives so the
+// next run schedules into warm arenas.
+#include "rrsim/des/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rrsim::des {
+namespace {
+
+// A dispatch script exercising same-time ordering (priority bands and
+// insertion sequence), nested scheduling, and cancellation; returns the
+// observed (time, tag) trace.
+std::vector<std::pair<Time, int>> drive(Simulation& sim) {
+  std::vector<std::pair<Time, int>> trace;
+  auto mark = [&trace, &sim](int tag) { trace.emplace_back(sim.now(), tag); };
+  sim.schedule_at(5.0, [mark] { mark(1); }, Priority::kControl);
+  sim.schedule_at(5.0, [mark] { mark(2); }, Priority::kArrival);
+  sim.schedule_at(5.0, [mark] { mark(3); }, Priority::kArrival);
+  auto doomed = sim.schedule_at(4.0, [mark] { mark(99); });
+  sim.schedule_at(1.0, [mark, &sim] {
+    mark(4);
+    sim.schedule_in(0.0, [mark] { mark(5); }, Priority::kControl);
+  });
+  EXPECT_TRUE(doomed.cancel());
+  sim.run();
+  return trace;
+}
+
+TEST(SimulationReset, ResetRunIdenticalToFreshRun) {
+  Simulation reused;
+  const auto first = drive(reused);
+  const std::size_t capacity = reused.pool_capacity();
+  ASSERT_GT(capacity, 0u);
+
+  reused.reset();
+  EXPECT_EQ(reused.now(), 0.0);
+  EXPECT_EQ(reused.pending_events(), 0u);
+  EXPECT_EQ(reused.dispatched(), 0u);
+  EXPECT_EQ(reused.pool_capacity(), capacity);  // slab kept, not freed
+
+  const auto second = drive(reused);
+  Simulation fresh;
+  const auto reference = drive(fresh);
+  EXPECT_EQ(second, reference);
+  EXPECT_EQ(first, reference);
+  EXPECT_EQ(reused.pool_capacity(), capacity);  // no regrowth on reuse
+}
+
+TEST(SimulationReset, OutstandingHandlesBecomeInert) {
+  Simulation sim;
+  bool stale_fired = false;
+  auto stale = sim.schedule_at(10.0, [&stale_fired] { stale_fired = true; });
+  EXPECT_TRUE(stale.pending());
+
+  sim.reset();
+  EXPECT_FALSE(stale.pending());
+  EXPECT_FALSE(stale.cancel());
+
+  // The next run recycles the stale handle's slot; the handle from the
+  // previous life must not be able to cancel (or observe) the new event.
+  bool new_fired = false;
+  sim.schedule_at(1.0, [&new_fired] { new_fired = true; });
+  EXPECT_FALSE(stale.cancel());
+  EXPECT_FALSE(stale.pending());
+  sim.run();
+  EXPECT_TRUE(new_fired);
+  EXPECT_FALSE(stale_fired);
+}
+
+TEST(SimulationReset, ResetMidRunDiscardsQueuedEvents) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_at(static_cast<Time>(i + 1), [&fired] { ++fired; });
+  }
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 3);
+  sim.reset();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();  // nothing left to dispatch
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(SimulationReset, RepeatedResetCyclesStayStable) {
+  Simulation sim;
+  const auto reference = drive(sim);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    sim.reset();
+    EXPECT_EQ(drive(sim), reference) << "cycle " << cycle;
+  }
+}
+
+}  // namespace
+}  // namespace rrsim::des

@@ -1,0 +1,221 @@
+// The sweep engine's determinism contract: a CampaignSweep with many
+// queued points produces, for every point, exactly the result the
+// equivalent back-to-back run_*_campaign calls produce — bit-identical
+// for any worker count, unperturbed by what else shares the pool, with
+// completion callbacks firing in add() order. The golden blocks pin a
+// figure-shaped and a table-shaped sweep to the hex-exact values captured
+// before the sweep engine existed (the same goldens as
+// campaign_determinism_test.cpp), so "ported the benches onto the sweep
+// driver" is provably a no-op on the science.
+#include "rrsim/core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "rrsim/core/paper.h"
+#include "rrsim/exec/sweep_runner.h"
+
+namespace rrsim::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig c = figure_config_quick();
+  c.n_clusters = 3;
+  c.submit_horizon = 0.3 * 3600.0;
+  c.seed = 17;
+  return c;
+}
+
+void expect_identical(const RelativeMetrics& a, const RelativeMetrics& b) {
+  EXPECT_EQ(a.reps, b.reps);
+  EXPECT_EQ(a.rel_avg_stretch, b.rel_avg_stretch);
+  EXPECT_EQ(a.rel_cv_stretch, b.rel_cv_stretch);
+  EXPECT_EQ(a.rel_max_stretch, b.rel_max_stretch);
+  EXPECT_EQ(a.rel_avg_turnaround, b.rel_avg_turnaround);
+  EXPECT_EQ(a.win_rate, b.win_rate);
+  EXPECT_EQ(a.worst_rel_stretch, b.worst_rel_stretch);
+  EXPECT_EQ(a.per_rep_rel_stretch, b.per_rep_rel_stretch);
+}
+
+// A figure-shaped sweep: several schemes of one config queued together.
+std::vector<RelativeMetrics> run_figure_sweep(int jobs) {
+  const std::vector<RedundancyScheme> schemes{
+      RedundancyScheme::fixed(2), RedundancyScheme::half(),
+      RedundancyScheme::all()};
+  std::vector<RelativeMetrics> results(schemes.size());
+  CampaignSweep sweep(6, jobs);
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    ExperimentConfig c = tiny_config();
+    c.scheme = schemes[i];
+    sweep.add_relative(c, [&results, i](const RelativeMetrics& m) {
+      results[i] = m;
+    });
+  }
+  sweep.run();
+  return results;
+}
+
+TEST(SweepDeterminism, FigureSweepIdenticalAcrossJobCounts) {
+  const auto serial = run_figure_sweep(1);
+  for (int jobs : {2, 8}) {
+    const auto parallel = run_figure_sweep(jobs);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_identical(serial[i], parallel[i]);
+    }
+  }
+}
+
+TEST(SweepDeterminism, SweepPointsMatchBackToBackCampaigns) {
+  // Sharing the pool, the workspace, and the trace cache with other
+  // points must be invisible: each point equals its standalone campaign.
+  const auto swept = run_figure_sweep(3);
+  const std::vector<RedundancyScheme> schemes{
+      RedundancyScheme::fixed(2), RedundancyScheme::half(),
+      RedundancyScheme::all()};
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    ExperimentConfig c = tiny_config();
+    c.scheme = schemes[i];
+    expect_identical(swept[i], run_relative_campaign(c, 6, 1));
+  }
+}
+
+// Golden values captured from the pre-sweep-engine build (PR 1 / the
+// incremental-scheduler PR) — the same constants pinned in
+// campaign_determinism_test.cpp. Here the golden point runs *inside a
+// multi-point sweep*, proving the sweep engine (flat pool + workspace
+// reuse + trace cache) changes no mantissa bit of any point.
+TEST(SweepDeterminism, FigureShapedSweepMatchesPreSweepGoldens) {
+  RelativeMetrics r2;
+  ClassifiedCampaign classified;
+  CampaignSweep sweep(6);
+  {
+    ExperimentConfig c = tiny_config();
+    c.scheme = RedundancyScheme::fixed(2);
+    sweep.add_relative(c, [&r2](const RelativeMetrics& m) { r2 = m; });
+  }
+  {
+    ExperimentConfig c = tiny_config();
+    c.algorithm = sched::Algorithm::kFcfs;
+    c.scheme = RedundancyScheme::all();
+    c.redundant_fraction = 0.5;
+    sweep.add_classified(
+        c, [&classified](const ClassifiedCampaign& m) { classified = m; });
+  }
+  sweep.run();
+
+  EXPECT_EQ(r2.reps, 6u);
+  EXPECT_EQ(r2.rel_avg_stretch, 0x1.54ffd4d8c6d1bp-1);
+  EXPECT_EQ(r2.rel_cv_stretch, 0x1.1de5af55aefd3p+0);
+  EXPECT_EQ(r2.rel_max_stretch, 0x1.5d26b2f1be5c5p-1);
+  EXPECT_EQ(r2.rel_avg_turnaround, 0x1.99c4f4e240079p-1);
+  EXPECT_EQ(r2.win_rate, 0x1.5555555555555p-1);
+  EXPECT_EQ(r2.worst_rel_stretch, 0x1.1d7c490632cd3p+0);
+
+  EXPECT_EQ(classified.reps, 6u);
+  EXPECT_EQ(classified.redundant_jobs, 2005u);
+  EXPECT_EQ(classified.non_redundant_jobs, 2118u);
+  EXPECT_EQ(classified.avg_stretch_all, 0x1.35e5560a129fap+8);
+  EXPECT_EQ(classified.avg_stretch_redundant, 0x1.164aef99bc07dp+8);
+  EXPECT_EQ(classified.avg_stretch_non_redundant, 0x1.532fb92d3e033p+8);
+}
+
+TEST(SweepDeterminism, TableShapedSweepMatchesPreSweepGoldens) {
+  // Table-shaped: a CBF relative point and a CBF prediction point side by
+  // side (the shape of table1/table4), at reps=4.
+  RelativeMetrics r3;
+  PredictionCampaign prediction;
+  CampaignSweep sweep(4);
+  {
+    ExperimentConfig c = tiny_config();
+    c.algorithm = sched::Algorithm::kCbf;
+    c.scheme = RedundancyScheme::fixed(3);
+    sweep.add_relative(c, [&r3](const RelativeMetrics& m) { r3 = m; });
+  }
+  {
+    ExperimentConfig c = tiny_config();
+    c.algorithm = sched::Algorithm::kCbf;
+    c.estimator = "uniform216";
+    c.scheme = RedundancyScheme::all();
+    c.redundant_fraction = 0.4;
+    sweep.add_prediction(
+        c, [&prediction](const PredictionCampaign& m) { prediction = m; });
+  }
+  sweep.run();
+
+  EXPECT_EQ(r3.reps, 4u);
+  EXPECT_EQ(r3.rel_avg_stretch, 0x1.35e597336ace3p-1);
+  EXPECT_EQ(r3.rel_cv_stretch, 0x1.dc2164b67bee1p-1);
+  EXPECT_EQ(r3.rel_max_stretch, 0x1.22e50f4868ea1p-1);
+  EXPECT_EQ(r3.rel_avg_turnaround, 0x1.b5e1e23ddc70fp-1);
+  EXPECT_EQ(r3.win_rate, 0x1p+0);
+  EXPECT_EQ(r3.worst_rel_stretch, 0x1.9b959cab86f41p-1);
+
+  EXPECT_EQ(prediction.all.jobs, 1696u);
+  EXPECT_EQ(prediction.redundant.jobs, 559u);
+  EXPECT_EQ(prediction.non_redundant.jobs, 1137u);
+  EXPECT_EQ(prediction.all.avg_ratio, 0x1.8cae5cb7686edp+2);
+  EXPECT_EQ(prediction.redundant.avg_ratio, 0x1.9229ec7ca86c3p+2);
+  EXPECT_EQ(prediction.non_redundant.avg_ratio, 0x1.89fc4eff1242fp+2);
+}
+
+TEST(SweepDeterminism, CallbacksFireInAddOrder) {
+  std::vector<int> order;
+  CampaignSweep sweep(2, 4);
+  for (int i = 0; i < 4; ++i) {
+    ExperimentConfig c = tiny_config();
+    c.scheme = RedundancyScheme::fixed(2 + (i % 2));
+    sweep.add_relative(c, [&order, i](const RelativeMetrics&) {
+      order.push_back(i);
+    });
+  }
+  sweep.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SweepDeterminism, ValidatesArguments) {
+  EXPECT_THROW(CampaignSweep(0), std::invalid_argument);
+  CampaignSweep sweep(2);
+  ExperimentConfig c = tiny_config();  // scheme defaults to NONE
+  EXPECT_THROW(sweep.add_relative(c, [](const RelativeMetrics&) {}),
+               std::invalid_argument);
+}
+
+TEST(SweepRunner, CustomUnitsReduceInOrderForAnyJobCount) {
+  for (int jobs : {1, 3}) {
+    exec::SweepRunner runner(jobs);
+    std::vector<int> doubled;
+    std::vector<int> squared;
+    runner.add(
+        5, [](int u) { return 2 * u; },
+        [&doubled](int, int v) { doubled.push_back(v); });
+    runner.add(
+        3, [](int u) { return u * u; },
+        [&squared](int, int v) { squared.push_back(v); });
+    runner.run();
+    EXPECT_EQ(doubled, (std::vector<int>{0, 2, 4, 6, 8})) << "jobs=" << jobs;
+    EXPECT_EQ(squared, (std::vector<int>{0, 1, 4})) << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepRunner, MapExceptionPropagatesAndClearsTheBatch) {
+  exec::SweepRunner runner(2);
+  runner.add(
+      3,
+      [](int u) -> int {
+        if (u == 1) throw std::runtime_error("unit failed");
+        return u;
+      },
+      [](int, int) {});
+  EXPECT_THROW(runner.run(), std::runtime_error);
+  // The failed batch is gone; the runner stays usable.
+  std::vector<int> out;
+  runner.add(2, [](int u) { return u; },
+             [&out](int, int v) { out.push_back(v); });
+  runner.run();
+  EXPECT_EQ(out, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace rrsim::core

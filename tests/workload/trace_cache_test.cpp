@@ -1,0 +1,144 @@
+// TraceCache contract: one generation per distinct key, shared snapshots
+// on hits, generate-every-time when disabled, bitwise key sensitivity,
+// and oldest-first eviction under a byte budget.
+#include "rrsim/workload/trace_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace rrsim::workload {
+namespace {
+
+TraceKey key_with(std::uint64_t stream_state, double mean_factor = 1.0) {
+  TraceKey k;
+  k.max_nodes = 128;
+  k.horizon = 3600.0;
+  k.stream_rng = {stream_state, 1442695040888963407ULL};
+  k.est_rng = {7, 11};
+  k.estimator_name = "exact";
+  k.estimator_mean_factor = mean_factor;
+  return k;
+}
+
+JobStream make_stream(int jobs) {
+  JobStream s;
+  for (int i = 0; i < jobs; ++i) {
+    JobSpec spec;
+    spec.submit_time = static_cast<double>(i);
+    s.push_back(spec);
+  }
+  return s;
+}
+
+TEST(TraceCache, GeneratesOncePerKeyAndSharesTheSnapshot) {
+  TraceCache cache;
+  int generations = 0;
+  const auto gen = [&generations] {
+    ++generations;
+    return make_stream(3);
+  };
+  const auto a = cache.get_or_generate(key_with(1), gen);
+  const auto b = cache.get_or_generate(key_with(1), gen);
+  EXPECT_EQ(generations, 1);
+  EXPECT_EQ(a.get(), b.get());  // same buffer, not an equal copy
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.resident_bytes(), 3 * sizeof(JobSpec));
+}
+
+TEST(TraceCache, DisabledModeGeneratesEveryTimeAndPublishesNothing) {
+  TraceCache cache;
+  cache.set_enabled(false);
+  EXPECT_FALSE(cache.enabled());
+  int generations = 0;
+  const auto gen = [&generations] {
+    ++generations;
+    return make_stream(1);
+  };
+  const auto a = cache.get_or_generate(key_with(1), gen);
+  const auto b = cache.get_or_generate(key_with(1), gen);
+  EXPECT_EQ(generations, 2);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);  // counts what memoization would absorb
+
+  cache.set_enabled(true);
+  cache.get_or_generate(key_with(1), gen);
+  EXPECT_EQ(generations, 3);  // nothing was published while disabled
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(TraceCache, KeysAreBitwiseSensitive) {
+  TraceCache cache;
+  int generations = 0;
+  const auto gen = [&generations] {
+    ++generations;
+    return make_stream(1);
+  };
+  cache.get_or_generate(key_with(1), gen);
+  // A different Rng fingerprint is a different trace.
+  cache.get_or_generate(key_with(2), gen);
+  // Same estimator name, different mean factor (UniformFactorEstimator's
+  // name does not encode its parameter) — must not collide.
+  cache.get_or_generate(key_with(1, 2.16), gen);
+  EXPECT_EQ(generations, 3);
+  EXPECT_EQ(cache.entries(), 3u);
+  // And the originals still hit.
+  cache.get_or_generate(key_with(1), gen);
+  cache.get_or_generate(key_with(1, 2.16), gen);
+  EXPECT_EQ(generations, 3);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(TraceCache, ClearDropsEntriesAndZeroesCounters) {
+  TraceCache cache;
+  cache.get_or_generate(key_with(1), [] { return make_stream(2); });
+  cache.get_or_generate(key_with(1), [] { return make_stream(2); });
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  int generations = 0;
+  cache.get_or_generate(key_with(1), [&generations] {
+    ++generations;
+    return make_stream(2);
+  });
+  EXPECT_EQ(generations, 1);  // the cleared entry is really gone
+}
+
+TEST(TraceCache, ByteBudgetEvictsOldestFirst) {
+  TraceCache cache;
+  cache.set_byte_budget(2 * sizeof(JobSpec));
+  int generations = 0;
+  const auto gen = [&generations] {
+    ++generations;
+    return make_stream(1);
+  };
+  cache.get_or_generate(key_with(1), gen);
+  cache.get_or_generate(key_with(2), gen);
+  EXPECT_EQ(cache.entries(), 2u);
+  cache.get_or_generate(key_with(3), gen);  // evicts key 1 (oldest)
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.resident_bytes(), 2 * sizeof(JobSpec));
+  cache.get_or_generate(key_with(3), gen);  // newest still resident
+  cache.get_or_generate(key_with(2), gen);
+  EXPECT_EQ(generations, 3);
+  cache.get_or_generate(key_with(1), gen);  // evicted: regenerates
+  EXPECT_EQ(generations, 4);
+}
+
+TEST(TraceCache, LiveConsumersSurviveEviction) {
+  TraceCache cache;
+  cache.set_byte_budget(sizeof(JobSpec));
+  const auto held =
+      cache.get_or_generate(key_with(1), [] { return make_stream(1); });
+  cache.get_or_generate(key_with(2), [] { return make_stream(1); });
+  EXPECT_EQ(cache.entries(), 1u);  // key 1 evicted...
+  EXPECT_EQ(held->size(), 1u);     // ...but the held snapshot stays valid
+}
+
+}  // namespace
+}  // namespace rrsim::workload
