@@ -7,17 +7,36 @@
 // reproducible.
 //
 // Event state lives in a slab of pooled slots recycled through a free
-// list, so scheduling an event performs no heap allocation once the slab
-// and the callback's inline storage are warm (the previous design paid a
-// std::shared_ptr control block plus callback state per event — ~2
-// allocations across millions of events per run). Handles carry a
+// list, and callbacks are stored inline in the slot (util::InlineFunction
+// — over-sized captures are a compile error), so scheduling an event
+// performs no heap allocation once the slab is warm. Handles carry a
 // (slot, generation) pair: recycling a slot bumps its generation, so a
 // stale handle can never cancel a later event that reuses its slot.
+//
+// The pending set is a two-tier calendar queue over the slab:
+//
+//   far tier   — an overflow list plus, per "season", an array of time
+//                buckets; membership is intrusive (doubly linked through
+//                slab slots), so inserting and cancelling far events is
+//                O(1) and allocation-free.
+//   near tier  — a small binary heap holding exactly the events with
+//                time < heap_limit_; the heap top is therefore always
+//                the global minimum under the (time, priority, sequence)
+//                total order, which keeps dispatch order bit-identical
+//                to the plain-binary-heap kernel this design replaced.
+//
+// When the near heap empties, the next non-empty bucket is drained into
+// it (amortized O(1) per event); when a season's buckets are exhausted,
+// the overflow list is scanned once and re-bucketed over its actual time
+// span. DES workloads here schedule most events far ahead (all arrivals
+// up front, completions a runtime ahead), so the near heap stays tiny and
+// cache-resident instead of growing with the whole pending population.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
+
+#include "rrsim/util/inline_fn.h"
 
 namespace rrsim::des {
 
@@ -38,6 +57,12 @@ enum class Priority : int {
   kControl = 3,     ///< probes, bookkeeping, end-of-experiment markers
 };
 
+/// Inline capture budget for event callbacks. Sized for the largest
+/// schedule-site capture in the tree (an arrival closure carrying a Job
+/// by value plus two references) with headroom; raising it trades slab
+/// memory for capture room.
+inline constexpr std::size_t kCallbackCapacity = 112;
+
 /// Deterministic event-driven simulation engine.
 ///
 /// Events are dispatched in (time, priority, insertion-sequence) order, so
@@ -47,7 +72,10 @@ enum class Priority : int {
 /// the same pass, after already-queued events of equal time/priority).
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  /// Non-allocating callback: captures live inside the event slot. A
+  /// capture larger than kCallbackCapacity is rejected at compile time —
+  /// capture pointers or indices instead of large objects.
+  using Callback = util::InlineFunction<kCallbackCapacity>;
 
   /// Handle to a scheduled event, used to cancel it. Default-constructed
   /// handles are inert. Handles are trivially cheap to copy (a pointer
@@ -112,24 +140,49 @@ class Simulation {
   std::size_t pool_capacity() const noexcept { return slots_.size(); }
 
   /// Returns the simulation to its initial state — time 0, no events, no
-  /// dispatch history — while keeping the event slab, free list, and heap
-  /// storage allocated, so a reset simulation schedules its first events
-  /// with warm arenas. Every outstanding EventHandle becomes inert (each
-  /// slot's generation is bumped), so a stale handle can neither cancel
-  /// nor report pending for events of the next run. A reset simulation is
-  /// indistinguishable, event-order-wise, from a freshly constructed one.
+  /// dispatch history — while keeping the event slab, free list, heap,
+  /// and bucket storage allocated, so a reset simulation schedules its
+  /// first events with warm arenas. Every outstanding EventHandle becomes
+  /// inert (each slot's generation is bumped), so a stale handle can
+  /// neither cancel nor report pending for events of the next run. A
+  /// reset simulation is indistinguishable, event-order-wise, from a
+  /// freshly constructed one.
   void reset() noexcept;
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// Sentinel bucket index marking membership in the overflow list.
+  static constexpr std::uint32_t kOverflowBucket = 0xfffffffeu;
+  /// Overflow populations at or below this size skip bucketing and move
+  /// straight into the near heap (a plain-heap season), so tiny event
+  /// populations never pay the per-season bucket-array scan.
+  static constexpr std::size_t kDirectMoveThreshold = 64;
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = 1024;
+
+  enum class Where : std::uint8_t {
+    kFree = 0,  ///< on the free list
+    kNear = 1,  ///< in the near heap (entry holds a by-value copy)
+    kFar = 2,   ///< linked into a bucket or the overflow list
+  };
+
   // One pooled event. `generation` counts retirements of the slot: a
-  // queue entry or handle created with generation g is live iff the slot
+  // heap entry or handle created with generation g is live iff the slot
   // still holds generation g. Cancelling or firing retires the slot
-  // (bumps the generation and returns the index to the free list), so
-  // the lazily-deleted queue entry and any outstanding handles observe
-  // the mismatch and become inert.
+  // (bumps the generation and returns the index to the free list). Far
+  // events are additionally linked through prev/next, so cancelling one
+  // unlinks and retires it immediately — O(1), and the slot is reusable
+  // at once (the pooled-slab recycling tests pin this).
   struct Slot {
     Callback callback;
     std::uint64_t generation = 0;
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t next = kNil;
+    std::uint32_t prev = kNil;
+    std::uint32_t bucket = kNil;  ///< owning list while kFar
+    std::uint8_t priority = 0;
+    Where where = Where::kFree;
   };
   struct QueueEntry {
     Time time;
@@ -159,6 +212,35 @@ class Simulation {
   /// move it out first), bumps the generation, recycles the index.
   void retire(std::uint32_t slot) noexcept;
 
+  /// Removes a far event from its bucket/overflow list (O(1)).
+  void unlink(std::uint32_t slot) noexcept;
+
+  /// Links `slot` at the head of bucket `b` (kOverflowBucket = overflow).
+  void link(std::uint32_t slot, std::uint32_t b) noexcept;
+
+  /// Start time of bucket `i` in the current season.
+  Time bucket_start(std::size_t i) const noexcept {
+    return bucket_base_ + static_cast<Time>(i) * bucket_width_;
+  }
+
+  /// Bucket for a far event at time `t` in the active season. Guarantees
+  /// the correctness invariant: an event placed in bucket b > cur_bucket_
+  /// has t >= bucket_start(b), so draining earlier buckets never raises
+  /// heap_limit_ past an event still waiting in a later bucket.
+  std::uint32_t bucket_index(Time t) const noexcept;
+
+  /// Moves a far list (given by its head) into the near heap.
+  void drain_list_to_heap(std::uint32_t head);
+
+  /// Refills the near heap from the calendar tiers. Returns false iff no
+  /// events remain anywhere (heap, buckets, overflow).
+  bool refill();
+
+  /// Starts a new season from the overflow list: either buckets it over
+  /// its time span or, for small populations, moves it straight into the
+  /// near heap.
+  void start_season();
+
   /// Heap helpers over heap_ (min-first per Compare).
   void heap_push(const QueueEntry& e);
   void heap_pop() noexcept;
@@ -169,7 +251,20 @@ class Simulation {
   std::size_t live_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+
+  // Near tier: exact (time, priority, seq) heap of events < heap_limit_.
   std::vector<QueueEntry> heap_;
+  Time heap_limit_ = 0.0;
+
+  // Far tier: current season's buckets plus the overflow list.
+  std::vector<std::uint32_t> bucket_heads_;  // kNil-terminated lists
+  std::size_t n_buckets_ = 0;                // 0: no active season
+  std::size_t cur_bucket_ = 0;               // next undrained bucket
+  Time bucket_base_ = 0.0;
+  Time bucket_width_ = 0.0;
+  Time bucket_range_end_ = 0.0;
+  std::uint32_t overflow_head_ = kNil;
+  std::size_t overflow_count_ = 0;
 };
 
 }  // namespace rrsim::des

@@ -10,6 +10,11 @@ namespace rrsim::des {
 
 bool Simulation::EventHandle::cancel() noexcept {
   if (sim_ == nullptr || !sim_->is_live(slot_, gen_)) return false;
+  // Far events unlink in O(1); near events leave their heap entry behind
+  // (lazily skipped at pop, exactly like the plain-heap kernel). Either
+  // way the slot itself is retired immediately, so the pooled-slab
+  // recycling guarantees are unchanged.
+  if (sim_->slots_[slot_].where == Where::kFar) sim_->unlink(slot_);
   sim_->retire(slot_);  // drops the callback's captures promptly
   if (sim_->live_ > 0) --sim_->live_;
   sim_ = nullptr;
@@ -24,7 +29,56 @@ void Simulation::retire(std::uint32_t slot) noexcept {
   Slot& s = slots_[slot];
   s.callback = nullptr;  // drop captured resources; cheap if already moved
   ++s.generation;
+  s.where = Where::kFree;
   free_slots_.push_back(slot);
+}
+
+void Simulation::unlink(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  if (s.prev != kNil) {
+    slots_[s.prev].next = s.next;
+  } else if (s.bucket == kOverflowBucket) {
+    overflow_head_ = s.next;
+  } else {
+    bucket_heads_[s.bucket] = s.next;
+  }
+  if (s.next != kNil) slots_[s.next].prev = s.prev;
+  if (s.bucket == kOverflowBucket) --overflow_count_;
+  s.next = kNil;
+  s.prev = kNil;
+  s.bucket = kNil;
+}
+
+void Simulation::link(std::uint32_t slot, std::uint32_t b) noexcept {
+  std::uint32_t& head =
+      (b == kOverflowBucket) ? overflow_head_ : bucket_heads_[b];
+  Slot& s = slots_[slot];
+  s.prev = kNil;
+  s.next = head;
+  s.bucket = b;
+  s.where = Where::kFar;
+  if (head != kNil) slots_[head].prev = slot;
+  head = slot;
+  if (b == kOverflowBucket) ++overflow_count_;
+}
+
+std::uint32_t Simulation::bucket_index(Time t) const noexcept {
+  const Time rel = (t - bucket_base_) / bucket_width_;
+  std::size_t idx;
+  if (!(rel > 0.0)) {
+    idx = 0;
+  } else if (rel >= static_cast<Time>(n_buckets_)) {
+    idx = n_buckets_ - 1;
+  } else {
+    idx = static_cast<std::size_t>(rel);
+    if (idx >= n_buckets_) idx = n_buckets_ - 1;  // FP edge of the cast
+  }
+  if (idx < cur_bucket_) idx = cur_bucket_;
+  // The division may round up across a bucket boundary; walk down until
+  // the bucket's computed start covers `t`. Events may legally land in
+  // bucket cur_bucket_ even below its start (it is the next one drained).
+  while (idx > cur_bucket_ && t < bucket_start(idx)) --idx;
+  return static_cast<std::uint32_t>(idx);
 }
 
 void Simulation::heap_push(const QueueEntry& e) {
@@ -35,6 +89,102 @@ void Simulation::heap_push(const QueueEntry& e) {
 void Simulation::heap_pop() noexcept {
   std::pop_heap(heap_.begin(), heap_.end(), Compare{});
   heap_.pop_back();
+}
+
+void Simulation::drain_list_to_heap(std::uint32_t head) {
+  for (std::uint32_t i = head; i != kNil;) {
+    Slot& s = slots_[i];
+    const std::uint32_t next = s.next;
+    s.next = kNil;
+    s.prev = kNil;
+    s.bucket = kNil;
+    s.where = Where::kNear;
+    heap_push(QueueEntry{s.time, static_cast<int>(s.priority), s.seq, i,
+                         s.generation});
+    i = next;
+  }
+}
+
+void Simulation::start_season() {
+  // One scan of the overflow list for population and time span.
+  Time min_t = slots_[overflow_head_].time;
+  Time max_t = min_t;
+  for (std::uint32_t i = overflow_head_; i != kNil; i = slots_[i].next) {
+    const Time t = slots_[i].time;
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  const std::size_t n = overflow_count_;
+  std::size_t n_buckets = 0;
+  Time width = 0.0;
+  if (n > kDirectMoveThreshold && max_t > min_t) {
+    n_buckets = std::clamp(n / 8, kMinBuckets, kMaxBuckets);
+    width = (max_t - min_t) / static_cast<Time>(n_buckets);
+    if (!(width > 0.0)) n_buckets = 0;  // span too narrow to subdivide
+  }
+  std::uint32_t i = overflow_head_;
+  overflow_head_ = kNil;
+  overflow_count_ = 0;
+  if (n_buckets == 0) {
+    // Plain-heap season: the whole population moves into the near heap.
+    while (i != kNil) {
+      Slot& s = slots_[i];
+      const std::uint32_t next = s.next;
+      s.next = kNil;
+      s.prev = kNil;
+      s.bucket = kNil;
+      s.where = Where::kNear;
+      heap_push(QueueEntry{s.time, static_cast<int>(s.priority), s.seq, i,
+                           s.generation});
+      i = next;
+    }
+    heap_limit_ =
+        std::nextafter(max_t, std::numeric_limits<Time>::infinity());
+    return;
+  }
+  if (bucket_heads_.size() < n_buckets) bucket_heads_.resize(n_buckets, kNil);
+  bucket_base_ = min_t;
+  bucket_width_ = width;
+  n_buckets_ = n_buckets;
+  cur_bucket_ = 0;
+  bucket_range_end_ = bucket_start(n_buckets);
+  if (!(bucket_range_end_ > max_t)) {
+    // FP guard: the last bucket must absorb max_t.
+    bucket_range_end_ =
+        std::nextafter(max_t, std::numeric_limits<Time>::infinity());
+  }
+  while (i != kNil) {
+    const std::uint32_t next = slots_[i].next;
+    link(i, bucket_index(slots_[i].time));
+    i = next;
+  }
+}
+
+bool Simulation::refill() {
+  for (;;) {
+    while (n_buckets_ != 0) {
+      if (cur_bucket_ == n_buckets_) {
+        // Season exhausted; everything below its range is dispatched or
+        // already in the heap.
+        n_buckets_ = 0;
+        cur_bucket_ = 0;
+        heap_limit_ = bucket_range_end_;
+        break;
+      }
+      const std::size_t b = cur_bucket_++;
+      heap_limit_ = (cur_bucket_ == n_buckets_) ? bucket_range_end_
+                                                : bucket_start(cur_bucket_);
+      const std::uint32_t head = bucket_heads_[b];
+      if (head != kNil) {
+        bucket_heads_[b] = kNil;
+        drain_list_to_heap(head);
+        return true;
+      }
+    }
+    if (overflow_count_ == 0) return !heap_.empty();
+    start_season();
+    if (!heap_.empty()) return true;  // plain-heap seasons fill it directly
+  }
 }
 
 Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
@@ -56,8 +206,18 @@ Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
   }
   Slot& slot = slots_[index];
   slot.callback = std::move(cb);
-  heap_push(QueueEntry{t, static_cast<int>(prio), next_seq_++, index,
-                       slot.generation});
+  slot.time = t;
+  slot.seq = next_seq_++;
+  slot.priority = static_cast<std::uint8_t>(prio);
+  if (t < heap_limit_) {
+    slot.where = Where::kNear;
+    heap_push(QueueEntry{t, static_cast<int>(prio), slot.seq, index,
+                         slot.generation});
+  } else if (n_buckets_ != 0 && t < bucket_range_end_) {
+    link(index, bucket_index(t));
+  } else {
+    link(index, kOverflowBucket);
+  }
   ++live_;
   return EventHandle(this, index, slot.generation);
 }
@@ -69,7 +229,8 @@ Simulation::EventHandle Simulation::schedule_in(Time dt, Callback cb,
 }
 
 bool Simulation::step() {
-  while (!heap_.empty()) {
+  for (;;) {
+    if (heap_.empty() && !refill()) return false;
     const QueueEntry entry = heap_.front();
     heap_pop();
     if (!is_live(entry.slot, entry.gen)) continue;  // cancelled; skip
@@ -85,7 +246,6 @@ bool Simulation::step() {
     cb();
     return true;
   }
-  return false;
 }
 
 void Simulation::run() {
@@ -95,7 +255,8 @@ void Simulation::run() {
 
 void Simulation::run_until(Time t) {
   if (t < now_) throw std::invalid_argument("run_until: time in the past");
-  while (!heap_.empty()) {
+  for (;;) {
+    if (heap_.empty() && !refill()) break;
     const QueueEntry& top = heap_.front();
     if (!is_live(top.slot, top.gen)) {
       heap_pop();
@@ -113,6 +274,15 @@ void Simulation::reset() noexcept {
   dispatched_ = 0;
   live_ = 0;
   heap_.clear();
+  heap_limit_ = 0.0;
+  n_buckets_ = 0;
+  cur_bucket_ = 0;
+  bucket_base_ = 0.0;
+  bucket_width_ = 0.0;
+  bucket_range_end_ = 0.0;
+  overflow_head_ = kNil;
+  overflow_count_ = 0;
+  std::fill(bucket_heads_.begin(), bucket_heads_.end(), kNil);
   // Retire every slot: destroy lingering callbacks (a truncated run leaves
   // events queued) and bump generations so handles from the previous run
   // are inert. The free list is rebuilt highest-index-first so the next
@@ -120,8 +290,13 @@ void Simulation::reset() noexcept {
   free_slots_.clear();
   free_slots_.reserve(slots_.size());
   for (std::size_t i = slots_.size(); i-- > 0;) {
-    slots_[i].callback = nullptr;
-    ++slots_[i].generation;
+    Slot& s = slots_[i];
+    s.callback = nullptr;
+    ++s.generation;
+    s.where = Where::kFree;
+    s.next = kNil;
+    s.prev = kNil;
+    s.bucket = kNil;
     free_slots_.push_back(static_cast<std::uint32_t>(i));
   }
 }

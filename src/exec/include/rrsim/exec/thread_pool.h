@@ -7,13 +7,13 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "rrsim/util/inline_fn.h"
 
 namespace rrsim::exec {
 
@@ -34,8 +34,14 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks run in FIFO claim order but complete in any
   /// order. Must not be called after shutdown began (i.e. from the
-  /// destructor's drain).
-  void submit(std::function<void()> task);
+  /// destructor's drain). The task type is move-only with a small-buffer
+  /// optimization, so typical campaign tasks (a few captured pointers and
+  /// indices) enqueue without allocating and may own move-only state.
+  void submit(util::TaskFunction task);
+
+  /// Pre-sizes the task ring for `n` outstanding tasks, so a burst of
+  /// that many submits never regrows the queue mid-campaign.
+  void reserve(std::size_t n);
 
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle();
@@ -46,10 +52,19 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Regrows the ring to at least `min_cap` slots (power of two),
+  /// preserving FIFO order. Caller holds mu_.
+  void grow_ring(std::size_t min_cap);
+
   std::mutex mu_;
   std::condition_variable task_cv_;  // signalled when tasks arrive / stop
   std::condition_variable idle_cv_;  // signalled when a worker goes idle
-  std::deque<std::function<void()>> tasks_;
+  /// FIFO task queue as a circular buffer over one flat allocation
+  /// (power-of-two capacity). Replaces std::deque: no chunk allocation
+  /// per enqueue burst, and the storage is reused for the whole campaign.
+  std::vector<util::TaskFunction> ring_;
+  std::size_t ring_head_ = 0;   // index of the oldest task
+  std::size_t ring_count_ = 0;  // tasks currently queued
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;  // workers currently running a task
   bool stop_ = false;

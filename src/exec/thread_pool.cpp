@@ -21,36 +21,57 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::grow_ring(std::size_t min_cap) {
+  std::size_t cap = ring_.empty() ? 16 : ring_.size();
+  while (cap < min_cap) cap *= 2;
+  if (cap <= ring_.size()) return;
+  std::vector<util::TaskFunction> bigger(cap);
+  const std::size_t mask = ring_.size() - 1;
+  for (std::size_t i = 0; i < ring_count_; ++i) {
+    bigger[i] = std::move(ring_[(ring_head_ + i) & mask]);
+  }
+  ring_ = std::move(bigger);
+  ring_head_ = 0;
+}
+
+void ThreadPool::reserve(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  grow_ring(n);
+}
+
+void ThreadPool::submit(util::TaskFunction task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
+    if (ring_count_ == ring_.size()) grow_ring(ring_count_ + 1);
+    ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] = std::move(task);
+    ++ring_count_;
   }
   task_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] { return ring_count_ == 0 && active_ == 0; });
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    util::TaskFunction task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      task_cv_.wait(lock, [this] { return stop_ || ring_count_ != 0; });
       // Drain the queue even when stopping so submitted work always runs.
-      if (tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+      if (ring_count_ == 0) return;
+      task = std::move(ring_[ring_head_]);  // leaves the slot empty
+      ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+      --ring_count_;
       ++active_;
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
-      if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (ring_count_ == 0 && active_ == 0) idle_cv_.notify_all();
     }
   }
 }

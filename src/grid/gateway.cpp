@@ -47,12 +47,15 @@ void Gateway::submit(const GridJob& job, double remote_inflation) {
       throw std::invalid_argument("duplicate target cluster");
     }
   }
-  if (!tracked_.emplace(job.id, Tracked{job, {}, false, 0, std::nullopt})
-           .second) {
+  const auto inserted =
+      tracked_.try_emplace(job.id, Tracked{job, {}, false, 0, std::nullopt});
+  if (!inserted.inserted) {
     throw std::invalid_argument("duplicate grid job id");
   }
   ++submitted_;
-  Tracked& tracked = tracked_.at(job.id);
+  // Safe to hold across the submit loop: nothing below inserts into
+  // tracked_ (on_grant/on_finish only read it), so no rehash can move it.
+  Tracked& tracked = *inserted.value;
   tracked.replicas.reserve(job.targets.size());
 
   // Build the replica descriptors first: a replica that starts immediately
@@ -89,7 +92,7 @@ void Gateway::submit(const GridJob& job, double remote_inflation) {
     // requested even when the user under-estimates.
     replica.requested_time = std::max(replica.requested_time,
                                       replica.actual_time);
-    replica_to_grid_.emplace(replica.id, job.id);
+    replica_to_grid_.insert(replica.id, job.id);
     tracked.replicas.emplace_back(target, replica.id);
     submits.push_back(PendingSubmit{target, replica});
   }
@@ -155,16 +158,16 @@ void Gateway::set_middleware(std::vector<MiddlewareStation*> stations) {
 
 void Gateway::deliver_submit(std::size_t cluster, const sched::Job& replica,
                              bool deferred) {
-  const auto git = replica_to_grid_.find(replica.id);
-  if (git == replica_to_grid_.end()) return;  // defensive: unknown replica
-  Tracked& tracked = tracked_.at(git->second);
+  const GridJobId* gid = replica_to_grid_.find(replica.id);
+  if (gid == nullptr) return;  // defensive: unknown replica
+  Tracked& tracked = tracked_.at(*gid);
   if (deferred && tracked.started) {
     // The job already started elsewhere while this submission was in
     // flight; delivering it would only create a request that is
     // immediately declined. Drop it: it costs neither a submission nor a
     // cancellation (the canceling client simply skips it).
     ++dropped_;
-    replica_to_grid_.erase(git);
+    replica_to_grid_.erase(replica.id);
     std::erase_if(tracked.replicas,
                   [&](const auto& p) { return p.second == replica.id; });
     return;
@@ -187,12 +190,13 @@ void Gateway::deliver_cancel(std::size_t cluster, sched::JobId replica) {
 }
 
 bool Gateway::on_grant(std::size_t cluster, const sched::Job& job) {
-  const auto git = replica_to_grid_.find(job.id);
-  if (git == replica_to_grid_.end()) {
+  const GridJobId* gid = replica_to_grid_.find(job.id);
+  if (gid == nullptr) {
     // Not a gateway-managed job (e.g. background load) — always allow.
     return true;
   }
-  Tracked& tracked = tracked_.at(git->second);
+  const GridJobId grid_id = *gid;
+  Tracked& tracked = tracked_.at(grid_id);
   if (tracked.started) {
     // A sibling replica already won; refuse this start. The scheduler
     // drops the request, which also counts as the "cancellation" of this
@@ -202,7 +206,7 @@ bool Gateway::on_grant(std::size_t cluster, const sched::Job& job) {
   }
   tracked.started = true;
   tracked.winner = cluster;
-  cancel_siblings(git->second, cluster);
+  cancel_siblings(grid_id, cluster);
   return true;
 }
 
@@ -227,9 +231,9 @@ void Gateway::cancel_siblings(GridJobId id, std::size_t winner_cluster) {
 }
 
 void Gateway::on_finish(std::size_t cluster, const sched::Job& job) {
-  const auto git = replica_to_grid_.find(job.id);
-  if (git == replica_to_grid_.end()) return;
-  const GridJobId grid_id = git->second;
+  const GridJobId* gid = replica_to_grid_.find(job.id);
+  if (gid == nullptr) return;
+  const GridJobId grid_id = *gid;
   Tracked& tracked = tracked_.at(grid_id);
 
   metrics::JobRecord rec;

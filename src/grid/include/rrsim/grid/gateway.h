@@ -13,13 +13,13 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "rrsim/des/simulation.h"
 #include "rrsim/grid/middleware.h"
 #include "rrsim/grid/platform.h"
 #include "rrsim/metrics/record.h"
+#include "rrsim/util/flat_map.h"
 
 namespace rrsim::grid {
 
@@ -140,8 +140,10 @@ class Gateway {
   bool record_predictions_;
   std::vector<MiddlewareStation*> middleware_;  // empty = direct delivery
   sched::JobId next_replica_id_ = 1;
-  std::unordered_map<sched::JobId, GridJobId> replica_to_grid_;
-  std::unordered_map<GridJobId, Tracked> tracked_;
+  /// Replica ids are allocated densely from 1 by this gateway, so the
+  /// replica -> grid-job mapping is a direct-indexed vector, not a hash.
+  util::DenseIdMap<GridJobId> replica_to_grid_;
+  util::FlatHashMap<GridJobId, Tracked> tracked_;
   metrics::JobRecords records_;
   std::uint64_t submitted_ = 0;
   std::uint64_t finished_ = 0;

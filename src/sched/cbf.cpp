@@ -16,18 +16,18 @@ void CbfScheduler::handle_submit(Job job) {
   record_prediction(job.id, s);  // the Section 5 predictor
   const JobId id = job.id;
   const std::uint64_t seq = next_seq_++;
-  pos_.emplace(id, queue_.size());
+  pos_.try_emplace(id, queue_.size());
   queue_.push_back(Entry{std::move(job), s, seq});
   heap_.push(HeapEntry{s, seq, id});
   dispatch_ready();
 }
 
 Job CbfScheduler::handle_cancel(JobId id) {
-  const auto it = pos_.find(id);
-  if (it == pos_.end()) {
+  const std::size_t* p = pos_.find(id);
+  if (p == nullptr) {
     throw std::logic_error("cbf: cancel of non-pending job");
   }
-  const std::size_t k = it->second;
+  const std::size_t k = *p;
   Job job = std::move(queue_[k].job);
   const Time r = queue_[k].reserved_start;
   erase_entry(k);
@@ -47,10 +47,9 @@ Job CbfScheduler::handle_cancel(JobId id) {
 
 void CbfScheduler::handle_completion(const Job& job) {
   Time stored_end = 0.0;
-  const auto se = running_end_.find(job.id);
-  if (se != running_end_.end()) {
-    stored_end = se->second;
-    running_end_.erase(se);
+  if (const Time* se = running_end_.find(job.id)) {
+    stored_end = *se;
+    running_end_.erase(job.id);
   }
   const bool early =
       job.finish_time < job.start_time + job.requested_time;
@@ -79,15 +78,15 @@ std::vector<const Job*> CbfScheduler::pending_in_order() const {
 }
 
 std::optional<Time> CbfScheduler::current_reservation(JobId id) const {
-  const auto it = pos_.find(id);
-  if (it == pos_.end()) return std::nullopt;
-  return queue_[it->second].reserved_start;
+  const std::size_t* p = pos_.find(id);
+  if (p == nullptr) return std::nullopt;
+  return queue_[*p].reserved_start;
 }
 
 bool CbfScheduler::entry_current(const HeapEntry& e) const {
-  const auto it = pos_.find(e.id);
-  if (it == pos_.end()) return false;
-  const Entry& entry = queue_[it->second];
+  const std::size_t* p = pos_.find(e.id);
+  if (p == nullptr) return false;
+  const Entry& entry = queue_[*p];
   return entry.seq == e.seq && entry.reserved_start == e.time;
 }
 
@@ -117,8 +116,8 @@ bool CbfScheduler::incremental_base_ok() const {
   for (const auto& [id, job] : running_jobs()) {
     const Time end = job.start_time + job.requested_time;
     if (end <= now) continue;  // footprint contributes nothing ahead
-    const auto it = running_end_.find(id);
-    if (it == running_end_.end() || it->second != end) return false;
+    const Time* stored = running_end_.find(id);
+    if (stored == nullptr || *stored != end) return false;
     if (now + (end - now) != end) return false;
   }
   return true;
@@ -191,7 +190,7 @@ void CbfScheduler::dispatch_ready() {
     std::size_t best = due.size();
     for (std::size_t i = 0; i < due.size(); ++i) {
       if (!entry_current(due[i])) continue;
-      const Entry& entry = queue_[pos_.find(due[i].id)->second];
+      const Entry& entry = queue_[*pos_.find(due[i].id)];
       if (entry.job.nodes > free_nodes()) {
         // Due, but a same-timestamp completion has not freed its nodes
         // yet (equal-time completions drain one at a time). That
@@ -202,7 +201,7 @@ void CbfScheduler::dispatch_ready() {
     }
     if (best == due.size()) break;
     const JobId id = due[best].id;
-    const std::size_t k = pos_.find(id)->second;
+    const std::size_t k = *pos_.find(id);
     const Time r = queue_[k].reserved_start;
     const Time req = queue_[k].job.requested_time;
     const int nodes = queue_[k].job.nodes;
@@ -210,7 +209,7 @@ void CbfScheduler::dispatch_ready() {
     erase_entry(k);
     if (try_start(std::move(job))) {
       // Its footprint in the profile is the reservation it held.
-      running_end_.emplace(id, r + req);
+      running_end_.try_emplace(id, r + req);
     } else {
       // Declined: its reservation must be released so later jobs can
       // move up.

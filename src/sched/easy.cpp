@@ -23,9 +23,11 @@ Job EasyScheduler::handle_cancel(JobId id) {
 }
 
 void EasyScheduler::handle_completion(const Job& job) {
-  const auto it = running_ends_.find(
-      {job.start_time + job.requested_time, job.nodes});
-  if (it == running_ends_.end()) {
+  const std::pair<Time, int> key{job.start_time + job.requested_time,
+                                 job.nodes};
+  const auto it =
+      std::lower_bound(running_ends_.begin(), running_ends_.end(), key);
+  if (it == running_ends_.end() || *it != key) {
     throw std::logic_error("easy: finished job missing from running_ends_");
   }
   running_ends_.erase(it);  // erase one instance, not all duplicates
@@ -65,7 +67,9 @@ bool EasyScheduler::start_and_track(Job job) {
   if (!try_start(std::move(job))) return false;
   // `end` equals start_time + requested_time: try_start stamps
   // start_time with the same now used above.
-  running_ends_.emplace(end, nodes);
+  const std::pair<Time, int> key{end, nodes};
+  running_ends_.insert(
+      std::upper_bound(running_ends_.begin(), running_ends_.end(), key), key);
   return true;
 }
 

@@ -15,11 +15,11 @@
 
 #include <cstdint>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "rrsim/sched/profile.h"
 #include "rrsim/sched/scheduler.h"
+#include "rrsim/util/flat_map.h"
 
 namespace rrsim::sched {
 
@@ -156,12 +156,12 @@ class CbfScheduler final : public ClusterScheduler {
   bool compress_;
   std::vector<Entry> queue_;  // FCFS order
   Profile profile_;
-  std::unordered_map<JobId, std::size_t> pos_;  // id -> queue position
+  util::FlatHashMap<JobId, std::size_t> pos_;  // id -> queue position
   /// Where each running job's footprint actually ends *in the profile*:
   /// its reservation end at start time, possibly re-snapped by a later
   /// rebuild. Tail releases on early completion must use this value, not
   /// a recomputed end, to invert the stored reservation bit-exactly.
-  std::unordered_map<JobId, Time> running_end_;
+  util::FlatHashMap<JobId, Time> running_end_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap_;
   std::uint64_t next_seq_ = 0;
   des::Simulation::EventHandle wakeup_;

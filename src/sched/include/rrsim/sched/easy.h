@@ -7,8 +7,8 @@
 #pragma once
 
 #include <deque>
-#include <set>
 #include <utility>
+#include <vector>
 
 #include "rrsim/sched/scheduler.h"
 
@@ -63,7 +63,12 @@ class EasyScheduler final : public ClusterScheduler {
   /// Running jobs as (requested_end, nodes), kept sorted across
   /// start/finish so compute_shadow never re-sorts the running set. The
   /// pair ordering matches what sorting running_requested_ends() yielded.
-  std::multiset<std::pair<Time, int>> running_ends_;
+  /// A sorted vector rather than a multiset: the population is bounded by
+  /// the node count, inserts/erases are memmoves of a contiguous 16-byte
+  /// element, and compute_shadow becomes a linear scan of one array.
+  /// Duplicate (end, nodes) pairs are value-identical, so which instance
+  /// an erase removes cannot affect results.
+  std::vector<std::pair<Time, int>> running_ends_;
 };
 
 }  // namespace rrsim::sched

@@ -6,15 +6,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "rrsim/des/simulation.h"
 #include "rrsim/sched/job.h"
 #include "rrsim/sched/profile.h"
+#include "rrsim/util/flat_map.h"
 
 namespace rrsim::sched {
 
@@ -133,8 +132,9 @@ class ClusterScheduler {
 
   /// The authoritative running set, keyed by id (iteration order is id
   /// order — profile rebuilds must reserve footprints in this order to
-  /// reproduce historical results exactly).
-  const std::map<JobId, Job>& running_jobs() const noexcept {
+  /// reproduce historical results exactly; the sorted-vector map keeps
+  /// that order while making the walk a contiguous scan).
+  const util::FlatOrderedMap<JobId, Job>& running_jobs() const noexcept {
     return running_;
   }
 
@@ -167,12 +167,15 @@ class ClusterScheduler {
   Callbacks callbacks_;
   OpCounters counters_;
   std::optional<int> per_user_limit_;
-  std::map<UserId, int> pending_per_user_;
-  std::map<JobId, Job> running_;
-  std::map<JobId, Time> predictions_;  // submit-time predicted starts
+  // Per-job bookkeeping lives in flat tables: these are touched on every
+  // submit/cancel/start/finish, and none of them needs ordered iteration
+  // (the running set, which does, gets the sorted-vector map).
+  util::FlatHashMap<UserId, int> pending_per_user_;
+  util::FlatOrderedMap<JobId, Job> running_;
+  util::FlatHashMap<JobId, Time> predictions_;  // submit-time starts
   /// Lifecycle of every id ever submitted: duplicate-id guard and the
   /// O(1) pending/running membership check behind cancel().
-  std::unordered_map<JobId, JobState> known_ids_;
+  util::FlatHashMap<JobId, JobState> known_ids_;
   /// Reused by predict_hypothetical_start (reset, not reallocated):
   /// Section-5 prediction sweeps call it per job submission.
   mutable Profile scratch_profile_;

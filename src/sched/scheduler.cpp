@@ -44,7 +44,7 @@ bool ClusterScheduler::submit(Job job) {
     ++counters_.rejects;
     return false;
   }
-  if (!known_ids_.emplace(job.id, JobState::kPending).second) {
+  if (!known_ids_.try_emplace(job.id, JobState::kPending).inserted) {
     throw std::invalid_argument("duplicate job id submitted");
   }
   job.actual_time = std::min(job.actual_time, job.requested_time);
@@ -60,13 +60,15 @@ bool ClusterScheduler::cancel(JobId id) {
   // Only pending jobs are cancellable. The lifecycle index answers the
   // membership question in O(1) — no walk over the pending queue — and
   // handle_cancel is then guaranteed to find the job in its structures.
-  const auto it = known_ids_.find(id);
-  if (it == known_ids_.end() || it->second != JobState::kPending) {
+  const JobState* state = known_ids_.find(id);
+  if (state == nullptr || *state != JobState::kPending) {
     return false;
   }
   Job job = handle_cancel(id);
   job.state = JobState::kCancelled;
-  it->second = JobState::kCancelled;
+  // Re-find: handle_cancel is virtual and the flat table invalidates
+  // pointers on insert, so the pre-call pointer must not be trusted.
+  known_ids_.at(id) = JobState::kCancelled;
   ++counters_.cancels;
   --pending_per_user_[job.user];
   if (callbacks_.on_cancelled) callbacks_.on_cancelled(job);
@@ -96,7 +98,9 @@ bool ClusterScheduler::try_start(Job job) {
   sim_.schedule_at(
       job.finish_time, [this, id] { complete_job(id); },
       des::Priority::kCompletion);
-  if (callbacks_.on_start) callbacks_.on_start(running_.at(id));
+  // Pass the local copy, not running_.at(id): the callback may start or
+  // cancel other jobs, and the flat running set relocates on mutation.
+  if (callbacks_.on_start) callbacks_.on_start(job);
   return true;
 }
 
@@ -131,9 +135,9 @@ void ClusterScheduler::record_prediction(JobId id, Time predicted_start) {
 
 std::optional<Time> ClusterScheduler::predicted_start_at_submit(
     JobId id) const {
-  const auto it = predictions_.find(id);
-  if (it == predictions_.end()) return std::nullopt;
-  return it->second;
+  const Time* t = predictions_.find(id);
+  if (t == nullptr) return std::nullopt;
+  return *t;
 }
 
 Time ClusterScheduler::predict_hypothetical_start(int nodes,

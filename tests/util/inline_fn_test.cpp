@@ -1,0 +1,101 @@
+// Tests for the non-allocating callable types: lifetime of captures,
+// move semantics, and the inline/heap split of TaskFunction.
+#include "rrsim/util/inline_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace {
+
+using rrsim::util::InlineFunction;
+using rrsim::util::TaskFunction;
+
+TEST(InlineFunction, InvokesAndReportsEngaged) {
+  int hits = 0;
+  InlineFunction<64> fn = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+  EXPECT_FALSE(static_cast<bool>(InlineFunction<64>{}));
+}
+
+TEST(InlineFunction, MoveTransfersCallableAndEmptiesSource) {
+  int hits = 0;
+  InlineFunction<64> a = [&hits] { ++hits; };
+  InlineFunction<64> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  InlineFunction<64> c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, DestructionAndResetReleaseCaptures) {
+  const auto token = std::make_shared<int>(1);
+  {
+    InlineFunction<64> fn = [token] { (void)*token; };
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);  // destructor ran the capture's dtor
+  InlineFunction<64> fn = [token] { (void)*token; };
+  EXPECT_EQ(token.use_count(), 2);
+  fn = nullptr;
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, AssignmentReplacesPreviousCapture) {
+  const auto first = std::make_shared<int>(1);
+  const auto second = std::make_shared<int>(2);
+  InlineFunction<64> fn = [first] { (void)*first; };
+  fn = InlineFunction<64>([second] { (void)*second; });
+  EXPECT_EQ(first.use_count(), 1);
+  EXPECT_EQ(second.use_count(), 2);
+}
+
+TEST(TaskFunction, SmallAndLargeCapturesBothWork) {
+  int hits = 0;
+  TaskFunction small = [&hits] { ++hits; };  // fits the inline buffer
+  struct Big {
+    double pad[16];
+  };
+  Big big{};
+  big.pad[0] = 4.0;
+  TaskFunction large = [&hits, big] { hits += static_cast<int>(big.pad[0]); };
+  small();
+  large();
+  EXPECT_EQ(hits, 5);
+}
+
+TEST(TaskFunction, SupportsMoveOnlyCaptures) {
+  auto owned = std::make_unique<int>(7);
+  int out = 0;
+  TaskFunction fn = [&out, p = std::move(owned)] { out = *p; };
+  TaskFunction moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  moved();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(TaskFunction, HeapCapturesReleaseOnDestructionAndMove) {
+  const auto token = std::make_shared<int>(1);
+  struct Pad {
+    double pad[16];
+  };
+  {
+    TaskFunction fn = [token, pad = Pad{}] { (void)*token, (void)pad; };
+    EXPECT_EQ(token.use_count(), 2);
+    TaskFunction moved = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2);  // hand-off, not a copy
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+}  // namespace
