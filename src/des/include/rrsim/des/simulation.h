@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "rrsim/util/inline_fn.h"
+#include "rrsim/util/validate.h"
 
 namespace rrsim::des {
 
@@ -149,6 +150,32 @@ class Simulation {
   /// freshly constructed one.
   void reset() noexcept;
 
+#if RRSIM_VALIDATE_ENABLED
+  /// Hash of the semantic simulation state (time, counters, queue
+  /// occupancy) — deliberately excludes arena capacities, so a reset
+  /// simulation with a warm slab fingerprints equal to a fresh one.
+  /// reset() checks exactly that; a member added without reset() coverage
+  /// shows up as a fingerprint mismatch once it is folded in here.
+  std::uint64_t debug_fingerprint() const noexcept;
+
+  /// Corruption hook for the oracle death tests: primes the dispatch
+  /// watermark as if an event later than everything still queued had
+  /// already fired, so the next step() must trip the order oracle.
+  void debug_force_dispatch_watermark(Time t) noexcept {
+    vd_have_last_ = true;
+    vd_last_time_ = t;
+    vd_last_prio_ = static_cast<int>(Priority::kControl);
+    vd_last_seq_ = ~std::uint64_t{0};
+    vd_last_epoch_ = ~std::uint64_t{0};
+  }
+
+  /// Corruption hook: makes the next reset() "forget" to restore
+  /// next_seq_, emulating a member added without reset coverage.
+  void debug_leak_state_on_reset(bool leak) noexcept {
+    vd_leak_on_reset_ = leak;
+  }
+#endif
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
   /// Sentinel bucket index marking membership in the overflow list.
@@ -183,6 +210,14 @@ class Simulation {
     std::uint32_t bucket = kNil;  ///< owning list while kFar
     std::uint8_t priority = 0;
     Where where = Where::kFree;
+#if RRSIM_VALIDATE_ENABLED
+    /// Dispatch count at schedule time. The order oracle compares the
+    /// full (time, priority, seq) triple only against events that were
+    /// already queued at the previous pop; an event inserted *during*
+    /// that dispatch (epoch >= the pop's dispatch number) may legally
+    /// carry the same time with a lower priority.
+    std::uint64_t epoch = 0;
+#endif
   };
   struct QueueEntry {
     Time time;
@@ -265,6 +300,16 @@ class Simulation {
   Time bucket_range_end_ = 0.0;
   std::uint32_t overflow_head_ = kNil;
   std::size_t overflow_count_ = 0;
+
+#if RRSIM_VALIDATE_ENABLED
+  // Dispatch-order oracle watermark: coordinates of the previous pop.
+  bool vd_have_last_ = false;
+  bool vd_leak_on_reset_ = false;
+  Time vd_last_time_ = 0.0;
+  int vd_last_prio_ = 0;
+  std::uint64_t vd_last_seq_ = 0;
+  std::uint64_t vd_last_epoch_ = 0;
+#endif
 };
 
 }  // namespace rrsim::des

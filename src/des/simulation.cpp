@@ -209,6 +209,9 @@ Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
   slot.time = t;
   slot.seq = next_seq_++;
   slot.priority = static_cast<std::uint8_t>(prio);
+#if RRSIM_VALIDATE_ENABLED
+  slot.epoch = dispatched_;
+#endif
   if (t < heap_limit_) {
     slot.where = Where::kNear;
     heap_push(QueueEntry{t, static_cast<int>(prio), slot.seq, index,
@@ -234,6 +237,32 @@ bool Simulation::step() {
     const QueueEntry entry = heap_.front();
     heap_pop();
     if (!is_live(entry.slot, entry.gen)) continue;  // cancelled; skip
+#if RRSIM_VALIDATE_ENABLED
+    // Dispatch-order oracle. Time never goes backwards; the full
+    // (time, priority, seq) order additionally holds against any event
+    // that was already queued at the previous pop (an event inserted
+    // during that dispatch may legally share its time with a lower
+    // priority, so only the time axis binds for those).
+    RRSIM_CHECK(entry.time >= now_, "event dispatched before now()");
+    if (vd_have_last_) {
+      RRSIM_CHECK(entry.time >= vd_last_time_,
+                  "dispatch time went backwards");
+      if (slots_[entry.slot].epoch < vd_last_epoch_) {
+        const bool after =
+            entry.time > vd_last_time_ ||
+            entry.priority > vd_last_prio_ ||
+            (entry.priority == vd_last_prio_ && entry.seq > vd_last_seq_);
+        RRSIM_CHECK(after,
+                    "(time, priority, seq) dispatch order violated for "
+                    "events queued across a pop");
+      }
+    }
+    vd_have_last_ = true;
+    vd_last_time_ = entry.time;
+    vd_last_prio_ = entry.priority;
+    vd_last_seq_ = entry.seq;
+    vd_last_epoch_ = dispatched_ + 1;
+#endif
     now_ = entry.time;
     // Move the callback out (single move-construction — cheaper than
     // going through retire()'s assignment) and retire the slot *before*
@@ -268,6 +297,54 @@ void Simulation::run_until(Time t) {
   now_ = t;
 }
 
+#if RRSIM_VALIDATE_ENABLED
+std::uint64_t Simulation::debug_fingerprint() const noexcept {
+  // FNV-1a over the semantic state. Arena capacities (slab size, heap /
+  // bucket / free-list storage) are deliberately excluded: they are what
+  // reset() keeps warm. What must match a fresh simulation is everything
+  // observable through the public API plus queue occupancy.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  const auto mix_time = [&mix](Time t) noexcept {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(Time));
+    __builtin_memcpy(&bits, &t, sizeof(bits));
+    mix(bits);
+  };
+  mix_time(now_);
+  mix(next_seq_);
+  mix(dispatched_);
+  mix(live_);
+  mix(heap_.size());
+  mix_time(heap_limit_);
+  mix(n_buckets_);
+  mix(cur_bucket_);
+  mix_time(bucket_base_);
+  mix_time(bucket_width_);
+  mix_time(bucket_range_end_);
+  mix(overflow_head_ == kNil ? 0 : 1);
+  mix(overflow_count_);
+  mix(slots_.size() - free_slots_.size());  // slots not on the free list
+  std::uint64_t busy = 0;
+  for (const Slot& s : slots_) {
+    if (s.where != Where::kFree) ++busy;
+  }
+  mix(busy);
+  std::uint64_t linked_heads = 0;
+  for (const std::uint32_t head : bucket_heads_) {
+    if (head != kNil) ++linked_heads;
+  }
+  mix(linked_heads);
+  mix(vd_have_last_ ? 1 : 0);
+  return h;
+}
+#endif
+
 void Simulation::reset() noexcept {
   now_ = 0.0;
   next_seq_ = 0;
@@ -299,6 +376,15 @@ void Simulation::reset() noexcept {
     s.bucket = kNil;
     free_slots_.push_back(static_cast<std::uint32_t>(i));
   }
+#if RRSIM_VALIDATE_ENABLED
+  vd_have_last_ = false;
+  if (vd_leak_on_reset_) next_seq_ = 1;  // simulated missed-member bug
+  // Reset-coverage oracle: a reset simulation must fingerprint equal to
+  // a freshly constructed one. A member added to Simulation but not to
+  // reset() (and folded into debug_fingerprint()) trips here.
+  RRSIM_CHECK(debug_fingerprint() == Simulation().debug_fingerprint(),
+              "reset() state differs from a freshly constructed Simulation");
+#endif
 }
 
 }  // namespace rrsim::des

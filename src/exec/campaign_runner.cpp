@@ -7,6 +7,9 @@
 namespace rrsim::exec {
 
 namespace {
+// rrsim-lint-allow(mutable-global): caches the default worker count
+// (env/hardware probe); campaign results are bit-identical across worker
+// counts, so this can never leak into outputs.
 std::atomic<int> g_default_jobs{0};
 
 int env_jobs() noexcept {

@@ -12,6 +12,49 @@ Gateway::Gateway(des::Simulation& sim, Platform& platform,
   for (std::size_t c = 0; c < platform_.size(); ++c) install_callbacks(c);
 }
 
+#if RRSIM_VALIDATE_ENABLED
+void Gateway::validate_job(GridJobId id) const {
+  const Tracked* tracked = tracked_.find(id);
+  RRSIM_CHECK(tracked != nullptr, "gateway: tracked job vanished");
+  for (const auto& [cluster, rid] : tracked->replicas) {
+    RRSIM_CHECK(cluster < platform_.size(),
+                "gateway: replica targets a cluster outside the platform");
+    const GridJobId* gid = replica_to_grid_.find(rid);
+    RRSIM_CHECK(gid != nullptr && *gid == id,
+                "gateway: replica index does not map a tracked replica "
+                "back to its grid job");
+  }
+}
+
+void Gateway::debug_validate() const {
+  std::size_t replica_sum = 0;
+  tracked_.for_each([this, &replica_sum](const GridJobId& id,
+                                         const Tracked& tracked) {
+    replica_sum += tracked.replicas.size();
+    (void)tracked;
+    validate_job(id);
+  });
+  RRSIM_CHECK(replica_sum == replica_to_grid_.size(),
+              "gateway: replica index size disagrees with the tracked "
+              "replica lists");
+}
+
+void Gateway::debug_corrupt_tracking() {
+  bool done = false;
+  tracked_.for_each([this, &done](const GridJobId&, const Tracked& tracked) {
+    if (done) return;
+    for (const auto& [cluster, rid] : tracked.replicas) {
+      (void)cluster;
+      if (GridJobId* gid = replica_to_grid_.find(rid)) {
+        *gid += 1;  // now points at a job that does not own this replica
+        done = true;
+        return;
+      }
+    }
+  });
+}
+#endif
+
 void Gateway::install_callbacks(std::size_t cluster) {
   sched::ClusterScheduler::Callbacks cb;
   cb.on_grant = [this, cluster](const sched::Job& job) {
@@ -123,6 +166,9 @@ void Gateway::submit(const GridJob& job, double remote_inflation) {
     }
     tracked.predicted_start = best;
   }
+#if RRSIM_VALIDATE_ENABLED
+  validate_job(job.id);
+#endif
 }
 
 void Gateway::reset(bool record_predictions) {
@@ -160,7 +206,8 @@ void Gateway::deliver_submit(std::size_t cluster, const sched::Job& replica,
                              bool deferred) {
   const GridJobId* gid = replica_to_grid_.find(replica.id);
   if (gid == nullptr) return;  // defensive: unknown replica
-  Tracked& tracked = tracked_.at(*gid);
+  const GridJobId grid_id = *gid;
+  Tracked& tracked = tracked_.at(grid_id);
   if (deferred && tracked.started) {
     // The job already started elsewhere while this submission was in
     // flight; delivering it would only create a request that is
@@ -181,6 +228,9 @@ void Gateway::deliver_submit(std::size_t cluster, const sched::Job& replica,
   // Note: tracked.job.redundant deliberately keeps the *intent* (the user
   // sent redundant requests), even if drops/rejections leave one replica —
   // the paper's r-jobs/n-r-jobs classes are about user behaviour.
+#if RRSIM_VALIDATE_ENABLED
+  validate_job(grid_id);
+#endif
 }
 
 void Gateway::deliver_cancel(std::size_t cluster, sched::JobId replica) {

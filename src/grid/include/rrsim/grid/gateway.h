@@ -111,6 +111,18 @@ class Gateway {
   /// submission, or when middleware delays delivery).
   std::uint64_t replicas_dropped() const noexcept { return dropped_; }
 
+#if RRSIM_VALIDATE_ENABLED
+  /// Full tracking sweep: every replica of every tracked job maps back to
+  /// that job in the replica index, and the index holds exactly the
+  /// tracked replicas (size-sum agreement). O(total jobs) — tests and
+  /// reset paths; per-operation checks cover the job each op touched.
+  void debug_validate() const;
+
+  /// Corruption hook for the oracle death tests: re-points one replica's
+  /// index entry at a nonexistent grid job.
+  void debug_corrupt_tracking();
+#endif
+
  private:
   struct Tracked {
     GridJob job;
@@ -134,6 +146,13 @@ class Gateway {
                       bool deferred);
   /// Issues a qdel for a (possibly no longer pending) replica.
   void deliver_cancel(std::size_t cluster, sched::JobId replica);
+
+#if RRSIM_VALIDATE_ENABLED
+  /// Per-operation check, O(replicas of one job): the job's replica list
+  /// and the replica index must agree, and each replica's target cluster
+  /// must exist on the platform.
+  void validate_job(GridJobId id) const;
+#endif
 
   des::Simulation& sim_;
   Platform& platform_;

@@ -9,16 +9,23 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 
 #include "rrsim/des/simulation.h"
+#include "rrsim/util/inline_fn.h"
 
 namespace rrsim::grid {
 
 /// FIFO single-server station with deterministic service times.
 class MiddlewareStation {
  public:
+  /// Non-allocating operation closure: captures live inline. Sized for
+  /// the largest gateway transaction (a deferred submit carrying a
+  /// sched::Job by value plus its routing info); middleware stations sit
+  /// on every submit/cancel of a redundancy-heavy run, so operations must
+  /// not heap-allocate per enqueue.
+  using Op = util::InlineFunction<96>;
+
   /// `ops_per_sec`: sustainable operation rate (> 0); each operation
   /// occupies the server for exactly 1/ops_per_sec seconds.
   MiddlewareStation(des::Simulation& sim, double ops_per_sec);
@@ -28,10 +35,11 @@ class MiddlewareStation {
 
   /// Queues an operation; `op` runs when its service completes (waiting
   /// time + 1/rate after the station becomes free).
-  void enqueue(std::function<void()> op);
+  void enqueue(Op op);
 
-  /// Operations waiting or in service right now.
-  std::size_t backlog() const noexcept { return queue_.size() + (busy_ ? 1u : 0u); }
+  /// Operations waiting or in service right now. (The operation in
+  /// service stays at the queue front until it completes.)
+  std::size_t backlog() const noexcept { return queue_.size(); }
 
   /// Operations completed so far.
   std::uint64_t processed() const noexcept { return processed_; }
@@ -48,7 +56,7 @@ class MiddlewareStation {
  private:
   struct Pending {
     des::Time enqueued_at;
-    std::function<void()> op;
+    Op op;
   };
 
   void start_service();

@@ -14,7 +14,7 @@ MiddlewareStation::MiddlewareStation(des::Simulation& sim,
   }
 }
 
-void MiddlewareStation::enqueue(std::function<void()> op) {
+void MiddlewareStation::enqueue(Op op) {
   if (!op) throw std::invalid_argument("middleware: empty operation");
   queue_.push(Pending{sim_.now(), std::move(op)});
   max_backlog_ = std::max(max_backlog_, backlog());
@@ -27,15 +27,18 @@ void MiddlewareStation::start_service() {
     return;
   }
   busy_ = true;
-  // Move the head out; it completes after one service time.
-  Pending head = std::move(queue_.front());
-  queue_.pop();
+  // The head stays at the queue front while in service (backlog counts
+  // it); the completion event pops and runs it, so the simulation
+  // callback captures only `this` — the operation's own captures never
+  // leave the queue slot until they are consumed.
   sim_.schedule_in(
       service_time_,
-      [this, enqueued_at = head.enqueued_at, op = std::move(head.op)] {
+      [this] {
+        Pending head = std::move(queue_.front());
+        queue_.pop();
         ++processed_;
-        total_sojourn_ += sim_.now() - enqueued_at;
-        op();
+        total_sojourn_ += sim_.now() - head.enqueued_at;
+        head.op();
         start_service();
       },
       des::Priority::kControl);

@@ -15,6 +15,9 @@ namespace rrsim::metrics {
 class QueueTracker {
  public:
   /// A probe returns the current queue length of one cluster.
+  // rrsim-lint-allow(std-function-member): installed once per run and
+  // called once per sampling interval (seconds of simulated time apart);
+  // the std::size_t() signature rules out InlineFunction (void() only).
   using Probe = std::function<std::size_t()>;
 
   /// Samples every `interval` simulated seconds, starting at `interval`,

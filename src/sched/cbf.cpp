@@ -5,6 +5,33 @@
 
 namespace rrsim::sched {
 
+#if RRSIM_VALIDATE_ENABLED
+void CbfScheduler::validate_index() const {
+  RRSIM_CHECK(pos_.size() == queue_.size(),
+              "cbf: pos_ index and queue_ disagree on size");
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const std::size_t* p = pos_.find(queue_[i].job.id);
+    RRSIM_CHECK(p != nullptr && *p == i,
+                "cbf: pos_ entry does not point at the job's queue slot");
+    if (i > 0) {
+      RRSIM_CHECK(queue_[i - 1].seq < queue_[i].seq,
+                  "cbf: queue_ no longer in submission (FCFS) order");
+    }
+  }
+  running_end_.for_each([this](const JobId& id, const Time& end) {
+    RRSIM_CHECK(running_jobs().find(id) != running_jobs().end(),
+                "cbf: running_end_ keeps a footprint for a job that is "
+                "not running");
+    RRSIM_CHECK(end > 0.0, "cbf: non-positive stored footprint end");
+  });
+}
+
+void CbfScheduler::debug_validate() const {
+  ClusterScheduler::debug_validate();
+  validate_index();
+}
+#endif
+
 void CbfScheduler::handle_submit(Job job) {
   const Time now = sim_.now();
   // GC: every reservation whose interval expired leaves dead breakpoints
@@ -20,6 +47,9 @@ void CbfScheduler::handle_submit(Job job) {
   queue_.push_back(Entry{std::move(job), s, seq});
   heap_.push(HeapEntry{s, seq, id});
   dispatch_ready();
+#if RRSIM_VALIDATE_ENABLED
+  validate_index();
+#endif
 }
 
 Job CbfScheduler::handle_cancel(JobId id) {
@@ -42,6 +72,9 @@ Job CbfScheduler::handle_cancel(JobId id) {
   }
   if (self_check_) verify_against_rebuild();
   dispatch_ready();
+#if RRSIM_VALIDATE_ENABLED
+  validate_index();
+#endif
   return job;
 }
 
@@ -68,6 +101,9 @@ void CbfScheduler::handle_completion(const Job& job) {
     if (self_check_) verify_against_rebuild();
   }
   dispatch_ready();
+#if RRSIM_VALIDATE_ENABLED
+  validate_index();
+#endif
 }
 
 std::vector<const Job*> CbfScheduler::pending_in_order() const {

@@ -31,6 +31,9 @@ void EasyScheduler::handle_completion(const Job& job) {
     throw std::logic_error("easy: finished job missing from running_ends_");
   }
   running_ends_.erase(it);  // erase one instance, not all duplicates
+#if RRSIM_VALIDATE_ENABLED
+  validate_ends();
+#endif
   schedule_pass();
 }
 
@@ -70,6 +73,9 @@ bool EasyScheduler::start_and_track(Job job) {
   const std::pair<Time, int> key{end, nodes};
   running_ends_.insert(
       std::upper_bound(running_ends_.begin(), running_ends_.end(), key), key);
+#if RRSIM_VALIDATE_ENABLED
+  validate_ends();
+#endif
   return true;
 }
 

@@ -81,6 +81,17 @@ class CbfScheduler final : public ClusterScheduler {
     rebuilds_ = 0;
   }
 
+#if RRSIM_VALIDATE_ENABLED
+  /// Base sweep plus the CBF index invariants (validate_index()).
+  void debug_validate() const override;
+
+  /// Corruption hook for the oracle death tests: points the front job's
+  /// pos_ entry at the wrong queue position.
+  void debug_corrupt_index() {
+    if (!queue_.empty()) pos_[queue_.front().job.id] = queue_.size();
+  }
+#endif
+
  protected:
   void handle_submit(Job job) override;
   Job handle_cancel(JobId id) override;
@@ -152,6 +163,13 @@ class CbfScheduler final : public ClusterScheduler {
   /// Self-check oracle body: compares incremental state against a
   /// from-scratch rebuild into rebuild_scratch_.
   void verify_against_rebuild();
+
+#if RRSIM_VALIDATE_ENABLED
+  /// queue_/pos_ bijection, FCFS seq order, running_end_ ⊆ running set.
+  /// O(queue) — runs after each handler (the handlers themselves are
+  /// already O(queue) on their mutation paths).
+  void validate_index() const;
+#endif
 
   bool compress_;
   std::vector<Entry> queue_;  // FCFS order

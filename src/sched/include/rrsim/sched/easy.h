@@ -34,6 +34,13 @@ class EasyScheduler final : public ClusterScheduler {
   /// empty. Exposed for tests of the no-head-delay invariant.
   std::optional<Time> head_shadow_time() const;
 
+#if RRSIM_VALIDATE_ENABLED
+  void debug_validate() const override {
+    ClusterScheduler::debug_validate();
+    validate_ends();
+  }
+#endif
+
  protected:
   void handle_submit(Job job) override;
   Job handle_cancel(JobId id) override;
@@ -58,6 +65,19 @@ class EasyScheduler final : public ClusterScheduler {
   /// end in running_ends_. `now + job.requested_time` must be computed
   /// before the move, hence the helper.
   bool start_and_track(Job job);
+
+#if RRSIM_VALIDATE_ENABLED
+  /// running_ends_ must mirror the running set (one entry per running
+  /// job) and stay sorted — compute_shadow's linear scan depends on it.
+  void validate_ends() const {
+    RRSIM_CHECK(running_ends_.size() == running_count(),
+                "easy: running_ends_ size disagrees with the running set");
+    for (std::size_t i = 1; i < running_ends_.size(); ++i) {
+      RRSIM_CHECK(running_ends_[i - 1] <= running_ends_[i],
+                  "easy: running_ends_ lost its sort order");
+    }
+  }
+#endif
 
   std::deque<Job> queue_;
   /// Running jobs as (requested_end, nodes), kept sorted across

@@ -86,6 +86,18 @@ class Profile {
     return steps_;
   }
 
+#if RRSIM_VALIDATE_ENABLED
+  /// Full structural check — strictly increasing breakpoint times, all
+  /// levels within [0, total], canonical form (adjacent levels distinct),
+  /// trailing level back at full capacity. Runs automatically after every
+  /// mutate; callable directly from tests.
+  void debug_validate() const;
+
+  /// Corruption hook for the oracle death tests: duplicates the level of
+  /// the last segment into a new breakpoint, breaking canonical form.
+  void debug_break_canonical();
+#endif
+
  private:
   /// Index of the segment containing `t` (hinted: sequential lookups near
   /// the previous one skip the binary search).

@@ -40,15 +40,23 @@ struct OpCounters {
 class ClusterScheduler {
  public:
   /// Owner hooks. All optional; a null grant accepts every start.
+  /// std::function is deliberate here: the hooks are installed once per
+  /// run (never per event), their captures fit the small-buffer
+  /// optimisation, and every signature takes the Job — which
+  /// util::InlineFunction (void() only) cannot express.
   struct Callbacks {
     /// Asked immediately before `job` would start; return false to refuse
     /// (the request is then removed from the queue as Declined).
+    // rrsim-lint-allow(std-function-member): see struct comment.
     std::function<bool(const Job&)> on_grant;
     /// Job started (after a successful grant).
+    // rrsim-lint-allow(std-function-member): see struct comment.
     std::function<void(const Job&)> on_start;
     /// Job ran to completion.
+    // rrsim-lint-allow(std-function-member): see struct comment.
     std::function<void(const Job&)> on_finish;
     /// Pending job removed via cancel().
+    // rrsim-lint-allow(std-function-member): see struct comment.
     std::function<void(const Job&)> on_cancelled;
   };
 
@@ -118,6 +126,18 @@ class ClusterScheduler {
   /// scheduled by the previous run are orphaned, not cancelled, here.
   virtual void reset();
 
+#if RRSIM_VALIDATE_ENABLED
+  /// Full cross-consistency sweep: node accounting, running_ vs
+  /// known_ids_ agreement, per-user pending counts non-negative. O(n) in
+  /// the lifecycle table — tests and reset paths only; the per-operation
+  /// checks cover the entities each operation touched.
+  virtual void debug_validate() const;
+
+  /// Corruption hook for the oracle death tests: leaks one node from the
+  /// free count, as a mismatched reserve/release pair would.
+  void debug_corrupt_accounting() noexcept { --free_nodes_; }
+#endif
+
  protected:
   // --- Services for concrete algorithms ----------------------------------
 
@@ -161,6 +181,13 @@ class ClusterScheduler {
 
  private:
   void complete_job(JobId id);
+
+#if RRSIM_VALIDATE_ENABLED
+  /// Per-operation check, O(running): free_nodes_ must equal total minus
+  /// the running set's footprint, and the job the operation touched must
+  /// be in the lifecycle state the operation left it in.
+  void validate_op(JobId touched, JobState expected) const;
+#endif
 
   int total_nodes_;
   int free_nodes_;

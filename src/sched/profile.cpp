@@ -105,6 +105,9 @@ void Profile::apply(Time start, Time end, int delta) {
   }
   for (std::size_t i = first; i < last; ++i) steps_[i].second += delta;
   coalesce_around(first, last);
+#if RRSIM_VALIDATE_ENABLED
+  debug_validate();
+#endif
 }
 
 void Profile::coalesce_around(std::size_t first, std::size_t last) {
@@ -126,6 +129,28 @@ void Profile::coalesce_around(std::size_t first, std::size_t last) {
                  steps_.begin() + static_cast<std::ptrdiff_t>(hi));
   }
 }
+
+#if RRSIM_VALIDATE_ENABLED
+void Profile::debug_validate() const {
+  RRSIM_CHECK(!steps_.empty(), "profile has no segments");
+  RRSIM_CHECK(steps_.back().second == total_,
+              "profile tail is not back at full capacity (a reservation "
+              "never ends, or release() missed the tail)");
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    RRSIM_CHECK(steps_[i].second >= 0 && steps_[i].second <= total_,
+                "profile level outside [0, total_nodes]");
+    if (i == 0) continue;
+    RRSIM_CHECK(steps_[i - 1].first < steps_[i].first,
+                "profile breakpoint times not strictly increasing");
+    RRSIM_CHECK(steps_[i - 1].second != steps_[i].second,
+                "profile not canonical: adjacent segments share a level");
+  }
+}
+
+void Profile::debug_break_canonical() {
+  steps_.emplace_back(steps_.back().first + 1.0, steps_.back().second);
+}
+#endif
 
 void Profile::reserve(Time start, Time duration, int nodes) {
   if (start < 0.0 || duration <= 0.0 || nodes < 1) {
@@ -152,6 +177,9 @@ void Profile::reset() {
   steps_.clear();
   steps_.emplace_back(0.0, total_);
   hint_ = 0;
+#if RRSIM_VALIDATE_ENABLED
+  debug_validate();
+#endif
 }
 
 void Profile::prune_before(Time t) {
@@ -163,6 +191,9 @@ void Profile::prune_before(Time t) {
   steps_.erase(steps_.begin(),
                steps_.begin() + static_cast<std::ptrdiff_t>(i));
   hint_ = 0;
+#if RRSIM_VALIDATE_ENABLED
+  debug_validate();
+#endif
 }
 
 bool Profile::future_equals(const Profile& other, Time from) const {

@@ -23,7 +23,50 @@ void ClusterScheduler::reset() {
   running_.clear();
   predictions_.clear();
   known_ids_.clear();
+#if RRSIM_VALIDATE_ENABLED
+  debug_validate();
+#endif
 }
+
+#if RRSIM_VALIDATE_ENABLED
+void ClusterScheduler::validate_op(JobId touched, JobState expected) const {
+  RRSIM_CHECK(free_nodes_ >= 0 && free_nodes_ <= total_nodes_,
+              "scheduler free-node count outside [0, total]");
+  int allocated = 0;
+  for (const auto& [id, job] : running_) allocated += job.nodes;
+  RRSIM_CHECK(free_nodes_ == total_nodes_ - allocated,
+              "scheduler free-node count disagrees with the running set");
+  const JobState* state = known_ids_.find(touched);
+  RRSIM_CHECK(state != nullptr && *state == expected,
+              "lifecycle index disagrees with the operation just applied");
+  const bool in_running = running_.find(touched) != running_.end();
+  RRSIM_CHECK(in_running == (expected == JobState::kRunning),
+              "running set membership disagrees with lifecycle state");
+}
+
+void ClusterScheduler::debug_validate() const {
+  RRSIM_CHECK(free_nodes_ >= 0 && free_nodes_ <= total_nodes_,
+              "scheduler free-node count outside [0, total]");
+  int allocated = 0;
+  for (const auto& [id, job] : running_) {
+    allocated += job.nodes;
+    const JobState* state = known_ids_.find(id);
+    RRSIM_CHECK(state != nullptr && *state == JobState::kRunning,
+                "job in the running set is not kRunning in the lifecycle "
+                "index");
+  }
+  RRSIM_CHECK(free_nodes_ == total_nodes_ - allocated,
+              "scheduler free-node count disagrees with the running set");
+  known_ids_.for_each([this](const JobId& id, const JobState& state) {
+    const bool in_running = running_.find(id) != running_.end();
+    RRSIM_CHECK(in_running == (state == JobState::kRunning),
+                "running set membership disagrees with lifecycle state");
+  });
+  pending_per_user_.for_each([](const UserId&, const int& count) {
+    RRSIM_CHECK(count >= 0, "negative per-user pending count");
+  });
+}
+#endif
 
 void ClusterScheduler::set_per_user_pending_limit(std::optional<int> limit) {
   if (limit && *limit < 0) {
@@ -52,7 +95,19 @@ bool ClusterScheduler::submit(Job job) {
   job.state = JobState::kPending;
   ++counters_.submits;
   ++pending_per_user_[job.user];
+#if RRSIM_VALIDATE_ENABLED
+  const JobId submitted_id = job.id;
+#endif
   handle_submit(std::move(job));
+#if RRSIM_VALIDATE_ENABLED
+  // handle_submit may have already started the job (empty queue + free
+  // nodes), finished it (zero-ish runtimes do not exist, so no), or
+  // declined it; accept whatever lifecycle state it reached, but the
+  // accounting and membership agreement must hold regardless.
+  const JobState* reached = known_ids_.find(submitted_id);
+  RRSIM_CHECK(reached != nullptr, "submitted job vanished from lifecycle");
+  validate_op(submitted_id, *reached);
+#endif
   return true;
 }
 
@@ -71,6 +126,9 @@ bool ClusterScheduler::cancel(JobId id) {
   known_ids_.at(id) = JobState::kCancelled;
   ++counters_.cancels;
   --pending_per_user_[job.user];
+#if RRSIM_VALIDATE_ENABLED
+  validate_op(id, JobState::kCancelled);
+#endif
   if (callbacks_.on_cancelled) callbacks_.on_cancelled(job);
   return true;
 }
@@ -85,6 +143,9 @@ bool ClusterScheduler::try_start(Job job) {
   if (callbacks_.on_grant && !callbacks_.on_grant(job)) {
     ++counters_.declines;
     known_ids_[job.id] = JobState::kDeclined;
+#if RRSIM_VALIDATE_ENABLED
+    validate_op(job.id, JobState::kDeclined);
+#endif
     return false;
   }
   job.state = JobState::kRunning;
@@ -98,6 +159,9 @@ bool ClusterScheduler::try_start(Job job) {
   sim_.schedule_at(
       job.finish_time, [this, id] { complete_job(id); },
       des::Priority::kCompletion);
+#if RRSIM_VALIDATE_ENABLED
+  validate_op(id, JobState::kRunning);
+#endif
   // Pass the local copy, not running_.at(id): the callback may start or
   // cancel other jobs, and the flat running set relocates on mutation.
   if (callbacks_.on_start) callbacks_.on_start(job);
@@ -115,6 +179,9 @@ void ClusterScheduler::complete_job(JobId id) {
   known_ids_[id] = JobState::kFinished;
   free_nodes_ += job.nodes;
   ++counters_.finishes;
+#if RRSIM_VALIDATE_ENABLED
+  validate_op(id, JobState::kFinished);
+#endif
   if (callbacks_.on_finish) callbacks_.on_finish(job);
   handle_completion(job);
 }

@@ -80,6 +80,9 @@ struct TraceKey {
 class TraceCache {
  public:
   using StreamPtr = std::shared_ptr<const JobStream>;
+  // rrsim-lint-allow(std-function-member): invoked once per cache miss
+  // (trace generation, milliseconds of work); the JobStream() signature
+  // rules out InlineFunction (void() only).
   using Generator = std::function<JobStream()>;
 
   TraceCache() = default;
@@ -125,6 +128,9 @@ class TraceCache {
   std::size_t resident_bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  // rrsim-lint-allow(unordered-container): lookup/insert/erase only —
+  // never iterated (eviction walks insertion_order_), so the unspecified
+  // bucket order cannot reach any output.
   std::unordered_map<std::string, StreamPtr> map_;
   std::list<std::string> insertion_order_;  // oldest first, for eviction
 };

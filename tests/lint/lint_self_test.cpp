@@ -1,0 +1,352 @@
+// Self-tests for rrsim_lint: every rule id fires on a minimal fixture,
+// stays silent on the legitimate near-miss, and the allow/bare-allow
+// annotation contract behaves as documented.
+//
+// Fixtures are raw string literals. The linter strips string contents
+// before scanning, so when rrsim_lint_repo gates this very file the
+// fixtures are invisible — the self-test cannot trip the repo gate.
+#include "linter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rrsim::lint {
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+std::vector<Finding> lint(std::string_view text,
+                          Category cat = Category::kSrc) {
+  return lint_source("fixture.cpp", text, cat);
+}
+
+TEST(LintRules, CleanSourceHasNoFindings) {
+  const auto findings = lint(R"fix(
+#include <vector>
+namespace rrsim {
+constexpr int kMax = 8;
+void tick(double now) {
+  std::vector<int> v;
+  v.push_back(static_cast<int>(now));
+}
+}  // namespace rrsim
+)fix");
+  EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected findings";
+}
+
+TEST(LintRules, UnorderedContainerFires) {
+  const auto findings = lint(R"fix(
+void f() {
+  std::unordered_map<int, int> m;
+  (void)m;
+}
+)fix");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-container");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[0].file, "fixture.cpp");
+}
+
+TEST(LintRules, UnorderedContainerFiresInEveryCategory) {
+  const std::string fixture = R"fix(
+void f() { std::unordered_set<int> s; (void)s; }
+)fix";
+  for (const Category cat :
+       {Category::kSrc, Category::kBench, Category::kTests}) {
+    const auto findings = lint(fixture, cat);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "unordered-container");
+  }
+}
+
+TEST(LintRules, WallClockFiresInSrcOnly) {
+  const std::string fixture = R"fix(
+void f() {
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+}
+)fix";
+  const auto src = lint(fixture, Category::kSrc);
+  ASSERT_EQ(src.size(), 1u);
+  EXPECT_EQ(src[0].rule, "wall-clock");
+  EXPECT_TRUE(lint(fixture, Category::kBench).empty());
+  EXPECT_TRUE(lint(fixture, Category::kTests).empty());
+}
+
+TEST(LintRules, WallClockCatchesBareTimeCall) {
+  const auto findings = lint(R"fix(
+void f() {
+  long t = time(nullptr);
+  (void)t;
+}
+)fix");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+}
+
+TEST(LintRules, WallClockIgnoresMembersAndDeclarations) {
+  EXPECT_TRUE(lint(R"fix(
+struct Clock { double time(); };
+double probe(Clock& c) { return c.time(); }
+double when(Clock* c) { return c->time(); }
+des::Time time(int ticks);
+)fix").empty());
+}
+
+TEST(LintRules, AmbientRngFiresEverywhere) {
+  const std::string fixture = R"fix(
+void f() {
+  std::random_device rd;
+  srand(42);
+  int r = rand();
+  (void)rd;
+  (void)r;
+}
+)fix";
+  const auto findings = lint(fixture, Category::kTests);
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].rule, "ambient-rng");  // random_device, line 3
+  EXPECT_EQ(findings[1].rule, "ambient-rng");  // srand, line 4
+  EXPECT_EQ(findings[2].rule, "ambient-rng");  // rand(), line 5
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[2].line, 5);
+}
+
+TEST(LintRules, AmbientRngIgnoresMemberNamedRand) {
+  EXPECT_TRUE(lint(R"fix(
+double draw(util::Rng& rng) { return rng.rand(); }
+)fix").empty());
+}
+
+TEST(LintRules, UnseededShuffleFires) {
+  const auto findings = lint(R"fix(
+void f(std::vector<int>& v) {
+  std::shuffle(v.begin(), v.end(), bits);
+}
+)fix");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unseeded-shuffle");
+}
+
+TEST(LintRules, SeededShuffleIsSilent) {
+  EXPECT_TRUE(lint(R"fix(
+void f(std::vector<int>& v, std::mt19937& gen) {
+  std::shuffle(v.begin(), v.end(), gen);
+}
+void g(std::vector<int>& v, util::Rng& rng) {
+  std::shuffle(v.begin(), v.end(), rng.engine());
+}
+)fix").empty());
+}
+
+TEST(LintRules, PointerKeyFires) {
+  const auto keyed = lint(R"fix(
+void f() { std::map<Widget*, int> by_ptr; (void)by_ptr; }
+)fix");
+  ASSERT_EQ(keyed.size(), 1u);
+  EXPECT_EQ(keyed[0].rule, "pointer-key");
+
+  const auto comparator = lint(R"fix(
+using Cmp = std::less<Widget*>;
+)fix");
+  ASSERT_EQ(comparator.size(), 1u);
+  EXPECT_EQ(comparator[0].rule, "pointer-key");
+}
+
+TEST(LintRules, PointerValueIsSilent) {
+  EXPECT_TRUE(lint(R"fix(
+void f() { util::FlatHashMap<std::uint64_t, Widget*> by_id; (void)by_id; }
+)fix").empty());
+}
+
+TEST(LintRules, MutableGlobalFiresInSrcOnly) {
+  const std::string fixture = R"fix(
+namespace rrsim {
+int counter = 0;
+}  // namespace rrsim
+)fix";
+  const auto src = lint(fixture, Category::kSrc);
+  ASSERT_EQ(src.size(), 1u);
+  EXPECT_EQ(src[0].rule, "mutable-global");
+  EXPECT_EQ(src[0].line, 3);
+  EXPECT_TRUE(lint(fixture, Category::kTests).empty());
+}
+
+TEST(LintRules, MutableGlobalIgnoresConstantsLocalsAndMembers) {
+  EXPECT_TRUE(lint(R"fix(
+namespace rrsim {
+constexpr int kLimit = 4;
+const double kPi = 3.14159;
+using Id = std::uint64_t;
+extern int declared_elsewhere;
+void helper(int x);
+class Holder {
+  int member_ = 0;
+};
+void f() {
+  int local = 0;
+  (void)local;
+}
+}  // namespace rrsim
+)fix").empty());
+}
+
+TEST(LintRules, StdFunctionMemberFiresInSrcOnly) {
+  const std::string fixture = R"fix(
+class Widget {
+ public:
+  void set_callback(std::function<void()> cb);
+ private:
+  std::function<void()> cb_;
+};
+)fix";
+  const auto src = lint(fixture, Category::kSrc);
+  ASSERT_EQ(src.size(), 1u);  // the member, not the parameter
+  EXPECT_EQ(src[0].rule, "std-function-member");
+  EXPECT_EQ(src[0].line, 6);
+  EXPECT_TRUE(lint(fixture, Category::kTests).empty());
+}
+
+// --- the allow annotation contract ---------------------------------------
+
+TEST(LintAllows, JustifiedAllowSuppresses) {
+  EXPECT_TRUE(lint(R"fix(
+void f() {
+  // rrsim-lint-allow(unordered-container): fixture exercises legacy path.
+  std::unordered_map<int, int> m;
+  (void)m;
+}
+)fix").empty());
+}
+
+TEST(LintAllows, WrappedJustificationStillCoversDeclaration) {
+  // Consecutive // lines merge into one block; the declaration directly
+  // below the block is covered even though the tag is two lines up.
+  EXPECT_TRUE(lint(R"fix(
+void f() {
+  // rrsim-lint-allow(unordered-container): a justification long enough
+  // to wrap onto a second comment line, which must still cover the
+  // declaration underneath the whole block.
+  std::unordered_map<int, int> m;
+  (void)m;
+}
+)fix").empty());
+}
+
+TEST(LintAllows, AllowDoesNotLeakPastTheNextLine) {
+  const auto findings = lint(R"fix(
+void f() {
+  // rrsim-lint-allow(unordered-container): only covers the next line.
+  std::unordered_map<int, int> covered;
+  std::unordered_map<int, int> not_covered;
+  (void)covered;
+  (void)not_covered;
+}
+)fix");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-container");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(LintAllows, MissingJustificationIsBareAllowAndDoesNotSuppress) {
+  const auto findings = lint(R"fix(
+void f() {
+  // rrsim-lint-allow(unordered-container)
+  std::unordered_map<int, int> m;
+  (void)m;
+}
+)fix");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "bare-allow");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[1].rule, "unordered-container");
+  EXPECT_EQ(findings[1].line, 4);
+}
+
+TEST(LintAllows, UnknownRuleIsBareAllow) {
+  const auto findings = lint(R"fix(
+// rrsim-lint-allow(no-such-rule): justified but names nothing.
+int x = 0;
+)fix", Category::kTests);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "bare-allow");
+  EXPECT_NE(findings[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(LintAllows, MultiRuleAllowSuppressesAllNamedRules) {
+  EXPECT_TRUE(lint(R"fix(
+void f() {
+  // rrsim-lint-allow(unordered-container, pointer-key): fixture needs both.
+  std::unordered_map<Widget*, int> m;
+  (void)m;
+}
+)fix").empty());
+}
+
+// --- stripping, categories, rule table -----------------------------------
+
+TEST(LintInfra, StringAndCommentContentsAreInvisible) {
+  EXPECT_TRUE(lint(R"fix(
+// std::unordered_map mentioned in a comment is not a finding.
+void f() {
+  const char* s = "std::unordered_map<int, int>";
+  (void)s;
+}
+)fix").empty());
+}
+
+TEST(LintInfra, CategoryForPathMatchesComponents) {
+  EXPECT_EQ(category_for_path("src/des/simulation.cpp"), Category::kSrc);
+  EXPECT_EQ(category_for_path("bench/micro_kernel.cpp"), Category::kBench);
+  EXPECT_EQ(category_for_path("tests/grid/gateway_test.cpp"),
+            Category::kTests);
+  // Rightmost component wins.
+  EXPECT_EQ(category_for_path("src/foo/tests/bar.cpp"), Category::kTests);
+  // Whole-component match only; unknown trees get the strictest rules.
+  EXPECT_EQ(category_for_path("benches/thing.cpp"), Category::kSrc);
+  EXPECT_EQ(category_for_path("misc/thing.cpp"), Category::kSrc);
+}
+
+TEST(LintInfra, RuleTableIsConsistent) {
+  const auto& rules = rule_table();
+  ASSERT_FALSE(rules.empty());
+  for (const RuleInfo& r : rules) {
+    EXPECT_TRUE(rule_exists(r.id));
+  }
+  EXPECT_TRUE(rule_exists("unordered-container"));
+  EXPECT_TRUE(rule_exists("bare-allow"));
+  EXPECT_FALSE(rule_exists("no-such-rule"));
+}
+
+TEST(LintInfra, LintFileReportsUnreadablePaths) {
+  std::vector<Finding> out;
+  EXPECT_FALSE(lint_file("/nonexistent/rrsim/missing.cpp", nullptr, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LintInfra, FindingsAreSortedByLine) {
+  const auto findings = lint(R"fix(
+void f() {
+  std::unordered_map<int, int> second;
+  (void)second;
+}
+namespace rrsim {
+int global = 0;
+}
+)fix");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_LT(findings[0].line, findings[1].line);
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"unordered-container",
+                                      "mutable-global"}));
+}
+
+}  // namespace
+}  // namespace rrsim::lint

@@ -1,0 +1,80 @@
+// rrsim_lint — determinism lint for the rrsim tree.
+//
+// The repo's load-bearing guarantee is that campaign/sweep outputs are
+// bit-identical across worker counts, kernel rewrites and cache hits.
+// Nothing *static* protected that guarantee: a PR could iterate an
+// unordered container into a reduction, read the wall clock inside a
+// simulation path, or key a map on a pointer, and the golden tests would
+// only catch it if they happened to exercise the corrupted ordering.
+// This linter is a dependency-free token/AST-lite scanner that bans the
+// hazard patterns outright; intentional exceptions are annotated in the
+// source with
+//
+//     // rrsim-lint-allow(<rule>[, <rule>...]): <justification>
+//
+// which suppresses the named rules on the comment's lines and on the
+// line below it (consecutive // lines merge into one block, so wrapped
+// justifications still cover the declaration underneath). The
+// justification is mandatory — a bare allow is itself a finding — so
+// every suppression documents *why* the hazard is not one.
+//
+// The scanner is deliberately conservative (it cannot prove an unordered
+// container is never iterated, so it bans the type in checked trees) and
+// deliberately simple: it strips comments/strings, tokenizes, and tracks
+// just enough scope structure (namespace / class / function braces) to
+// tell a namespace-scope variable from a local and a data member from a
+// parameter. No compiler, no build graph, no third-party code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rrsim::lint {
+
+/// Which tree a file belongs to. Some rules are scoped: wall-clock reads
+/// and mutable globals are hazards in the simulator itself (src/), while
+/// benches time themselves with steady_clock by design and tests create
+/// fixtures freely.
+enum class Category {
+  kSrc,    ///< simulator sources — all rules apply
+  kBench,  ///< benchmark harnesses — timing and fixtures allowed
+  kTests,  ///< test sources — fixtures allowed
+};
+
+/// One lint hit.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// All rule ids with one-line summaries (for --list-rules and for
+/// validating rrsim-lint-allow annotations).
+const std::vector<RuleInfo>& rule_table();
+
+/// True if `rule` names a known rule id.
+bool rule_exists(std::string_view rule);
+
+/// Infers the category from path components ("src" / "bench" / "tests");
+/// the rightmost match wins, unknown trees get the strictest treatment.
+Category category_for_path(const std::string& path);
+
+/// Lints one translation unit given as text. `path` is used only for
+/// reporting. Findings are ordered by line.
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view text, Category category);
+
+/// Reads and lints a file, inferring the category from its path unless
+/// `forced` is non-null. Returns false (and reports nothing) if the file
+/// cannot be read.
+bool lint_file(const std::string& path, const Category* forced,
+               std::vector<Finding>& out);
+
+}  // namespace rrsim::lint

@@ -1,0 +1,119 @@
+// rrsim_lint CLI.
+//
+// Usage:
+//   rrsim_lint [--treat-as=src|bench|tests] <path>...   lint files/trees
+//   rrsim_lint --list-rules                             print rule table
+//
+// Directories are walked recursively in sorted order (deterministic
+// output); only C++ sources/headers are linted. Exit status is 1 if any
+// unsuppressed finding was reported, 2 on usage/IO errors, 0 otherwise.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "linter.h"
+
+namespace fs = std::filesystem;
+using rrsim::lint::Category;
+using rrsim::lint::Finding;
+
+namespace {
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp" || ext == ".hh";
+}
+
+void collect(const fs::path& root, std::vector<std::string>& files) {
+  if (fs::is_regular_file(root)) {
+    files.push_back(root.string());
+    return;
+  }
+  if (!fs::is_directory(root)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+      files.push_back(entry.path().string());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Category* forced = nullptr;
+  Category forced_storage = Category::kSrc;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : rrsim::lint::rule_table()) {
+        std::printf("%-20s %s\n", r.id, r.summary);
+      }
+      return 0;
+    }
+    if (arg.rfind("--treat-as=", 0) == 0) {
+      const std::string cat = arg.substr(11);
+      if (cat == "src") {
+        forced_storage = Category::kSrc;
+      } else if (cat == "bench") {
+        forced_storage = Category::kBench;
+      } else if (cat == "tests") {
+        forced_storage = Category::kTests;
+      } else {
+        std::fprintf(stderr, "rrsim_lint: unknown category '%s'\n",
+                     cat.c_str());
+        return 2;
+      }
+      forced = &forced_storage;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rrsim_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+    roots.push_back(arg);
+  }
+
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: rrsim_lint [--treat-as=src|bench|tests] <path>...\n"
+                 "       rrsim_lint --list-rules\n");
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "rrsim_lint: no such path: %s\n", root.c_str());
+      return 2;
+    }
+    collect(root, files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  int io_errors = 0;
+  for (const std::string& file : files) {
+    if (!rrsim::lint::lint_file(file, forced, findings)) {
+      std::fprintf(stderr, "rrsim_lint: cannot read %s\n", file.c_str());
+      ++io_errors;
+    }
+  }
+
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("rrsim_lint: %zu finding(s) in %zu file(s) scanned\n",
+                findings.size(), files.size());
+  }
+  if (io_errors != 0) return 2;
+  return findings.empty() ? 0 : 1;
+}
