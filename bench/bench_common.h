@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cinttypes>
+#include <cstddef>
 #include <cstdio>
 #include <ctime>
 #include <exception>
@@ -77,11 +78,28 @@ inline void sweep_summary(int jobs) {
       static_cast<double>(cache.resident_bytes()) / (1024.0 * 1024.0));
 }
 
+/// Peak resident set size of this process so far, in bytes (VmHWM from
+/// /proc/self/status — the kernel's high-water mark, which survives
+/// frees). 0 on platforms without procfs. This is the ground truth the
+/// model-level live_state_bytes accounting is judged against.
+inline std::size_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::size_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kib) == 1) break;
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
 /// Writes the execution-environment fields every BENCH_*.json record
 /// carries (trailing comma included): the machine's hardware concurrency,
-/// the worker count actually used, and a UTC timestamp. PR 1's record was
-/// taken on a 1-core box with no way to tell from the JSON — these fields
-/// make perf records comparable across machines and time.
+/// the worker count actually used, the process's peak RSS at write time,
+/// and a UTC timestamp. PR 1's record was taken on a 1-core box with no
+/// way to tell from the JSON — these fields make perf records comparable
+/// across machines and time.
 inline void write_json_env_fields(std::FILE* f, int jobs_used) {
   char stamp[32] = "unknown";
   const std::time_t now = std::time(nullptr);
@@ -92,8 +110,10 @@ inline void write_json_env_fields(std::FILE* f, int jobs_used) {
   std::fprintf(f,
                "  \"hardware_concurrency\": %u,\n"
                "  \"jobs_used\": %d,\n"
+               "  \"peak_rss_bytes\": %zu,\n"
                "  \"timestamp_utc\": \"%s\",\n",
-               std::thread::hardware_concurrency(), jobs_used, stamp);
+               std::thread::hardware_concurrency(), jobs_used,
+               peak_rss_bytes(), stamp);
 }
 
 /// Runs `fn()` with top-level exception reporting; returns the process

@@ -1,0 +1,249 @@
+// Grid-scale memory/throughput benchmark and perf record.
+//
+// Runs the same calibrated campaign point in both record modes — retained
+// (the figure pipelines' default: every JobRecord kept) and streaming
+// (retain_records = false: per-finish accumulator, per-cluster arrival
+// pumps) — at increasing scale, and records for each run the model-level
+// live-state accounting *and* the process's peak RSS. Each measurement
+// runs in its own child process (re-exec via /proc/self/exe), so VmHWM is
+// the high-water of exactly one mode at one scale, not of everything the
+// harness ran before it.
+//
+// The guard asserted on every pair: both modes must report the identical
+// average stretch (the streaming engine's bit-identity contract) and the
+// identical job count. The headline numbers: peak-RSS ratio (retained /
+// streaming — the point of the streaming engine) and the throughput delta
+// (streaming must not cost event rate).
+//
+//   ./micro_scale [--points=3] [--hours-scale=1.0]
+//                 [--out=BENCH_scale.json] plus common flags.
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "rrsim/core/experiment.h"
+#include "rrsim/metrics/summary.h"
+
+namespace {
+
+using namespace rrsim;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One campaign point: calibrated steady-state load (drains fast, so the
+/// run is submission-bound, not backlog-bound), fixed-degree redundancy on
+/// half the jobs — the shape of the paper's mitigation studies, scaled up.
+core::ExperimentConfig scale_config(std::size_t clusters, double hours,
+                                    bool streaming) {
+  core::ExperimentConfig c;
+  c.n_clusters = clusters;
+  c.nodes_per_cluster = 128;
+  c.load_mode = core::LoadMode::kCalibrated;
+  c.target_utilization = 0.7;
+  c.submit_horizon = hours * 3600.0;
+  c.scheme = core::RedundancyScheme::fixed(3);
+  c.redundant_fraction = 0.5;
+  c.retain_records = !streaming;
+  c.seed = 1;
+  return c;
+}
+
+struct ChildResult {
+  std::size_t jobs = 0;
+  double elapsed_s = 0.0;
+  double avg_stretch = 0.0;
+  std::size_t live_state_bytes = 0;
+  std::size_t peak_rss = 0;
+  std::uint64_t ops = 0;
+};
+
+/// Child mode: run one experiment, print one machine-readable line.
+int run_child(const util::Cli& cli) {
+  const auto clusters =
+      static_cast<std::size_t>(cli.get_int("clusters", 4));
+  const double hours = cli.get_double("hours", 0.5);
+  const bool streaming = cli.get_bool("streaming", false);
+  const core::ExperimentConfig config =
+      scale_config(clusters, hours, streaming);
+
+  const auto start = Clock::now();
+  const core::SimResult result = core::run_experiment(config);
+  const double elapsed = seconds_since(start);
+
+  const metrics::ScheduleMetrics m =
+      result.streamed ? result.stream.metrics()
+                      : metrics::compute_metrics(result.records);
+  const std::uint64_t ops = result.ops.submits + result.ops.starts +
+                            result.ops.finishes + result.ops.cancels +
+                            result.ops.sched_passes;
+  std::printf("SCALE jobs=%zu elapsed=%.6f stretch=%.17g live=%zu rss=%zu "
+              "ops=%" PRIu64 "\n",
+              static_cast<std::size_t>(result.jobs_generated), elapsed,
+              m.avg_stretch, result.live_state_bytes,
+              rrsim::bench::peak_rss_bytes(), ops);
+  return 0;
+}
+
+/// Runs one (clusters, hours, mode) measurement in a fresh child process
+/// and parses its SCALE line. Child stderr passes through to ours.
+/// The /proc/self/exe link must be resolved *here*: popen's child is a
+/// shell, in which the link points at the shell, not at this binary.
+ChildResult run_point(std::size_t clusters, double hours, bool streaming) {
+  char self[512];
+  const ssize_t n = readlink("/proc/self/exe", self, sizeof self - 1);
+  if (n <= 0) throw std::runtime_error("cannot resolve own binary path");
+  self[n] = '\0';
+  char cmd[768];
+  std::snprintf(cmd, sizeof cmd,
+                "'%s' --scale-child --clusters=%zu --hours=%.4f "
+                "--streaming=%d",
+                self, clusters, hours, streaming ? 1 : 0);
+  std::FILE* pipe = popen(cmd, "r");
+  if (pipe == nullptr) {
+    throw std::runtime_error("cannot spawn child measurement process");
+  }
+  ChildResult r;
+  bool parsed = false;
+  char line[512];
+  while (std::fgets(line, sizeof line, pipe) != nullptr) {
+    if (std::sscanf(line,
+                    "SCALE jobs=%zu elapsed=%lf stretch=%lf live=%zu "
+                    "rss=%zu ops=%" SCNu64,
+                    &r.jobs, &r.elapsed_s, &r.avg_stretch,
+                    &r.live_state_bytes, &r.peak_rss, &r.ops) == 6) {
+      parsed = true;
+    }
+  }
+  const int status = pclose(pipe);
+  if (status != 0 || !parsed) {
+    throw std::runtime_error("child measurement failed (clusters=" +
+                             std::to_string(clusters) + ")");
+  }
+  return r;
+}
+
+struct Point {
+  std::size_t clusters;
+  double hours;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rrsim::bench::run_harness([&] {
+    const util::Cli cli(argc, argv);
+    if (cli.get_bool("scale-child", false)) {
+      std::exit(run_child(cli));
+    }
+    // Hours per point chosen so calibrated 0.7-utilization Lublin streams
+    // generate ~10^4 / ~10^5 / ~10^6 grid jobs; --hours-scale shrinks or
+    // stretches every point (the ctest smoke uses a small fraction).
+    const double hscale = cli.get_double("hours-scale", 1.0);
+    const auto n_points =
+        static_cast<std::size_t>(cli.get_int("points", 3));
+    const std::string out_path = cli.get_string("out", "BENCH_scale.json");
+    // Calibrated 0.7-utilization Lublin streams generate ~100 jobs per
+    // cluster-hour on 128 nodes, so these horizons land at ~10^4, ~10^5
+    // and ~10^6 grid jobs.
+    const std::array<Point, 3> all_points{
+        Point{4, 25.0 * hscale},
+        Point{16, 62.5 * hscale},
+        Point{64, 156.25 * hscale},
+    };
+    if (n_points < 1 || n_points > all_points.size()) {
+      throw std::invalid_argument("--points must be 1..3");
+    }
+
+    std::printf("=== micro_scale - memory-budgeted grid-scale campaigns "
+                "===\n");
+    std::printf("retained vs streaming record modes, one child process per "
+                "measurement\n\n");
+    std::printf("%9s %9s | %9s %9s %9s | %9s %9s %9s | %7s %7s\n", "clusters",
+                "jobs", "ret s", "ret live", "ret rss", "str s", "str live",
+                "str rss", "rss x", "d thr");
+
+    struct Row {
+      Point p;
+      ChildResult retained;
+      ChildResult streaming;
+    };
+    std::vector<Row> rows;
+    for (std::size_t i = 0; i < n_points; ++i) {
+      const Point p = all_points[i];
+      Row row{p, run_point(p.clusters, p.hours, false),
+              run_point(p.clusters, p.hours, true)};
+      const ChildResult& ret = row.retained;
+      const ChildResult& str = row.streaming;
+      // The bit-identity guard: same schedule, same metrics, both modes.
+      if (ret.jobs != str.jobs || ret.avg_stretch != str.avg_stretch) {
+        throw std::runtime_error(
+            "equivalence violation: retained and streaming modes disagree");
+      }
+      const double rss_ratio = static_cast<double>(ret.peak_rss) /
+                               static_cast<double>(str.peak_rss);
+      const double thr_delta =
+          (static_cast<double>(str.ops) / str.elapsed_s) /
+              (static_cast<double>(ret.ops) / ret.elapsed_s) -
+          1.0;
+      std::printf(
+          "%9zu %9zu | %9.2f %8.1fM %8.1fM | %9.2f %8.1fM %8.1fM | "
+          "%6.2fx %6.1f%%\n",
+          p.clusters, ret.jobs, ret.elapsed_s,
+          static_cast<double>(ret.live_state_bytes) / 1048576.0,
+          static_cast<double>(ret.peak_rss) / 1048576.0, str.elapsed_s,
+          static_cast<double>(str.live_state_bytes) / 1048576.0,
+          static_cast<double>(str.peak_rss) / 1048576.0, rss_ratio,
+          100.0 * thr_delta);
+      rows.push_back(row);
+    }
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) throw std::runtime_error("cannot write " + out_path);
+    std::fprintf(f, "{\n  \"benchmark\": \"micro_scale\",\n");
+    rrsim::bench::write_json_env_fields(f, 1);
+    std::fprintf(f,
+                 "  \"utilization\": 0.7,\n"
+                 "  \"scheme\": \"fixed3 p=0.5\",\n"
+                 "  \"equivalence_checked\": true,\n"
+                 "  \"points\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(
+          f,
+          "    {\"clusters\": %zu, \"hours\": %.4f, \"jobs\": %zu,\n"
+          "     \"retained\": {\"seconds\": %.4f, \"live_state_bytes\": "
+          "%zu, \"peak_rss_bytes\": %zu, \"ops\": %" PRIu64 "},\n"
+          "     \"streaming\": {\"seconds\": %.4f, \"live_state_bytes\": "
+          "%zu, \"peak_rss_bytes\": %zu, \"ops\": %" PRIu64 "},\n"
+          "     \"rss_ratio\": %.4f, \"throughput_delta\": %.4f}%s\n",
+          row.p.clusters, row.p.hours, row.retained.jobs,
+          row.retained.elapsed_s, row.retained.live_state_bytes,
+          row.retained.peak_rss, row.retained.ops, row.streaming.elapsed_s,
+          row.streaming.live_state_bytes, row.streaming.peak_rss,
+          row.streaming.ops,
+          static_cast<double>(row.retained.peak_rss) /
+              static_cast<double>(row.streaming.peak_rss),
+          (static_cast<double>(row.streaming.ops) / row.streaming.elapsed_s) /
+                  (static_cast<double>(row.retained.ops) /
+                   row.retained.elapsed_s) -
+              1.0,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nperf record written to %s\n", out_path.c_str());
+  });
+}

@@ -1,6 +1,7 @@
 #include "rrsim/core/experiment.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -146,6 +147,14 @@ SimResult run_experiment(const ExperimentConfig& config,
           config.per_user_pending_limit);
     }
   }
+  // Streaming runs keep the schedulers' per-job tables O(live jobs): the
+  // gateway never reuses replica ids, so terminal lifecycle entries (and
+  // their submit-time predictions) can be dropped as they occur. Retained
+  // runs keep the historical full-lifecycle tables (set explicitly, not
+  // left to reset(), so a reused workspace is deterministic either way).
+  for (std::size_t i = 0; i < platform.size(); ++i) {
+    platform.scheduler(i).set_forget_terminal_ids(!config.retain_records);
+  }
   std::vector<std::unique_ptr<grid::MiddlewareStation>> stations;
   if (config.middleware_ops_per_sec > 0.0) {
     std::vector<grid::MiddlewareStation*> raw;
@@ -159,21 +168,28 @@ SimResult run_experiment(const ExperimentConfig& config,
   const auto placement = grid::make_placement(config.placement);
   const auto estimator = workload::make_estimator(config.estimator);
 
-  // --- Generate job streams and grid jobs -------------------------------
+  // --- Generate job streams ---------------------------------------------
   util::Rng redundancy_rng = master.fork(kStreamRedundancy);
   util::Rng users_rng = master.fork(kStreamUsers);
   auto placement_rng =
       std::make_unique<util::Rng>(master.fork(kStreamPlacement));
-  std::vector<grid::GridJob>& jobs = workspace.jobs_;
-  jobs.clear();
-  grid::GridJobId next_id = 1;
+  // Streams for all clusters are resolved up front, shared by both record
+  // modes. Fork order is unchanged from the historical single loop: the
+  // workload/estimator substreams fork in cluster order here, and the
+  // user/redundancy draws below consume their own already-forked streams.
+  struct ClusterStream {
+    workload::TraceCache::StreamPtr shared;  // Lublin path (memoized)
+    workload::JobStream own;                 // SWF path
+    const workload::JobStream& get() const noexcept {
+      return shared ? *shared : own;
+    }
+  };
+  std::vector<ClusterStream> streams(config.n_clusters);
   for (std::size_t i = 0; i < config.n_clusters; ++i) {
     util::Rng stream_rng = master.fork(kStreamWorkloadBase + i);
     util::Rng est_rng = master.fork(kStreamEstimatorBase + i);
-    workload::TraceCache::StreamPtr shared_stream;  // Lublin path
-    workload::JobStream own_stream;                 // SWF path
     if (!config.trace_files.empty()) {
-      own_stream = workload::read_swf_file(
+      workload::JobStream own_stream = workload::read_swf_file(
           config.trace_files[i % config.trace_files.size()]);
       // Shift to t=0, drop jobs that cannot run here, cut at the horizon.
       const double t0 =
@@ -186,7 +202,7 @@ SimResult run_experiment(const ExperimentConfig& config,
         if (spec.nodes > cluster_configs[i].nodes) continue;
         filtered.push_back(spec);
       }
-      own_stream = std::move(filtered);
+      streams[i].own = std::move(filtered);
     } else {
       // Memoized: sweep points sharing (seed, params, shape) — the common-
       // random-number pairing every figure uses — generate this stream
@@ -195,7 +211,7 @@ SimResult run_experiment(const ExperimentConfig& config,
       const workload::TraceKey key = workload::TraceKey::of(
           cluster_configs[i].workload, cluster_configs[i].nodes,
           config.submit_horizon, stream_rng, est_rng, *estimator);
-      shared_stream = workload::TraceCache::global().get_or_generate(
+      streams[i].shared = workload::TraceCache::global().get_or_generate(
           key, [&]() {
             const workload::LublinModel model(cluster_configs[i].workload,
                                               cluster_configs[i].nodes);
@@ -205,60 +221,161 @@ SimResult run_experiment(const ExperimentConfig& config,
             return s;
           });
     }
-    const workload::JobStream& stream =
-        shared_stream ? *shared_stream : own_stream;
-    for (const workload::JobSpec& spec : stream) {
-      grid::GridJob job;
-      job.id = next_id++;
-      job.origin = i;
-      job.user = static_cast<sched::UserId>(
-          i * 4096 +
-          users_rng.below(static_cast<std::uint64_t>(
-              config.users_per_cluster)));
-      job.spec = spec;
-      job.redundant = !config.scheme.is_none() &&
-                      redundancy_rng.chance(config.redundant_fraction);
-      job.targets = {i};
-      jobs.push_back(std::move(job));
-    }
   }
-  // Record storage sized once: every generated job finishes exactly once
-  // under drain, so this is the exact final size (an upper bound under
-  // truncation) and the per-finish push_back never reallocates.
-  gateway.reserve_records(jobs.size());
+  std::size_t jobs_generated = 0;
+  for (const ClusterStream& cs : streams) jobs_generated += cs.get().size();
 
-  // --- Schedule arrivals --------------------------------------------------
-  // Remote targets are chosen at submission time so informed placement
-  // policies (least-loaded) observe the live queue lengths; arrival events
-  // fire in deterministic order, so the placement stream stays
-  // reproducible. `jobs` is fully built before any lambda captures an
-  // element reference, and never resized afterwards.
+  // Declared before scheduling: the streaming mode's record sink points at
+  // result.stream and must outlive the run.
+  SimResult result;
+  result.streamed = !config.retain_records;
+
   const std::size_t degree = config.scheme.degree(config.n_clusters);
-  for (grid::GridJob& job : jobs) {
-    sim.schedule_at(
-        job.spec.submit_time,
-        [&gateway, &platform, &job, &placement = *placement,
-         &placement_rng = *placement_rng, degree,
-         inflation = config.remote_inflation] {
-          if (job.redundant && degree > 1) {
-            std::vector<std::size_t> lengths;
-            lengths.reserve(platform.size());
-            for (std::size_t c = 0; c < platform.size(); ++c) {
-              lengths.push_back(platform.scheduler(c).queue_length());
-            }
-            const grid::PlatformView view{platform.cluster_sizes(), lengths};
-            auto remotes =
-                placement.choose_remotes(job.origin, job.spec.nodes, view,
-                                         degree - 1, placement_rng);
-            job.targets.insert(job.targets.end(), remotes.begin(),
-                               remotes.end());
-            job.redundant = job.targets.size() > 1;
-          } else {
-            job.redundant = false;
-          }
-          gateway.submit(job, inflation);
-        },
-        des::Priority::kArrival);
+  const double inflation = config.remote_inflation;
+  // Chooses the remote targets of one redundant job at its submission
+  // instant, so informed placement policies (least-loaded) observe the
+  // live queue lengths. Shared verbatim by both arrival mechanisms below,
+  // which therefore consume the placement substream identically.
+  const auto place_job = [&platform, &placement = *placement,
+                          &placement_rng = *placement_rng,
+                          degree](grid::GridJob& job) {
+    if (job.redundant && degree > 1) {
+      std::vector<std::size_t> lengths;
+      lengths.reserve(platform.size());
+      for (std::size_t c = 0; c < platform.size(); ++c) {
+        lengths.push_back(platform.scheduler(c).queue_length());
+      }
+      const grid::PlatformView view{platform.cluster_sizes(), lengths};
+      auto remotes = placement.choose_remotes(job.origin, job.spec.nodes,
+                                              view, degree - 1,
+                                              placement_rng);
+      job.targets.insert(job.targets.end(), remotes.begin(), remotes.end());
+      job.redundant = job.targets.size() > 1;
+    } else {
+      job.redundant = false;
+    }
+  };
+
+  // Per-cluster arrival pump state (streaming mode). Draws are made up
+  // front in cluster-major job order — exactly the order the retained
+  // mode's staging loop consumes the user/redundancy substreams — at 8
+  // bytes per job instead of a staged GridJob (~150 with its target
+  // heap). Pumps then walk the memoized streams directly, keeping one
+  // in-flight arrival event per cluster instead of one per job.
+  struct Draw {
+    std::uint32_t user = 0;
+    bool redundant = false;
+  };
+  struct Pump {
+    const workload::JobStream* stream = nullptr;
+    std::size_t next = 0;        // index of the next job to submit
+    std::size_t draw_base = 0;   // first index into `draws`
+    grid::GridJobId id_base = 0;  // ids are id_base + index + 1
+    grid::GridJob scratch;       // reused submission buffer
+  };
+  std::vector<Draw> draws;
+  std::vector<Pump> pumps;
+  std::function<void(std::size_t)> pump_fire;
+
+  std::vector<grid::GridJob>& jobs = workspace.jobs_;
+  if (config.retain_records) {
+    // --- Retained mode: stage every grid job, pre-schedule every arrival.
+    jobs.clear();
+    grid::GridJobId next_id = 1;
+    for (std::size_t i = 0; i < config.n_clusters; ++i) {
+      for (const workload::JobSpec& spec : streams[i].get()) {
+        grid::GridJob job;
+        job.id = next_id++;
+        job.origin = i;
+        job.user = static_cast<sched::UserId>(
+            i * 4096 +
+            users_rng.below(static_cast<std::uint64_t>(
+                config.users_per_cluster)));
+        job.spec = spec;
+        job.redundant = !config.scheme.is_none() &&
+                        redundancy_rng.chance(config.redundant_fraction);
+        job.targets = {i};
+        jobs.push_back(std::move(job));
+      }
+    }
+    // Record storage sized once: every generated job finishes exactly once
+    // under drain, so this is the exact final size (an upper bound under
+    // truncation) and the per-finish push_back never reallocates.
+    gateway.reserve_records(jobs.size());
+
+    // Arrival events fire in deterministic order, so the placement stream
+    // stays reproducible. `jobs` is fully built before any lambda captures
+    // an element reference, and never resized afterwards.
+    for (grid::GridJob& job : jobs) {
+      sim.schedule_at(
+          job.spec.submit_time,
+          [&gateway, &place_job, &job, inflation] {
+            place_job(job);
+            gateway.submit(job, inflation);
+          },
+          des::Priority::kArrival);
+    }
+  } else {
+    // --- Streaming mode: per-cluster pumps, per-finish metric folding.
+    // Release any staging arena a previous retained run left in this
+    // workspace — keeping it warm would defeat the O(live jobs) budget.
+    std::vector<grid::GridJob>().swap(jobs);
+    gateway.set_record_sink(&result.stream);
+
+    draws.reserve(jobs_generated);
+    for (std::size_t i = 0; i < config.n_clusters; ++i) {
+      const std::size_t count = streams[i].get().size();
+      for (std::size_t j = 0; j < count; ++j) {
+        Draw d;
+        d.user = static_cast<std::uint32_t>(
+            i * 4096 +
+            users_rng.below(static_cast<std::uint64_t>(
+                config.users_per_cluster)));
+        d.redundant = !config.scheme.is_none() &&
+                      redundancy_rng.chance(config.redundant_fraction);
+        draws.push_back(d);
+      }
+    }
+    pumps.resize(config.n_clusters);
+    {
+      std::size_t base = 0;
+      for (std::size_t i = 0; i < config.n_clusters; ++i) {
+        pumps[i].stream = &streams[i].get();
+        pumps[i].draw_base = base;
+        pumps[i].id_base = static_cast<grid::GridJobId>(base);
+        base += streams[i].get().size();
+      }
+    }
+    // Fires cluster ci's next arrival, then schedules the following one.
+    // Captures locals of this call by reference; the final sim.reset()
+    // guarantees no callback survives the return.
+    pump_fire = [&gateway, &place_job, &pumps, &draws, &sim, &pump_fire,
+                 inflation](std::size_t ci) {
+      Pump& p = pumps[ci];
+      const workload::JobSpec& spec = (*p.stream)[p.next];
+      const Draw& d = draws[p.draw_base + p.next];
+      grid::GridJob& job = p.scratch;
+      job.id = p.id_base + p.next + 1;
+      job.origin = ci;
+      job.user = static_cast<sched::UserId>(d.user);
+      job.spec = spec;
+      job.redundant = d.redundant;
+      job.targets.clear();
+      job.targets.push_back(ci);
+      place_job(job);
+      gateway.submit(job, inflation);
+      if (++p.next < p.stream->size()) {
+        sim.schedule_at((*p.stream)[p.next].submit_time,
+                        [&pump_fire, ci] { pump_fire(ci); },
+                        des::Priority::kArrival);
+      }
+    };
+    for (std::size_t i = 0; i < config.n_clusters; ++i) {
+      if (pumps[i].stream->empty()) continue;
+      sim.schedule_at(pumps[i].stream->front().submit_time,
+                      [&pump_fire, i] { pump_fire(i); },
+                      des::Priority::kArrival);
+    }
   }
 
   // --- Queue observation ---------------------------------------------------
@@ -282,8 +399,6 @@ SimResult run_experiment(const ExperimentConfig& config,
     sim.run_until(config.submit_horizon * config.truncate_factor);
   }
 
-  SimResult result;
-  const std::size_t jobs_generated = jobs.size();
   result.ops = platform.total_counters();
   result.gateway_cancels = gateway.cancellations_issued();
   result.replicas_rejected = gateway.replicas_rejected();
@@ -302,10 +417,37 @@ SimResult run_experiment(const ExperimentConfig& config,
     result.queue_growth_per_hour.push_back(tracker.growth_per_hour(i));
   }
   result.end_time = sim.now();
+  // Job-proportional live state, capacity-based (high-water): gateway
+  // tracking + scheduler tables, plus whichever arrival mechanism ran.
+  result.live_state_bytes = gateway.live_state_bytes();
+  for (std::size_t i = 0; i < platform.size(); ++i) {
+    result.live_state_bytes += platform.scheduler(i).live_state_bytes();
+  }
+  if (config.retain_records) {
+    result.live_state_bytes += jobs.capacity() * sizeof(grid::GridJob);
+    for (const grid::GridJob& job : jobs) {
+      result.live_state_bytes +=
+          job.targets.capacity() * sizeof(std::size_t) +
+          job.replica_specs.capacity() * sizeof(workload::JobSpec);
+    }
+  } else {
+    result.live_state_bytes += draws.capacity() * sizeof(Draw) +
+                               pumps.capacity() * sizeof(Pump);
+    for (const Pump& p : pumps) {
+      result.live_state_bytes +=
+          p.scratch.targets.capacity() * sizeof(std::size_t);
+    }
+  }
   result.records = gateway.take_records();
-  if (config.drain && result.records.size() != jobs_generated) {
-    throw std::logic_error(
-        "conservation violation: not every grid job finished exactly once");
+  gateway.set_record_sink(nullptr);
+  if (config.drain) {
+    const std::uint64_t finished = config.retain_records
+                                       ? result.records.size()
+                                       : gateway.finished();
+    if (finished != jobs_generated) {
+      throw std::logic_error(
+          "conservation violation: not every grid job finished exactly once");
+    }
   }
   // Leave the workspace inert: arrival lambdas captured references to
   // locals of this call (placement, estimator, stations); reset() both

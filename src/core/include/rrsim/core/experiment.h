@@ -12,6 +12,7 @@
 
 #include "rrsim/core/scheme.h"
 #include "rrsim/des/simulation.h"
+#include "rrsim/metrics/online.h"
 #include "rrsim/metrics/record.h"
 #include "rrsim/sched/factory.h"
 #include "rrsim/sched/scheduler.h"
@@ -117,6 +118,18 @@ struct ExperimentConfig {
 
   // --- bookkeeping ---------------------------------------------------------
   bool record_predictions = false;  ///< Section 5 instrumentation
+  /// If true (the default), every finished job is appended to
+  /// SimResult::records — the mode all figure/table pipelines use. If
+  /// false, the run *streams*: per-job outcomes are folded into
+  /// SimResult::stream as they finish, the per-job staging vector and the
+  /// pre-scheduled arrival slab are replaced by per-cluster arrival pumps,
+  /// and memory stays O(live jobs) instead of O(total jobs) — the mode
+  /// that makes 10^6-job campaigns fit in tens of MB. Metric results are
+  /// bit-identical to the retained mode except when two clusters submit
+  /// at the exact same instant (possible with integer-time SWF traces,
+  /// measure-zero under the Lublin model): the placement stream is then
+  /// consumed in a different order.
+  bool retain_records = true;
   double queue_sample_interval = 60.0;  ///< seconds between queue samples
   std::uint64_t seed = 1;
 
@@ -127,6 +140,17 @@ struct ExperimentConfig {
 /// Outcome of one run.
 struct SimResult {
   metrics::JobRecords records;  ///< one entry per finished grid job
+                                ///< (empty when streamed)
+  /// Streaming-mode metrics: every finished job folded in, in finish
+  /// order. Only populated when streamed is true.
+  metrics::OnlineAccumulator stream;
+  bool streamed = false;  ///< ran with retain_records == false
+  /// High-water bytes of job-proportional live simulation state (gateway
+  /// tracking, scheduler tables, and — in retained mode — the grid-job
+  /// staging vector). Capacity-based, so it reports the run's peak even
+  /// though tables shrink as jobs finish. Excludes the retained records
+  /// and the DES event slab.
+  std::size_t live_state_bytes = 0;
   sched::OpCounters ops;        ///< summed over all schedulers
   std::uint64_t gateway_cancels = 0;  ///< replica cancellations issued
   std::uint64_t replicas_rejected = 0;  ///< refused by per-user limits

@@ -9,6 +9,23 @@
 
 namespace rrsim::core {
 
+namespace {
+
+// Mode-agnostic metric extraction: retained runs go through the batch
+// functions over the record vector (the historical, bit-exact path);
+// streaming runs read the same quantities off the per-run accumulator,
+// which was fed the identical per-job values in the identical order.
+metrics::ScheduleMetrics metrics_of(const SimResult& r) {
+  return r.streamed ? r.stream.metrics() : metrics::compute_metrics(r.records);
+}
+
+metrics::ClassifiedMetrics classified_of(const SimResult& r) {
+  return r.streamed ? r.stream.classified()
+                    : metrics::compute_classified_metrics(r.records);
+}
+
+}  // namespace
+
 CampaignSweep::CampaignSweep(int reps, int jobs)
     : reps_(reps), runner_(jobs) {
   if (reps < 1) throw std::invalid_argument("reps must be >= 1");
@@ -52,9 +69,9 @@ void CampaignSweep::add_relative(
 
         ExperimentWorkspace& ws = thread_workspace();
         const metrics::ScheduleMetrics m_with =
-            metrics::compute_metrics(run_experiment(with, ws).records);
+            metrics_of(run_experiment(with, ws));
         const metrics::ScheduleMetrics m_without =
-            metrics::compute_metrics(run_experiment(without, ws).records);
+            metrics_of(run_experiment(without, ws));
         RepOutcome o;
         if (m_without.avg_stretch <= 0.0 ||
             m_without.cv_stretch_percent <= 0.0 ||
@@ -109,8 +126,7 @@ void CampaignSweep::add_classified(
       [config](int r) {
         ExperimentConfig c = config;
         c.seed = config.seed + static_cast<std::uint64_t>(r);
-        return metrics::compute_classified_metrics(
-            run_experiment(c, thread_workspace()).records);
+        return classified_of(run_experiment(c, thread_workspace()));
       },
       [acc, done = std::move(done), reps = reps_](int r,
                                                   metrics::ClassifiedMetrics
@@ -137,28 +153,47 @@ void CampaignSweep::add_classified(
 void CampaignSweep::add_prediction(
     const ExperimentConfig& config,
     std::function<void(const PredictionCampaign&)> done) {
-  auto pooled = std::make_shared<metrics::JobRecords>();
+  struct Pool {
+    metrics::JobRecords records;        // retained: records of every rep
+    metrics::OnlineAccumulator stream;  // streaming: Welford-merged reps
+    bool streamed = false;
+  };
+  auto pooled = std::make_shared<Pool>();
   runner_.add(
       reps_,
       [config](int r) {
         ExperimentConfig c = config;
         c.seed = config.seed + static_cast<std::uint64_t>(r);
         c.record_predictions = true;
-        return run_experiment(c, thread_workspace()).records;
+        return run_experiment(c, thread_workspace());
       },
-      [pooled, done = std::move(done), reps = reps_](int r,
-                                                     metrics::JobRecords
-                                                         records) {
-        pooled->insert(pooled->end(),
-                       std::make_move_iterator(records.begin()),
-                       std::make_move_iterator(records.end()));
+      [pooled, done = std::move(done), reps = reps_](int r, SimResult result) {
+        if (result.streamed) {
+          // The reduce stage runs in rep order, so the parallel Welford
+          // merge pools deterministically: counts are exact, the pooled
+          // mean/CV agree with the retained concatenation to rounding.
+          pooled->streamed = true;
+          pooled->stream.merge(result.stream);
+        } else {
+          pooled->records.insert(
+              pooled->records.end(),
+              std::make_move_iterator(result.records.begin()),
+              std::make_move_iterator(result.records.end()));
+        }
         if (r != reps - 1) return;
         PredictionCampaign out;
         out.reps = static_cast<std::size_t>(reps);
-        out.all = metrics::compute_prediction_accuracy(*pooled);
-        out.redundant = metrics::compute_prediction_accuracy(*pooled, true);
-        out.non_redundant =
-            metrics::compute_prediction_accuracy(*pooled, false);
+        if (pooled->streamed) {
+          out.all = pooled->stream.prediction();
+          out.redundant = pooled->stream.prediction(true);
+          out.non_redundant = pooled->stream.prediction(false);
+        } else {
+          out.all = metrics::compute_prediction_accuracy(pooled->records);
+          out.redundant =
+              metrics::compute_prediction_accuracy(pooled->records, true);
+          out.non_redundant =
+              metrics::compute_prediction_accuracy(pooled->records, false);
+        }
         done(out);
       });
 }

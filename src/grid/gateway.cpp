@@ -1,6 +1,8 @@
 #include "rrsim/grid/gateway.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace rrsim::grid {
@@ -19,7 +21,7 @@ void Gateway::validate_job(GridJobId id) const {
   for (const auto& [cluster, rid] : tracked->replicas) {
     RRSIM_CHECK(cluster < platform_.size(),
                 "gateway: replica targets a cluster outside the platform");
-    const GridJobId* gid = replica_to_grid_.find(rid);
+    const std::uint32_t* gid = replica_to_grid_.find(rid);
     RRSIM_CHECK(gid != nullptr && *gid == id,
                 "gateway: replica index does not map a tracked replica "
                 "back to its grid job");
@@ -45,7 +47,7 @@ void Gateway::debug_corrupt_tracking() {
     if (done) return;
     for (const auto& [cluster, rid] : tracked.replicas) {
       (void)cluster;
-      if (GridJobId* gid = replica_to_grid_.find(rid)) {
+      if (std::uint32_t* gid = replica_to_grid_.find(rid)) {
         *gid += 1;  // now points at a job that does not own this replica
         done = true;
         return;
@@ -73,6 +75,9 @@ void Gateway::submit(const GridJob& job, double remote_inflation) {
   if (job.targets.empty()) {
     throw std::invalid_argument("grid job needs >= 1 target");
   }
+  if (job.id > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("grid job id exceeds the 32-bit id space");
+  }
   if (std::find(job.targets.begin(), job.targets.end(), job.origin) ==
       job.targets.end()) {
     throw std::invalid_argument("origin cluster must be among the targets");
@@ -90,8 +95,12 @@ void Gateway::submit(const GridJob& job, double remote_inflation) {
       throw std::invalid_argument("duplicate target cluster");
     }
   }
-  const auto inserted =
-      tracked_.try_emplace(job.id, Tracked{job, {}, false, 0, std::nullopt});
+  Tracked fresh;
+  fresh.origin = static_cast<std::uint32_t>(job.origin);
+  fresh.redundant = job.redundant;
+  fresh.replicas_sent = static_cast<std::uint16_t>(
+      std::min<std::size_t>(job.targets.size(), 0xffff));
+  const auto inserted = tracked_.try_emplace(job.id, std::move(fresh));
   if (!inserted.inserted) {
     throw std::invalid_argument("duplicate grid job id");
   }
@@ -135,8 +144,9 @@ void Gateway::submit(const GridJob& job, double remote_inflation) {
     // requested even when the user under-estimates.
     replica.requested_time = std::max(replica.requested_time,
                                       replica.actual_time);
-    replica_to_grid_.insert(replica.id, job.id);
-    tracked.replicas.emplace_back(target, replica.id);
+    replica_to_grid_.insert(replica.id, static_cast<std::uint32_t>(job.id));
+    tracked.replicas.push_back(Tracked::Replica{
+        static_cast<std::uint32_t>(target), replica.id});
     submits.push_back(PendingSubmit{target, replica});
   }
   for (const PendingSubmit& s : submits) {
@@ -164,7 +174,7 @@ void Gateway::submit(const GridJob& job, double remote_inflation) {
         if (p && (!best || *p < *best)) best = *p;
       }
     }
-    tracked.predicted_start = best;
+    if (best) tracked.predicted_start = *best;
   }
 #if RRSIM_VALIDATE_ENABLED
   validate_job(job.id);
@@ -177,6 +187,7 @@ void Gateway::reset(bool record_predictions) {
   next_replica_id_ = 1;
   replica_to_grid_.clear();
   tracked_.clear();
+  sink_ = nullptr;
   records_.clear();
   submitted_ = 0;
   finished_ = 0;
@@ -204,7 +215,7 @@ void Gateway::set_middleware(std::vector<MiddlewareStation*> stations) {
 
 void Gateway::deliver_submit(std::size_t cluster, const sched::Job& replica,
                              bool deferred) {
-  const GridJobId* gid = replica_to_grid_.find(replica.id);
+  const std::uint32_t* gid = replica_to_grid_.find(replica.id);
   if (gid == nullptr) return;  // defensive: unknown replica
   const GridJobId grid_id = *gid;
   Tracked& tracked = tracked_.at(grid_id);
@@ -216,14 +227,15 @@ void Gateway::deliver_submit(std::size_t cluster, const sched::Job& replica,
     ++dropped_;
     replica_to_grid_.erase(replica.id);
     std::erase_if(tracked.replicas,
-                  [&](const auto& p) { return p.second == replica.id; });
+                  [&](const Tracked::Replica& p) { return p.id == replica.id; });
     return;
   }
   if (!platform_.scheduler(cluster).submit(replica)) {
     // Refused by a per-user pending limit: forget the replica.
     ++rejected_;
     replica_to_grid_.erase(replica.id);
-    std::erase(tracked.replicas, std::make_pair(cluster, replica.id));
+    std::erase_if(tracked.replicas,
+                  [&](const Tracked::Replica& p) { return p.id == replica.id; });
   }
   // Note: tracked.job.redundant deliberately keeps the *intent* (the user
   // sent redundant requests), even if drops/rejections leave one replica —
@@ -240,7 +252,7 @@ void Gateway::deliver_cancel(std::size_t cluster, sched::JobId replica) {
 }
 
 bool Gateway::on_grant(std::size_t cluster, const sched::Job& job) {
-  const GridJobId* gid = replica_to_grid_.find(job.id);
+  const std::uint32_t* gid = replica_to_grid_.find(job.id);
   if (gid == nullptr) {
     // Not a gateway-managed job (e.g. background load) — always allow.
     return true;
@@ -255,7 +267,7 @@ bool Gateway::on_grant(std::size_t cluster, const sched::Job& job) {
     return false;
   }
   tracked.started = true;
-  tracked.winner = cluster;
+  tracked.winner = static_cast<std::uint32_t>(cluster);
   cancel_siblings(grid_id, cluster);
   return true;
 }
@@ -281,33 +293,85 @@ void Gateway::cancel_siblings(GridJobId id, std::size_t winner_cluster) {
 }
 
 void Gateway::on_finish(std::size_t cluster, const sched::Job& job) {
-  const GridJobId* gid = replica_to_grid_.find(job.id);
+  const std::uint32_t* gid = replica_to_grid_.find(job.id);
   if (gid == nullptr) return;
   const GridJobId grid_id = *gid;
   Tracked& tracked = tracked_.at(grid_id);
 
-  metrics::JobRecord rec;
-  rec.grid_id = grid_id;
-  rec.origin_cluster = tracked.job.origin;
-  rec.winner_cluster = cluster;
-  rec.redundant = tracked.job.redundant;
-  rec.replicas = static_cast<int>(tracked.job.targets.size());
-  // tracked.replicas holds the replicas actually *delivered* (dropped and
-  // limit-rejected ones were removed; nothing else shrinks the list).
-  rec.replicas_delivered = static_cast<int>(tracked.replicas.size());
-  rec.nodes = job.nodes;
-  rec.submit_time = job.submit_time;
-  rec.start_time = job.start_time;
-  rec.finish_time = job.finish_time;
-  rec.actual_time = job.actual_time;
-  rec.requested_time = job.requested_time;
-  rec.predicted_start = tracked.predicted_start;
-  records_.push_back(rec);
+  if (sink_ != nullptr) {
+    metrics::JobRecord32 rec;
+    rec.grid_id = static_cast<std::uint32_t>(grid_id);
+    rec.origin_cluster = static_cast<std::uint16_t>(tracked.origin);
+    rec.winner_cluster = static_cast<std::uint16_t>(cluster);
+    rec.redundant = tracked.redundant;
+    rec.replicas = static_cast<std::uint8_t>(
+        std::min<unsigned>(tracked.replicas_sent, 0xff));
+    rec.replicas_delivered = static_cast<std::uint8_t>(
+        std::min<std::size_t>(tracked.replicas.size(), 0xff));
+    rec.nodes = static_cast<std::uint16_t>(
+        std::min(job.nodes, 0xffff));
+    rec.submit_time = job.submit_time;
+    rec.start_time = job.start_time;
+    rec.finish_time = job.finish_time;
+    rec.actual_time = job.actual_time;
+    rec.predicted_start = tracked.predicted_start;  // NaN = none
+    sink_->add(rec);
+  } else {
+    metrics::JobRecord rec;
+    rec.grid_id = grid_id;
+    rec.origin_cluster = tracked.origin;
+    rec.winner_cluster = cluster;
+    rec.redundant = tracked.redundant;
+    rec.replicas = static_cast<int>(tracked.replicas_sent);
+    // tracked.replicas holds the replicas actually *delivered* (dropped
+    // and limit-rejected ones were removed; nothing else shrinks the
+    // list).
+    rec.replicas_delivered = static_cast<int>(tracked.replicas.size());
+    rec.nodes = job.nodes;
+    rec.submit_time = job.submit_time;
+    rec.start_time = job.start_time;
+    rec.finish_time = job.finish_time;
+    rec.actual_time = job.actual_time;
+    rec.requested_time = job.requested_time;
+    if (!std::isnan(tracked.predicted_start)) {
+      rec.predicted_start = tracked.predicted_start;
+    }
+    records_.push_back(rec);
+  }
   ++finished_;
-  // Replica ids of this grid job stay in replica_to_grid_ until the end of
-  // the simulation so late cancel events resolve cleanly; tracked_ entries
-  // likewise. Memory is proportional to total jobs, which is fine at
-  // simulation scale.
+  // Reclaim the job's tracking state. With direct delivery and a finish
+  // strictly after the start, no event can reference these replicas any
+  // more: every sibling was declined or cancelled at the start instant.
+  // Three bounded exceptions keep their entries: middleware (a late
+  // deliver_submit still needs tracked.started to count drops),
+  // zero-length runs (finish at the start instant may still race
+  // same-timestamp sibling grants), and moldable same-queue siblings —
+  // those are never qdel'ed (cancel_siblings skips the winner's cluster)
+  // and rely on the grant-time decline, which needs the tracking entry.
+  bool same_queue_sibling = false;
+  for (const auto& [rcluster, rid] : tracked.replicas) {
+    if (rid != job.id && rcluster == cluster) {
+      same_queue_sibling = true;
+      break;
+    }
+  }
+  if (middleware_.empty() && job.finish_time > job.start_time &&
+      !same_queue_sibling) {
+    for (const auto& [rcluster, rid] : tracked.replicas) {
+      (void)rcluster;
+      replica_to_grid_.erase(rid);
+    }
+    tracked_.erase(grid_id);
+  }
+}
+
+std::size_t Gateway::live_state_bytes() const noexcept {
+  std::size_t replica_bytes = 0;
+  tracked_.for_each([&replica_bytes](const GridJobId&, const Tracked& t) {
+    replica_bytes += t.replicas.capacity() * sizeof(Tracked::Replica);
+  });
+  return tracked_.memory_bytes() + replica_to_grid_.memory_bytes() +
+         replica_bytes;
 }
 
 }  // namespace rrsim::grid

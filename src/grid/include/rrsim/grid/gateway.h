@@ -12,12 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
 #include "rrsim/des/simulation.h"
 #include "rrsim/grid/middleware.h"
 #include "rrsim/grid/platform.h"
+#include "rrsim/metrics/online.h"
 #include "rrsim/metrics/record.h"
 #include "rrsim/util/flat_map.h"
 
@@ -73,6 +75,22 @@ class Gateway {
   /// job does not fit on some target.
   void submit(const GridJob& job, double remote_inflation = 1.0);
 
+  /// Streams per-finish outcomes into `sink` instead of appending to the
+  /// record vector (constant-memory campaigns). Records are fed in finish
+  /// order — the same order records() would hold them — so metrics from
+  /// the accumulator are bit-identical to the batch functions over the
+  /// records a retained run would have produced. Pass nullptr to restore
+  /// record retention. The sink must outlive the run; reset() clears it.
+  void set_record_sink(metrics::OnlineAccumulator* sink) noexcept {
+    sink_ = sink;
+  }
+
+  /// Bytes of job-proportional live tracking state (tracked jobs, their
+  /// replica lists, and the replica index), capacity-based so it reports
+  /// the run's high-water footprint. Retained records are *not* included
+  /// — they are output, not live state.
+  std::size_t live_state_bytes() const noexcept;
+
   /// Records of all grid jobs that finished so far.
   const metrics::JobRecords& records() const noexcept { return records_; }
 
@@ -124,13 +142,25 @@ class Gateway {
 #endif
 
  private:
+  /// Per-job live tracking state, kept deliberately compact (48 bytes +
+  /// one 8-byte-per-replica vector): the full GridJob is never needed
+  /// after submission — only the origin, the redundancy intent, and the
+  /// replica count survive into the job record — and at grid scale this
+  /// struct's size bounds the gateway's memory high-water.
   struct Tracked {
-    GridJob job;
-    /// (cluster, replica id) for every live replica.
-    std::vector<std::pair<std::size_t, sched::JobId>> replicas;
+    struct Replica {
+      std::uint32_t cluster = 0;
+      sched::JobId id = 0;
+    };
+    /// One entry per live (delivered, not dropped/rejected) replica.
+    std::vector<Replica> replicas;
+    std::uint32_t origin = 0;
+    std::uint32_t winner = 0;       ///< cluster of the granted replica
+    std::uint16_t replicas_sent = 0;  ///< requests the user sent (intent)
+    bool redundant = false;
     bool started = false;
-    std::size_t winner = 0;
-    std::optional<double> predicted_start;
+    /// Min-over-replicas submit-time prediction; NaN when not recorded.
+    double predicted_start = std::numeric_limits<double>::quiet_NaN();
   };
 
   bool on_grant(std::size_t cluster, const sched::Job& job);
@@ -161,8 +191,11 @@ class Gateway {
   sched::JobId next_replica_id_ = 1;
   /// Replica ids are allocated densely from 1 by this gateway, so the
   /// replica -> grid-job mapping is a direct-indexed vector, not a hash.
-  util::DenseIdMap<GridJobId> replica_to_grid_;
+  /// Values are 32-bit: submit() rejects grid ids above 2^32 - 1, which
+  /// halves the dominant per-replica table at grid scale.
+  util::DenseIdMap<std::uint32_t> replica_to_grid_;
   util::FlatHashMap<GridJobId, Tracked> tracked_;
+  metrics::OnlineAccumulator* sink_ = nullptr;  // null = retain records_
   metrics::JobRecords records_;
   std::uint64_t submitted_ = 0;
   std::uint64_t finished_ = 0;

@@ -68,6 +68,12 @@ class CbfScheduler final : public ClusterScheduler {
   /// rebuild's floating-point snapping would not be a no-op.
   std::uint64_t rebuilds() const noexcept { return rebuilds_; }
 
+  std::size_t live_state_bytes() const noexcept override {
+    return ClusterScheduler::live_state_bytes() +
+           queue_.capacity() * sizeof(Entry) + pos_.memory_bytes() +
+           running_end_.memory_bytes() + heap_.size() * sizeof(HeapEntry);
+  }
+
   void reset() override {
     ClusterScheduler::reset();
     queue_.clear();

@@ -29,6 +29,12 @@ class EasyScheduler final : public ClusterScheduler {
     running_ends_.clear();
   }
 
+  std::size_t live_state_bytes() const noexcept override {
+    return ClusterScheduler::live_state_bytes() +
+           queue_.size() * sizeof(Job) +
+           running_ends_.capacity() * sizeof(running_ends_[0]);
+  }
+
   /// Shadow reservation currently protecting the queue head: the time at
   /// which the head is guaranteed to start, or nullopt if the queue is
   /// empty. Exposed for tests of the no-head-delay invariant.

@@ -23,6 +23,10 @@ class FcfsScheduler final : public ClusterScheduler {
     queue_.clear();
   }
 
+  std::size_t live_state_bytes() const noexcept override {
+    return ClusterScheduler::live_state_bytes() + queue_.size() * sizeof(Job);
+  }
+
  protected:
   void handle_submit(Job job) override;
   Job handle_cancel(JobId id) override;

@@ -12,11 +12,16 @@ namespace rrsim::sched {
 using des::Time;
 
 /// Identifies one request within one scheduler. Replicas of the same grid
-/// job have different JobIds; the grid::Gateway keeps the mapping.
-using JobId = std::uint64_t;
+/// job have different JobIds; the grid::Gateway keeps the mapping. 32 bits
+/// by design: ids are allocated densely from 1, and even the grid-scale
+/// target (10^7 jobs x up to 64 replicas) stays well under 2^32 — halving
+/// every per-job table slot that keys on a JobId.
+using JobId = std::uint32_t;
 
-/// Lifecycle of a request in a batch queue.
-enum class JobState {
+/// Lifecycle of a request in a batch queue. One byte: the lifecycle index
+/// holds an entry for every id ever submitted, so its slot size scales
+/// with total jobs.
+enum class JobState : std::uint8_t {
   kPending,    ///< waiting in the queue
   kRunning,    ///< allocated nodes, executing
   kFinished,   ///< ran to completion

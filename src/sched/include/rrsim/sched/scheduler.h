@@ -84,6 +84,21 @@ class ClusterScheduler {
   /// bypass it.
   void set_per_user_pending_limit(std::optional<int> limit);
 
+  /// When enabled, a job's lifecycle entry (and any recorded submit-time
+  /// prediction) is erased the moment it reaches a terminal state —
+  /// cancelled, declined or finished — instead of being kept for the
+  /// run's lifetime, so the per-job tables stay O(live jobs) over
+  /// arbitrarily long runs. Scheduling behaviour is unchanged: cancel()
+  /// on a forgotten id answers false through the unknown-id path, which
+  /// is indistinguishable from the terminal-state answer. The one
+  /// observable difference is that resubmitting a *terminal* id is no
+  /// longer caught as a duplicate, so only drivers that never reuse ids
+  /// (the gateway allocates monotonically) may enable this. Off by
+  /// default; reset() turns it back off.
+  void set_forget_terminal_ids(bool forget) noexcept {
+    forget_terminal_ids_ = forget;
+  }
+
   /// Cancels a *pending* request (qdel). Returns true if the job was
   /// pending and has been removed; false if unknown, running, or done.
   /// The membership check is an O(1) hash lookup on the lifecycle index
@@ -115,6 +130,14 @@ class ClusterScheduler {
   /// the current queue in FCFS order — the "simulation of the batch queue"
   /// predictor the paper describes. Does not modify state.
   Time predict_hypothetical_start(int nodes, Time requested_time) const;
+
+  /// Bytes of job-proportional live state this scheduler holds: the flat
+  /// per-job tables (lifecycle index, predictions, running set, per-user
+  /// counts) plus the algorithm's own pending structures. Capacity-based,
+  /// so it reports the run's high-water footprint even after erasures —
+  /// the number the memory-budget benches track. Deque-backed queues are
+  /// counted at current size (std::deque exposes no capacity).
+  virtual std::size_t live_state_bytes() const noexcept;
 
   /// Returns the scheduler to its just-constructed state — empty queue,
   /// all nodes free, zeroed counters, no lifecycle history, no per-user
@@ -194,6 +217,7 @@ class ClusterScheduler {
   Callbacks callbacks_;
   OpCounters counters_;
   std::optional<int> per_user_limit_;
+  bool forget_terminal_ids_ = false;  // see set_forget_terminal_ids()
   // Per-job bookkeeping lives in flat tables: these are touched on every
   // submit/cancel/start/finish, and none of them needs ordered iteration
   // (the running set, which does, gets the sorted-vector map).

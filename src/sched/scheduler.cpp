@@ -19,6 +19,7 @@ void ClusterScheduler::reset() {
   free_nodes_ = total_nodes_;
   counters_ = OpCounters{};
   per_user_limit_.reset();
+  forget_terminal_ids_ = false;
   pending_per_user_.clear();
   running_.clear();
   predictions_.clear();
@@ -37,8 +38,16 @@ void ClusterScheduler::validate_op(JobId touched, JobState expected) const {
   RRSIM_CHECK(free_nodes_ == total_nodes_ - allocated,
               "scheduler free-node count disagrees with the running set");
   const JobState* state = known_ids_.find(touched);
-  RRSIM_CHECK(state != nullptr && *state == expected,
-              "lifecycle index disagrees with the operation just applied");
+  const bool terminal = expected == JobState::kCancelled ||
+                        expected == JobState::kDeclined ||
+                        expected == JobState::kFinished;
+  if (forget_terminal_ids_ && terminal) {
+    RRSIM_CHECK(state == nullptr,
+                "terminal id still in the lifecycle index in forget mode");
+  } else {
+    RRSIM_CHECK(state != nullptr && *state == expected,
+                "lifecycle index disagrees with the operation just applied");
+  }
   const bool in_running = running_.find(touched) != running_.end();
   RRSIM_CHECK(in_running == (expected == JobState::kRunning),
               "running set membership disagrees with lifecycle state");
@@ -67,6 +76,11 @@ void ClusterScheduler::debug_validate() const {
   });
 }
 #endif
+
+std::size_t ClusterScheduler::live_state_bytes() const noexcept {
+  return pending_per_user_.memory_bytes() + running_.memory_bytes() +
+         predictions_.memory_bytes() + known_ids_.memory_bytes();
+}
 
 void ClusterScheduler::set_per_user_pending_limit(std::optional<int> limit) {
   if (limit && *limit < 0) {
@@ -105,8 +119,16 @@ bool ClusterScheduler::submit(Job job) {
   // declined it; accept whatever lifecycle state it reached, but the
   // accounting and membership agreement must hold regardless.
   const JobState* reached = known_ids_.find(submitted_id);
-  RRSIM_CHECK(reached != nullptr, "submitted job vanished from lifecycle");
-  validate_op(submitted_id, *reached);
+  if (reached == nullptr) {
+    // Only legal in forget mode, where an immediate decline (the sole
+    // terminal state reachable inside submit — completions are events)
+    // erases the entry before we get here.
+    RRSIM_CHECK(forget_terminal_ids_,
+                "submitted job vanished from lifecycle");
+    validate_op(submitted_id, JobState::kDeclined);
+  } else {
+    validate_op(submitted_id, *reached);
+  }
 #endif
   return true;
 }
@@ -123,7 +145,12 @@ bool ClusterScheduler::cancel(JobId id) {
   job.state = JobState::kCancelled;
   // Re-find: handle_cancel is virtual and the flat table invalidates
   // pointers on insert, so the pre-call pointer must not be trusted.
-  known_ids_.at(id) = JobState::kCancelled;
+  if (forget_terminal_ids_) {
+    known_ids_.erase(id);
+    predictions_.erase(id);
+  } else {
+    known_ids_.at(id) = JobState::kCancelled;
+  }
   ++counters_.cancels;
   --pending_per_user_[job.user];
 #if RRSIM_VALIDATE_ENABLED
@@ -142,7 +169,12 @@ bool ClusterScheduler::try_start(Job job) {
   --pending_per_user_[job.user];
   if (callbacks_.on_grant && !callbacks_.on_grant(job)) {
     ++counters_.declines;
-    known_ids_[job.id] = JobState::kDeclined;
+    if (forget_terminal_ids_) {
+      known_ids_.erase(job.id);
+      predictions_.erase(job.id);
+    } else {
+      known_ids_[job.id] = JobState::kDeclined;
+    }
 #if RRSIM_VALIDATE_ENABLED
     validate_op(job.id, JobState::kDeclined);
 #endif
@@ -176,7 +208,12 @@ void ClusterScheduler::complete_job(JobId id) {
   Job job = it->second;
   running_.erase(it);
   job.state = JobState::kFinished;
-  known_ids_[id] = JobState::kFinished;
+  if (forget_terminal_ids_) {
+    known_ids_.erase(id);
+    predictions_.erase(id);
+  } else {
+    known_ids_[id] = JobState::kFinished;
+  }
   free_nodes_ += job.nodes;
   ++counters_.finishes;
 #if RRSIM_VALIDATE_ENABLED

@@ -167,6 +167,12 @@ class FlatHashMap {
     }
   }
 
+  /// Bytes of backing storage held (capacity-based: storage survives
+  /// clear(), so this is the table's high-water footprint).
+  std::size_t memory_bytes() const noexcept {
+    return slots_.capacity() * sizeof(Slot) + used_.capacity();
+  }
+
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -255,6 +261,11 @@ class FlatOrderedMap {
     return true;
   }
 
+  /// Bytes of backing storage held (capacity-based high-water footprint).
+  std::size_t memory_bytes() const noexcept {
+    return entries_.capacity() * sizeof(value_type);
+  }
+
  private:
   iterator lower_bound(const K& key) noexcept {
     std::size_t lo = 0, hi = entries_.size();
@@ -322,6 +333,11 @@ class DenseIdMap {
     present_[id] = 0;
     --size_;
     return true;
+  }
+
+  /// Bytes of backing storage held (capacity-based high-water footprint).
+  std::size_t memory_bytes() const noexcept {
+    return values_.capacity() * sizeof(V) + present_.capacity();
   }
 
  private:
