@@ -116,6 +116,24 @@ inline void write_json_env_fields(std::FILE* f, int jobs_used) {
                peak_rss_bytes(), stamp);
 }
 
+/// Writes one parallel-speedup JSON field (trailing comma included). On a
+/// single-hardware-thread machine a "speedup" of worker threads over one
+/// thread measures only scheduling overhead — the 0.83 artifact an early
+/// BENCH_sweep.json captured on a 1-core box — so the field is emitted as
+/// null plus a <key>_note explaining why, instead of a misleading number.
+inline void write_json_speedup_field(std::FILE* f, const char* key,
+                                     double speedup) {
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(f,
+                 "  \"%s\": null,\n"
+                 "  \"%s_note\": \"single hardware thread: parallel speedup "
+                 "is not measurable on this machine\",\n",
+                 key, key);
+  } else {
+    std::fprintf(f, "  \"%s\": %.4f,\n", key, speedup);
+  }
+}
+
 /// Runs `fn()` with top-level exception reporting; returns the process
 /// exit code.
 template <typename Fn>

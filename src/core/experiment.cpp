@@ -6,15 +6,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "experiment_detail.h"
 #include "rrsim/des/simulation.h"
 #include "rrsim/grid/gateway.h"
 #include "rrsim/grid/placement.h"
 #include "rrsim/grid/platform.h"
 #include "rrsim/metrics/queue_tracker.h"
-#include "rrsim/workload/calibrate.h"
 #include "rrsim/workload/estimators.h"
-#include "rrsim/workload/swf.h"
-#include "rrsim/workload/trace_cache.h"
 
 namespace rrsim::core {
 
@@ -31,21 +29,6 @@ ExperimentWorkspace& thread_workspace() {
   return workspace;
 }
 
-namespace {
-
-// Distinct substream tags so each model component draws independent
-// randomness from the master seed.
-enum Substream : std::uint64_t {
-  kStreamWorkloadBase = 1000,
-  kStreamEstimatorBase = 2000,
-  kStreamRedundancy = 3000,
-  kStreamPlacement = 3001,
-  kStreamCalibration = 3002,
-  kStreamUsers = 3003,
-};
-
-}  // namespace
-
 SimResult run_experiment(const ExperimentConfig& config) {
   ExperimentWorkspace workspace;
   return run_experiment(config, workspace);
@@ -53,57 +36,25 @@ SimResult run_experiment(const ExperimentConfig& config) {
 
 SimResult run_experiment(const ExperimentConfig& config,
                          ExperimentWorkspace& workspace) {
-  if (config.n_clusters == 0) {
-    throw std::invalid_argument("need >= 1 cluster");
+  if (config.cross_cluster_latency < 0.0) {
+    throw std::invalid_argument("cross_cluster_latency must be >= 0");
   }
-  if (!config.cluster_nodes.empty() &&
-      config.cluster_nodes.size() != config.n_clusters) {
-    throw std::invalid_argument("cluster_nodes size mismatch");
+  if (config.cross_cluster_latency > 0.0 && !config.pdes) {
+    throw std::invalid_argument(
+        "cross_cluster_latency > 0 requires PDES mode (--pdes)");
   }
-  if (!config.cluster_mean_iat.empty() &&
-      config.cluster_mean_iat.size() != config.n_clusters) {
-    throw std::invalid_argument("cluster_mean_iat size mismatch");
-  }
-  if (config.redundant_fraction < 0.0 || config.redundant_fraction > 1.0) {
-    throw std::invalid_argument("redundant_fraction must be in [0, 1]");
-  }
-  if (config.submit_horizon < 0.0) {
-    throw std::invalid_argument("submit_horizon must be >= 0");
+  // The parallel kernel only exists where cross-cluster edges do: with
+  // one cluster (or zero latency) the classic zero-delay kernel *is* the
+  // degenerate single-partition path, bit-identically.
+  if (config.pdes && config.cross_cluster_latency > 0.0 &&
+      config.n_clusters > 1) {
+    return detail::run_pdes_experiment(config);
   }
 
-  util::Rng master(config.seed);
+  detail::ResolvedClusters rc = detail::resolve_clusters(config);
+  std::vector<grid::ClusterConfig>& cluster_configs = rc.cluster_configs;
   des::Simulation& sim = workspace.sim_;
   sim.reset();
-
-  // --- Resolve per-cluster workload parameters --------------------------
-  // Calibration and stream generation use substreams that depend only on
-  // the seed and the cluster index, never on the redundancy scheme, so
-  // paired runs (scheme vs. NONE) see identical job streams.
-  std::vector<grid::ClusterConfig> cluster_configs(config.n_clusters);
-  {
-    util::Rng calib_rng = master.fork(kStreamCalibration);
-    for (std::size_t i = 0; i < config.n_clusters; ++i) {
-      grid::ClusterConfig& cc = cluster_configs[i];
-      cc.nodes = config.nodes_of(i);
-      cc.workload = config.base_workload;
-      if (!config.cluster_mean_iat.empty()) {
-        cc.workload = cc.workload.with_mean_interarrival(
-            config.cluster_mean_iat[i]);
-      } else if (config.load_mode == LoadMode::kSharedPeak) {
-        cc.workload = cc.workload.with_mean_interarrival(
-            cc.workload.mean_interarrival() *
-            static_cast<double>(config.n_clusters));
-      } else if (config.load_mode == LoadMode::kCalibrated) {
-        cc.workload = workload::calibrate_params(
-            cc.workload, cc.nodes, config.target_utilization, calib_rng);
-      }
-      // kPerClusterPeak keeps the literal model rate.
-    }
-  }
-
-  if (config.per_user_pending_limit < 0 || config.users_per_cluster < 1) {
-    throw std::invalid_argument("invalid per-user limit configuration");
-  }
 
   // --- Acquire platform + gateway (reuse when the shape matches) --------
   // Schedulers depend only on (algorithm, node count), so a workspace
@@ -168,62 +119,15 @@ SimResult run_experiment(const ExperimentConfig& config,
   const auto placement = grid::make_placement(config.placement);
   const auto estimator = workload::make_estimator(config.estimator);
 
-  // --- Generate job streams ---------------------------------------------
-  util::Rng redundancy_rng = master.fork(kStreamRedundancy);
-  util::Rng users_rng = master.fork(kStreamUsers);
-  auto placement_rng =
-      std::make_unique<util::Rng>(master.fork(kStreamPlacement));
-  // Streams for all clusters are resolved up front, shared by both record
-  // modes. Fork order is unchanged from the historical single loop: the
-  // workload/estimator substreams fork in cluster order here, and the
-  // user/redundancy draws below consume their own already-forked streams.
-  struct ClusterStream {
-    workload::TraceCache::StreamPtr shared;  // Lublin path (memoized)
-    workload::JobStream own;                 // SWF path
-    const workload::JobStream& get() const noexcept {
-      return shared ? *shared : own;
-    }
-  };
-  std::vector<ClusterStream> streams(config.n_clusters);
-  for (std::size_t i = 0; i < config.n_clusters; ++i) {
-    util::Rng stream_rng = master.fork(kStreamWorkloadBase + i);
-    util::Rng est_rng = master.fork(kStreamEstimatorBase + i);
-    if (!config.trace_files.empty()) {
-      workload::JobStream own_stream = workload::read_swf_file(
-          config.trace_files[i % config.trace_files.size()]);
-      // Shift to t=0, drop jobs that cannot run here, cut at the horizon.
-      const double t0 =
-          own_stream.empty() ? 0.0 : own_stream.front().submit_time;
-      workload::JobStream filtered;
-      for (workload::JobSpec spec : own_stream) {
-        spec.submit_time -= t0;
-        if (spec.submit_time > config.submit_horizon) break;
-        if (spec.submit_time <= 0.0) spec.submit_time = 1e-6;
-        if (spec.nodes > cluster_configs[i].nodes) continue;
-        filtered.push_back(spec);
-      }
-      streams[i].own = std::move(filtered);
-    } else {
-      // Memoized: sweep points sharing (seed, params, shape) — the common-
-      // random-number pairing every figure uses — generate this stream
-      // once per process. The Rng forks above happen unconditionally, so a
-      // cache hit leaves every other substream exactly where a miss would.
-      const workload::TraceKey key = workload::TraceKey::of(
-          cluster_configs[i].workload, cluster_configs[i].nodes,
-          config.submit_horizon, stream_rng, est_rng, *estimator);
-      streams[i].shared = workload::TraceCache::global().get_or_generate(
-          key, [&]() {
-            const workload::LublinModel model(cluster_configs[i].workload,
-                                              cluster_configs[i].nodes);
-            workload::JobStream s =
-                model.generate_stream(stream_rng, config.submit_horizon);
-            workload::apply_estimator(s, *estimator, est_rng);
-            return s;
-          });
-    }
-  }
-  std::size_t jobs_generated = 0;
-  for (const ClusterStream& cs : streams) jobs_generated += cs.get().size();
+  // --- Generate job streams (shared with the PDES kernel) ---------------
+  // resolve_streams() is the historical inline loop moved verbatim into
+  // experiment_detail.h: same validation order, same fork order, same
+  // TraceCache memoization, and the user/redundancy draws pre-drawn in
+  // the cluster-major order both record modes consume them.
+  detail::ResolvedStreams rs = detail::resolve_streams(
+      config, cluster_configs, rc.master, *estimator);
+  auto placement_rng = std::make_unique<util::Rng>(rs.placement_rng);
+  const std::size_t jobs_generated = rs.jobs_generated;
 
   // Declared before scheduling: the streaming mode's record sink points at
   // result.stream and must outlive the run.
@@ -256,24 +160,17 @@ SimResult run_experiment(const ExperimentConfig& config,
     }
   };
 
-  // Per-cluster arrival pump state (streaming mode). Draws are made up
-  // front in cluster-major job order — exactly the order the retained
-  // mode's staging loop consumes the user/redundancy substreams — at 8
-  // bytes per job instead of a staged GridJob (~150 with its target
-  // heap). Pumps then walk the memoized streams directly, keeping one
-  // in-flight arrival event per cluster instead of one per job.
-  struct Draw {
-    std::uint32_t user = 0;
-    bool redundant = false;
-  };
+  // Per-cluster arrival pump state (streaming mode). The pre-drawn
+  // rs.draws — 8 bytes per job instead of a staged GridJob (~150 with its
+  // target heap) — let pumps walk the memoized streams directly, keeping
+  // one in-flight arrival event per cluster instead of one per job.
   struct Pump {
     const workload::JobStream* stream = nullptr;
     std::size_t next = 0;        // index of the next job to submit
-    std::size_t draw_base = 0;   // first index into `draws`
+    std::size_t draw_base = 0;   // first index into rs.draws
     grid::GridJobId id_base = 0;  // ids are id_base + index + 1
     grid::GridJob scratch;       // reused submission buffer
   };
-  std::vector<Draw> draws;
   std::vector<Pump> pumps;
   std::function<void(std::size_t)> pump_fire;
 
@@ -282,18 +179,16 @@ SimResult run_experiment(const ExperimentConfig& config,
     // --- Retained mode: stage every grid job, pre-schedule every arrival.
     jobs.clear();
     grid::GridJobId next_id = 1;
+    std::size_t draw_index = 0;
     for (std::size_t i = 0; i < config.n_clusters; ++i) {
-      for (const workload::JobSpec& spec : streams[i].get()) {
+      for (const workload::JobSpec& spec : rs.streams[i].get()) {
+        const detail::Draw& d = rs.draws[draw_index++];
         grid::GridJob job;
         job.id = next_id++;
         job.origin = i;
-        job.user = static_cast<sched::UserId>(
-            i * 4096 +
-            users_rng.below(static_cast<std::uint64_t>(
-                config.users_per_cluster)));
+        job.user = static_cast<sched::UserId>(d.user);
         job.spec = spec;
-        job.redundant = !config.scheme.is_none() &&
-                        redundancy_rng.chance(config.redundant_fraction);
+        job.redundant = d.redundant;
         job.targets = {i};
         jobs.push_back(std::move(job));
       }
@@ -322,38 +217,24 @@ SimResult run_experiment(const ExperimentConfig& config,
     std::vector<grid::GridJob>().swap(jobs);
     gateway.set_record_sink(&result.stream);
 
-    draws.reserve(jobs_generated);
-    for (std::size_t i = 0; i < config.n_clusters; ++i) {
-      const std::size_t count = streams[i].get().size();
-      for (std::size_t j = 0; j < count; ++j) {
-        Draw d;
-        d.user = static_cast<std::uint32_t>(
-            i * 4096 +
-            users_rng.below(static_cast<std::uint64_t>(
-                config.users_per_cluster)));
-        d.redundant = !config.scheme.is_none() &&
-                      redundancy_rng.chance(config.redundant_fraction);
-        draws.push_back(d);
-      }
-    }
     pumps.resize(config.n_clusters);
     {
       std::size_t base = 0;
       for (std::size_t i = 0; i < config.n_clusters; ++i) {
-        pumps[i].stream = &streams[i].get();
+        pumps[i].stream = &rs.streams[i].get();
         pumps[i].draw_base = base;
         pumps[i].id_base = static_cast<grid::GridJobId>(base);
-        base += streams[i].get().size();
+        base += rs.streams[i].get().size();
       }
     }
     // Fires cluster ci's next arrival, then schedules the following one.
     // Captures locals of this call by reference; the final sim.reset()
     // guarantees no callback survives the return.
-    pump_fire = [&gateway, &place_job, &pumps, &draws, &sim, &pump_fire,
+    pump_fire = [&gateway, &place_job, &pumps, &rs, &sim, &pump_fire,
                  inflation](std::size_t ci) {
       Pump& p = pumps[ci];
       const workload::JobSpec& spec = (*p.stream)[p.next];
-      const Draw& d = draws[p.draw_base + p.next];
+      const detail::Draw& d = rs.draws[p.draw_base + p.next];
       grid::GridJob& job = p.scratch;
       job.id = p.id_base + p.next + 1;
       job.origin = ci;
@@ -423,6 +304,7 @@ SimResult run_experiment(const ExperimentConfig& config,
   for (std::size_t i = 0; i < platform.size(); ++i) {
     result.live_state_bytes += platform.scheduler(i).live_state_bytes();
   }
+  result.live_state_bytes += rs.draws.capacity() * sizeof(detail::Draw);
   if (config.retain_records) {
     result.live_state_bytes += jobs.capacity() * sizeof(grid::GridJob);
     for (const grid::GridJob& job : jobs) {
@@ -431,8 +313,7 @@ SimResult run_experiment(const ExperimentConfig& config,
           job.replica_specs.capacity() * sizeof(workload::JobSpec);
     }
   } else {
-    result.live_state_bytes += draws.capacity() * sizeof(Draw) +
-                               pumps.capacity() * sizeof(Pump);
+    result.live_state_bytes += pumps.capacity() * sizeof(Pump);
     for (const Pump& p : pumps) {
       result.live_state_bytes +=
           p.scratch.targets.capacity() * sizeof(std::size_t);

@@ -1,0 +1,208 @@
+// Internal to the core experiment engine: resolution of everything a run
+// consumes *before* any event fires — per-cluster workload parameters,
+// the memoized job streams, and the user/redundancy draws — shared by the
+// classic sequential kernel (experiment.cpp) and the conservative
+// parallel kernel (pdes_experiment.cpp).
+//
+// The fork order across resolve_clusters() + resolve_streams() is
+// load-bearing twice over: the TraceCache keys on the workload/estimator
+// generator states, and paired runs (scheme vs. NONE, sequential vs. PDES
+// at the same latency) rely on byte-identical streams and draws. Do not
+// reorder the master forks.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "rrsim/core/experiment.h"
+#include "rrsim/grid/platform.h"
+#include "rrsim/util/rng.h"
+#include "rrsim/workload/calibrate.h"
+#include "rrsim/workload/estimators.h"
+#include "rrsim/workload/swf.h"
+#include "rrsim/workload/trace_cache.h"
+
+namespace rrsim::core::detail {
+
+// Distinct substream tags so each model component draws independent
+// randomness from the master seed.
+enum Substream : std::uint64_t {
+  kStreamWorkloadBase = 1000,
+  kStreamEstimatorBase = 2000,
+  kStreamRedundancy = 3000,
+  kStreamPlacement = 3001,
+  kStreamCalibration = 3002,
+  kStreamUsers = 3003,
+};
+
+/// One cluster's job stream: memoized (Lublin path) or owned (SWF path).
+struct ClusterStream {
+  workload::TraceCache::StreamPtr shared;  // Lublin path (memoized)
+  workload::JobStream own;                 // SWF path
+  const workload::JobStream& get() const noexcept {
+    return shared ? *shared : own;
+  }
+};
+
+/// Pre-drawn per-job user attribution and redundancy coin flip, in
+/// cluster-major job order — the order every arrival mechanism (and both
+/// kernels) consumes the user/redundancy substreams. 8 bytes per job.
+struct Draw {
+  std::uint32_t user = 0;
+  bool redundant = false;
+};
+
+/// Output of resolve_clusters(): validated platform shape plus the master
+/// generator, positioned exactly where the historical inline code left it
+/// (calibration substream consumed).
+struct ResolvedClusters {
+  std::vector<grid::ClusterConfig> cluster_configs;
+  util::Rng master{0};
+};
+
+/// Output of resolve_streams().
+struct ResolvedStreams {
+  std::vector<ClusterStream> streams;
+  std::vector<Draw> draws;  ///< cluster-major, one per generated job
+  util::Rng placement_rng{0};
+  std::size_t jobs_generated = 0;
+};
+
+/// Validates the platform/workload half of `config` and resolves the
+/// per-cluster workload parameters. Deterministic in config.seed.
+inline ResolvedClusters resolve_clusters(const ExperimentConfig& config) {
+  if (config.n_clusters == 0) {
+    throw std::invalid_argument("need >= 1 cluster");
+  }
+  if (!config.cluster_nodes.empty() &&
+      config.cluster_nodes.size() != config.n_clusters) {
+    throw std::invalid_argument("cluster_nodes size mismatch");
+  }
+  if (!config.cluster_mean_iat.empty() &&
+      config.cluster_mean_iat.size() != config.n_clusters) {
+    throw std::invalid_argument("cluster_mean_iat size mismatch");
+  }
+  if (config.redundant_fraction < 0.0 || config.redundant_fraction > 1.0) {
+    throw std::invalid_argument("redundant_fraction must be in [0, 1]");
+  }
+  if (config.submit_horizon < 0.0) {
+    throw std::invalid_argument("submit_horizon must be >= 0");
+  }
+
+  ResolvedClusters out{{}, util::Rng(config.seed)};
+
+  // Calibration and stream generation use substreams that depend only on
+  // the seed and the cluster index, never on the redundancy scheme, so
+  // paired runs (scheme vs. NONE) see identical job streams.
+  out.cluster_configs.resize(config.n_clusters);
+  {
+    util::Rng calib_rng = out.master.fork(kStreamCalibration);
+    for (std::size_t i = 0; i < config.n_clusters; ++i) {
+      grid::ClusterConfig& cc = out.cluster_configs[i];
+      cc.nodes = config.nodes_of(i);
+      cc.workload = config.base_workload;
+      if (!config.cluster_mean_iat.empty()) {
+        cc.workload =
+            cc.workload.with_mean_interarrival(config.cluster_mean_iat[i]);
+      } else if (config.load_mode == LoadMode::kSharedPeak) {
+        cc.workload = cc.workload.with_mean_interarrival(
+            cc.workload.mean_interarrival() *
+            static_cast<double>(config.n_clusters));
+      } else if (config.load_mode == LoadMode::kCalibrated) {
+        cc.workload = workload::calibrate_params(
+            cc.workload, cc.nodes, config.target_utilization, calib_rng);
+      }
+      // kPerClusterPeak keeps the literal model rate.
+    }
+  }
+
+  if (config.per_user_pending_limit < 0 || config.users_per_cluster < 1) {
+    throw std::invalid_argument("invalid per-user limit configuration");
+  }
+  return out;
+}
+
+/// Resolves the job streams (memoized via the TraceCache on the Lublin
+/// path) and the cluster-major user/redundancy draws. `master` must be
+/// the generator resolve_clusters() returned, untouched in between.
+inline ResolvedStreams resolve_streams(
+    const ExperimentConfig& config,
+    const std::vector<grid::ClusterConfig>& cluster_configs,
+    util::Rng& master, const workload::RuntimeEstimator& estimator) {
+  ResolvedStreams out;
+  util::Rng redundancy_rng = master.fork(kStreamRedundancy);
+  util::Rng users_rng = master.fork(kStreamUsers);
+  out.placement_rng = master.fork(kStreamPlacement);
+  // Streams for all clusters are resolved up front, shared by every
+  // consumer. Fork order is unchanged from the historical single loop:
+  // the workload/estimator substreams fork in cluster order here, and the
+  // user/redundancy draws below consume their own already-forked streams.
+  out.streams.resize(config.n_clusters);
+  for (std::size_t i = 0; i < config.n_clusters; ++i) {
+    util::Rng stream_rng = master.fork(kStreamWorkloadBase + i);
+    util::Rng est_rng = master.fork(kStreamEstimatorBase + i);
+    if (!config.trace_files.empty()) {
+      workload::JobStream own_stream = workload::read_swf_file(
+          config.trace_files[i % config.trace_files.size()]);
+      // Shift to t=0, drop jobs that cannot run here, cut at the horizon.
+      const double t0 =
+          own_stream.empty() ? 0.0 : own_stream.front().submit_time;
+      workload::JobStream filtered;
+      for (workload::JobSpec spec : own_stream) {
+        spec.submit_time -= t0;
+        if (spec.submit_time > config.submit_horizon) break;
+        if (spec.submit_time <= 0.0) spec.submit_time = 1e-6;
+        if (spec.nodes > cluster_configs[i].nodes) continue;
+        filtered.push_back(spec);
+      }
+      out.streams[i].own = std::move(filtered);
+    } else {
+      // Memoized: sweep points sharing (seed, params, shape) — the common-
+      // random-number pairing every figure uses — generate this stream
+      // once per process. The Rng forks above happen unconditionally, so a
+      // cache hit leaves every other substream exactly where a miss would.
+      const workload::TraceKey key = workload::TraceKey::of(
+          cluster_configs[i].workload, cluster_configs[i].nodes,
+          config.submit_horizon, stream_rng, est_rng, estimator);
+      out.streams[i].shared = workload::TraceCache::global().get_or_generate(
+          key, [&]() {
+            const workload::LublinModel model(cluster_configs[i].workload,
+                                              cluster_configs[i].nodes);
+            workload::JobStream s =
+                model.generate_stream(stream_rng, config.submit_horizon);
+            workload::apply_estimator(s, estimator, est_rng);
+            return s;
+          });
+    }
+  }
+  for (const ClusterStream& cs : out.streams) {
+    out.jobs_generated += cs.get().size();
+  }
+
+  // Per-job draws, cluster-major — exactly the order the historical
+  // retained staging loop and the streaming pumps consumed these
+  // substreams, so the values are bit-identical to both.
+  out.draws.reserve(out.jobs_generated);
+  for (std::size_t i = 0; i < config.n_clusters; ++i) {
+    const std::size_t count = out.streams[i].get().size();
+    for (std::size_t j = 0; j < count; ++j) {
+      Draw d;
+      d.user = static_cast<std::uint32_t>(
+          i * 4096 + users_rng.below(static_cast<std::uint64_t>(
+                         config.users_per_cluster)));
+      d.redundant = !config.scheme.is_none() &&
+                    redundancy_rng.chance(config.redundant_fraction);
+      out.draws.push_back(d);
+    }
+  }
+  return out;
+}
+
+/// The conservative-PDES run path (pdes_experiment.cpp). run_experiment()
+/// dispatches here when config.pdes && cross_cluster_latency > 0 &&
+/// n_clusters > 1.
+SimResult run_pdes_experiment(const ExperimentConfig& config);
+
+}  // namespace rrsim::core::detail

@@ -116,6 +116,28 @@ struct ExperimentConfig {
   double truncate_factor = 1.0;  ///< observation window, multiple of
                                  ///< submit_horizon (used when !drain)
 
+  // --- cross-cluster latency / parallel execution --------------------------
+  /// Run on the conservative parallel kernel: one DES partition per
+  /// cluster, advanced in lookahead windows (exec/pdes.h), with the
+  /// distributed per-cluster gateway (grid/pdes_gateway.h). Requires
+  /// cross_cluster_latency > 0 — the latency is the protocol's lookahead.
+  /// Results are bit-identical for any pdes_jobs. Incompatible with
+  /// middleware, record_predictions, streaming (retain_records == false)
+  /// and the "least-loaded" placement (which needs a global queue view).
+  bool pdes = false;
+  /// One-way latency, in seconds, of every cross-cluster interaction:
+  /// remote replica submission, sibling cancellation, and the notices that
+  /// flow back to the origin. 0 (the default) is the paper's zero-delay
+  /// assumption, served by the classic single-gateway kernel; > 0 requires
+  /// pdes and models the real-grid regime where a job can start on two
+  /// clusters because the cancellation was still in flight
+  /// (SimResult::duplicate_starts).
+  double cross_cluster_latency = 0.0;
+  /// Worker threads for the PDES kernel; <= 0 resolves like --jobs
+  /// (RRSIM_JOBS, then hardware_concurrency), and is clamped to
+  /// n_clusters. 1 runs the same windowed protocol sequentially.
+  int pdes_jobs = 0;
+
   // --- bookkeeping ---------------------------------------------------------
   bool record_predictions = false;  ///< Section 5 instrumentation
   /// If true (the default), every finished job is appended to
@@ -158,6 +180,15 @@ struct SimResult {
   double middleware_max_backlog = 0.0;  ///< worst station backlog (ops)
   double middleware_mean_sojourn = 0.0;  ///< mean op latency, seconds
   std::uint64_t jobs_generated = 0;
+  /// PDES mode only: grid jobs that started on more than one cluster
+  /// because the sibling cancellation was still in flight (the
+  /// latency-specific harm; always 0 on the zero-delay kernel).
+  std::uint64_t duplicate_starts = 0;
+  /// PDES mode only: finish notices discarded because the job's record
+  /// already existed (the duplicate runs completing).
+  std::uint64_t duplicate_finishes = 0;
+  /// PDES mode only: barrier windows the coordinator executed.
+  std::uint64_t pdes_windows = 0;
   double avg_max_queue = 0.0;  ///< mean over clusters of max queue length
   std::vector<double> queue_growth_per_hour;  ///< per cluster, jobs/hour
   double end_time = 0.0;  ///< simulated time when everything drained

@@ -21,6 +21,14 @@
 //   --jobs=N          campaign worker threads (also env RRSIM_JOBS;
 //                     default: hardware concurrency). Campaign results
 //                     are bit-identical for any N.
+//   --pdes            run on the conservative parallel kernel (one DES
+//                     partition per cluster; requires --latency > 0 to
+//                     take effect, worker count from --jobs/RRSIM_JOBS;
+//                     --jobs=1 warns and runs the protocol sequentially).
+//                     Results are bit-identical for any worker count.
+//   --latency=S       one-way cross-cluster latency in seconds (>= 0;
+//                     > 0 requires --pdes). 0 keeps the paper's zero-delay
+//                     assumption on the classic kernel.
 #pragma once
 
 #include "rrsim/core/experiment.h"

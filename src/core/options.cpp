@@ -1,5 +1,6 @@
 #include "rrsim/core/options.h"
 
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -90,6 +91,27 @@ ExperimentConfig apply_common_flags(ExperimentConfig config,
                                   std::to_string(jobs) + ")");
     }
     exec::set_default_jobs(static_cast<int>(jobs));
+  }
+  if (cli.has("latency")) {
+    const double latency = cli.get_double("latency", 0.0);
+    if (latency < 0.0) {
+      throw std::invalid_argument("--latency must be >= 0 seconds (got " +
+                                  std::to_string(latency) + ")");
+    }
+    config.cross_cluster_latency = latency;
+  }
+  // After --jobs so the PDES worker count sees the configured default.
+  if (cli.has("pdes")) {
+    config.pdes = cli.get_bool("pdes", true);
+    if (config.pdes) {
+      config.pdes_jobs = exec::default_jobs();
+      if (config.pdes_jobs == 1) {
+        std::fprintf(stderr,
+                     "warning: --pdes with one worker (--jobs=1) runs the "
+                     "windowed protocol sequentially; results are identical, "
+                     "there is just no speedup\n");
+      }
+    }
   }
   return config;
 }

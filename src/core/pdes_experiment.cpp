@@ -1,0 +1,245 @@
+// The conservative-PDES run path: one DES partition per cluster advanced
+// in lookahead windows (exec::PdesCoordinator), with the distributed
+// per-cluster gateway (grid::PdesGateway) exchanging L-delayed messages.
+//
+// Everything *before* the event loop — workload resolution, job streams,
+// user/redundancy draws — is shared with the sequential kernel through
+// experiment_detail.h, so a PDES run consumes byte-identical inputs.
+// During the run, each cluster's arrival pump, scheduler, gateway agent,
+// placement generator and queue tracker are touched only by that
+// cluster's partition, which is what makes results independent of the
+// worker count (DESIGN.md §9).
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "rrsim/core/experiment.h"
+#include "rrsim/exec/pdes.h"
+#include "rrsim/grid/pdes_gateway.h"
+#include "rrsim/grid/placement.h"
+#include "rrsim/metrics/queue_tracker.h"
+#include "rrsim/sched/factory.h"
+#include "rrsim/util/validate.h"
+#include "experiment_detail.h"
+
+namespace rrsim::core::detail {
+
+SimResult run_pdes_experiment(const ExperimentConfig& config) {
+  // The features below all assume the zero-delay single-gateway kernel:
+  // middleware stations and submit-time predictions consult global state
+  // at one instant, streaming folds records through one sink in global
+  // finish order, and least-loaded placement reads every cluster's live
+  // queue length. Reject them loudly instead of silently degrading.
+  if (config.middleware_ops_per_sec > 0.0) {
+    throw std::invalid_argument("middleware is not supported in PDES mode");
+  }
+  if (config.record_predictions) {
+    throw std::invalid_argument(
+        "record_predictions is not supported in PDES mode");
+  }
+  if (!config.retain_records) {
+    throw std::invalid_argument(
+        "streaming (retain_records = false) is not supported in PDES mode");
+  }
+  if (config.placement == "least-loaded") {
+    throw std::invalid_argument(
+        "least-loaded placement needs a global queue view; "
+        "not supported in PDES mode");
+  }
+  if (!config.drain && config.truncate_factor <= 0.0) {
+    throw std::invalid_argument("truncate_factor must be > 0");
+  }
+
+  ResolvedClusters rc = resolve_clusters(config);
+  const std::size_t n = config.n_clusters;
+
+  // Declared before everything that schedules callbacks into its
+  // partitions: the coordinator (and its simulations, holding any
+  // still-queued callbacks after a truncated run) must be destroyed last.
+  exec::PdesCoordinator coord(n, config.cross_cluster_latency,
+                              config.pdes_jobs);
+
+  std::vector<std::unique_ptr<sched::ClusterScheduler>> owned_scheds;
+  std::vector<sched::ClusterScheduler*> scheds;
+  owned_scheds.reserve(n);
+  scheds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    owned_scheds.push_back(sched::make_scheduler(
+        config.algorithm, coord.partition(i), rc.cluster_configs[i].nodes));
+    if (config.per_user_pending_limit > 0) {
+      owned_scheds.back()->set_per_user_pending_limit(
+          config.per_user_pending_limit);
+    }
+    scheds.push_back(owned_scheds.back().get());
+  }
+
+  grid::PdesGateway gateway(coord, scheds, config.cross_cluster_latency);
+
+  const auto placement = grid::make_placement(config.placement);
+  const auto estimator = workload::make_estimator(config.estimator);
+  ResolvedStreams rs =
+      resolve_streams(config, rc.cluster_configs, rc.master, *estimator);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    gateway.reserve_records(i, rs.streams[i].get().size());
+  }
+
+  // Placement state is per-cluster so redundant jobs can pick their
+  // remotes on their own partition without sharing a generator. (The
+  // classic kernel draws all clusters from one placement stream, so PDES
+  // target choices differ from it at the same seed — but are identical
+  // across worker counts, which is the determinism that matters here.)
+  std::vector<util::Rng> placement_rngs;
+  placement_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    placement_rngs.push_back(rs.placement_rng.fork(i));
+  }
+  std::vector<int> sizes;
+  sizes.reserve(n);
+  for (const grid::ClusterConfig& cc : rc.cluster_configs) {
+    sizes.push_back(cc.nodes);
+  }
+  const std::vector<std::size_t> no_lengths;  // read-only, shared by all
+
+  const std::size_t degree = config.scheme.degree(n);
+  const double inflation = config.remote_inflation;
+  const auto place_job = [&placement = *placement, &placement_rngs, &sizes,
+                          &no_lengths, degree](grid::GridJob& job) {
+    if (job.redundant && degree > 1) {
+      const grid::PlatformView view{sizes, no_lengths};
+      auto remotes =
+          placement.choose_remotes(job.origin, job.spec.nodes, view,
+                                   degree - 1, placement_rngs[job.origin]);
+      job.targets.insert(job.targets.end(), remotes.begin(), remotes.end());
+      job.redundant = job.targets.size() > 1;
+    } else {
+      job.redundant = false;
+    }
+  };
+
+  // Per-cluster arrival pumps, as in the streaming kernel: one in-flight
+  // arrival event per cluster, walking the memoized stream. Ids are
+  // cluster-major from 1 — the same scheme the retained kernel uses.
+  struct Pump {
+    const workload::JobStream* stream = nullptr;
+    std::size_t next = 0;
+    std::size_t draw_base = 0;
+    grid::GridJobId id_base = 0;
+    grid::GridJob scratch;
+  };
+  std::vector<Pump> pumps(n);
+  {
+    std::size_t base = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pumps[i].stream = &rs.streams[i].get();
+      pumps[i].draw_base = base;
+      pumps[i].id_base = static_cast<grid::GridJobId>(base);
+      base += rs.streams[i].get().size();
+    }
+  }
+  // Fires cluster ci's next arrival on ci's partition, then schedules the
+  // following one there. Runs concurrently for different ci, but touches
+  // only cluster-confined state (pumps[ci], placement_rngs[ci], the
+  // origin gateway agent) plus the coordinator's per-source mailbox.
+  std::function<void(std::size_t)> pump_fire =
+      [&gateway, &place_job, &pumps, &rs, &coord, &pump_fire,
+       inflation](std::size_t ci) {
+        Pump& p = pumps[ci];
+        const workload::JobSpec& spec = (*p.stream)[p.next];
+        const Draw& d = rs.draws[p.draw_base + p.next];
+        grid::GridJob& job = p.scratch;
+        job.id = p.id_base + p.next + 1;
+        job.origin = ci;
+        job.user = static_cast<sched::UserId>(d.user);
+        job.spec = spec;
+        job.redundant = d.redundant;
+        job.targets.clear();
+        job.targets.push_back(ci);
+        place_job(job);
+        gateway.submit(job, inflation);
+        if (++p.next < p.stream->size()) {
+          coord.partition(ci).schedule_at(
+              (*p.stream)[p.next].submit_time,
+              [&pump_fire, ci] { pump_fire(ci); }, des::Priority::kArrival);
+        }
+      };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pumps[i].stream->empty()) continue;
+    coord.partition(i).schedule_at(pumps[i].stream->front().submit_time,
+                                   [&pump_fire, i] { pump_fire(i); },
+                                   des::Priority::kArrival);
+  }
+
+  // One single-probe tracker per partition (the classic kernel's one
+  // tracker would probe other clusters' schedulers across partitions).
+  std::vector<std::unique_ptr<metrics::QueueTracker>> trackers;
+  trackers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<metrics::QueueTracker::Probe> probes;
+    probes.emplace_back(
+        [&sched = *scheds[i]] { return sched.queue_length(); });
+    trackers.push_back(std::make_unique<metrics::QueueTracker>(
+        coord.partition(i), std::move(probes), config.queue_sample_interval,
+        config.submit_horizon));
+  }
+
+  if (config.drain) {
+    coord.run();
+  } else {
+    coord.run(config.submit_horizon * config.truncate_factor);
+  }
+
+#if RRSIM_VALIDATE_ENABLED
+  gateway.debug_validate();
+#endif
+
+  SimResult result;
+  for (const sched::ClusterScheduler* s : scheds) {
+    const sched::OpCounters& c = s->counters();
+    // Same aggregation as Platform::total_counters(): rejects are
+    // reported separately as replicas_rejected.
+    result.ops.submits += c.submits;
+    result.ops.cancels += c.cancels;
+    result.ops.starts += c.starts;
+    result.ops.finishes += c.finishes;
+    result.ops.declines += c.declines;
+    result.ops.sched_passes += c.sched_passes;
+  }
+  result.gateway_cancels = gateway.cancellations_issued();
+  result.replicas_rejected = gateway.replicas_rejected();
+  result.duplicate_starts = gateway.duplicate_starts();
+  result.duplicate_finishes = gateway.duplicate_finishes();
+  result.pdes_windows = coord.windows();
+  result.jobs_generated = rs.jobs_generated;
+  double max_sum = 0.0;
+  result.queue_growth_per_hour.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    max_sum += static_cast<double>(trackers[i]->max_length(0));
+    result.queue_growth_per_hour.push_back(trackers[i]->growth_per_hour(0));
+  }
+  result.avg_max_queue = max_sum / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.end_time = std::max(result.end_time, coord.partition(i).now());
+  }
+  result.live_state_bytes = gateway.live_state_bytes();
+  for (const sched::ClusterScheduler* s : scheds) {
+    result.live_state_bytes += s->live_state_bytes();
+  }
+  result.live_state_bytes += rs.draws.capacity() * sizeof(Draw) +
+                             pumps.capacity() * sizeof(Pump);
+  for (const Pump& p : pumps) {
+    result.live_state_bytes +=
+        p.scratch.targets.capacity() * sizeof(std::size_t);
+  }
+  result.records = gateway.take_records();
+  if (config.drain && gateway.finished() != rs.jobs_generated) {
+    throw std::logic_error(
+        "conservation violation: not every grid job finished exactly once");
+  }
+  return result;
+}
+
+}  // namespace rrsim::core::detail

@@ -130,6 +130,19 @@ class Simulation {
   /// queue empties earlier, time still advances to `t`).
   void run_until(Time t);
 
+  /// Runs all events with time strictly < `t`, then sets now() to `t`.
+  /// This is the PDES window primitive: a partition advances through
+  /// [now, t) and stops exactly at the horizon, so an event scheduled at
+  /// `t` itself (e.g. a message injected at the horizon) still dispatches
+  /// in a later window under the same (time, priority, seq) order.
+  void run_before(Time t);
+
+  /// Timestamp of the earliest live event, or kTimeInfinity when none
+  /// remain. May refill the near heap from the calendar tiers and drop
+  /// stale (cancelled) heap entries, but dispatches nothing and never
+  /// changes the observable dispatch order.
+  Time next_event_time();
+
   /// Number of live (non-cancelled) events still queued.
   std::size_t pending_events() const noexcept { return live_; }
 

@@ -297,6 +297,33 @@ void Simulation::run_until(Time t) {
   now_ = t;
 }
 
+void Simulation::run_before(Time t) {
+  if (t < now_) throw std::invalid_argument("run_before: time in the past");
+  for (;;) {
+    if (heap_.empty() && !refill()) break;
+    const QueueEntry& top = heap_.front();
+    if (!is_live(top.slot, top.gen)) {
+      heap_pop();
+      continue;
+    }
+    if (!(top.time < t)) break;
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+Time Simulation::next_event_time() {
+  for (;;) {
+    if (heap_.empty() && !refill()) return kTimeInfinity;
+    const QueueEntry& top = heap_.front();
+    if (!is_live(top.slot, top.gen)) {
+      heap_pop();
+      continue;
+    }
+    return top.time;
+  }
+}
+
 #if RRSIM_VALIDATE_ENABLED
 std::uint64_t Simulation::debug_fingerprint() const noexcept {
   // FNV-1a over the semantic state. Arena capacities (slab size, heap /

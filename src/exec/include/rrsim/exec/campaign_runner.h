@@ -58,7 +58,7 @@ class CampaignRunner {
     const int workers = jobs_ < n ? jobs_ : n;
     {
       ThreadPool pool(workers);
-      parallel_for_each(pool, n, [&](int r) {
+      parallel_for_each(pool, n, [&results, &map](int r) {
         results[static_cast<std::size_t>(r)].emplace(map(r));
       });
     }

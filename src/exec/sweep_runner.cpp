@@ -18,7 +18,7 @@ void SweepRunner::run() {
       for (const auto& [t, u] : flat) tasks_[t].run_unit(u);
     } else {
       ThreadPool pool(jobs_ < n ? jobs_ : n);
-      parallel_for_each(pool, n, [&](int i) {
+      parallel_for_each(pool, n, [&flat, this](int i) {
         const auto& [t, u] = flat[static_cast<std::size_t>(i)];
         tasks_[t].run_unit(u);
       });

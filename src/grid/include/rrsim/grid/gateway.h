@@ -9,6 +9,14 @@
 // +10 %/+50 % experiment). Simultaneous starts are resolved through the
 // scheduler grant callback: the first grant wins, any same-instant grant
 // for a sibling is declined.
+//
+// The zero-delay assumption is what makes this a *single* object: a grant
+// anywhere may consult global tracking state at the same instant. For
+// runs with a real cross-cluster latency (--pdes --latency=<s>) the
+// experiment layer uses grid::PdesGateway instead — one agent per
+// cluster exchanging L-delayed messages, which is also what lets the
+// conservative parallel kernel advance clusters concurrently
+// (pdes_gateway.h, exec/pdes.h, DESIGN.md §9).
 #pragma once
 
 #include <cstdint>

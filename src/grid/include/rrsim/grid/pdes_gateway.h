@@ -1,0 +1,179 @@
+// Distributed gateway for the PDES mode: redundant requests with a real
+// cross-cluster latency.
+//
+// The classic Gateway (gateway.h) is a single object arbitrating every
+// cluster under the paper's zero-delay assumption — a grant on any
+// cluster can consult and mutate global tracking state at the same
+// simulated instant. With a cross-cluster latency L > 0 that shortcut is
+// both physically wrong and fatal to parallel execution, so this gateway
+// is one *agent per cluster*, each confined to its cluster's PDES
+// partition:
+//
+//   * the origin agent owns a job's tracking entry (replica set, started/
+//     finished flags, the outcome record);
+//   * a target agent owns the route entry for each replica queued locally
+//     (replica id -> origin cluster + grid job);
+//   * every cross-cluster interaction — replica submission, sibling
+//     cancellation, grant/finish/reject notices back to the origin —
+//     travels through PdesCoordinator::post() with delay L.
+//
+// Protocol consequences of the latency (all deliberate, all measured
+// rather than hidden): a replica can be granted while the winner's
+// cancellation is still in flight, so a grid job may *start more than
+// once* (`duplicate_starts()`); the first finish notice to reach the
+// origin produces the job's record; records carry the user's submit time
+// at the origin, not the (L-delayed) time the replica entered a remote
+// queue. With L = 0 the experiment layer uses the classic gateway
+// instead — this class requires a strictly positive latency.
+//
+// Thread contract: every handler runs on the partition that owns the
+// state it touches, so no locks are needed and runs are bit-identical
+// for any worker count (see exec/pdes.h and DESIGN.md §9).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rrsim/exec/pdes.h"
+#include "rrsim/grid/gateway.h"
+#include "rrsim/metrics/record.h"
+#include "rrsim/sched/scheduler.h"
+#include "rrsim/util/flat_map.h"
+
+namespace rrsim::grid {
+
+/// Per-cluster gateway agents over a PdesCoordinator. Counter accessors
+/// sum across agents and must only be called while the coordinator is
+/// quiescent (before run() or after it returns).
+class PdesGateway {
+ public:
+  /// One scheduler per coordinator partition (same indexing); `latency`
+  /// must equal the coordinator's lookahead and be > 0.
+  PdesGateway(exec::PdesCoordinator& coord,
+              std::vector<sched::ClusterScheduler*> schedulers,
+              double latency);
+
+  PdesGateway(const PdesGateway&) = delete;
+  PdesGateway& operator=(const PdesGateway&) = delete;
+
+  /// Submits `job` from its origin cluster at the origin partition's
+  /// current time: the origin replica enters the local queue immediately,
+  /// remote replicas arrive at their targets after `latency`. Must be
+  /// called from code running on the origin partition. Moldable
+  /// replica_specs are not supported in PDES mode (same-queue siblings
+  /// need the zero-delay grant-decline arbitration); throws
+  /// std::invalid_argument. Validation otherwise matches Gateway::submit.
+  void submit(const GridJob& job, double remote_inflation = 1.0);
+
+  /// Pre-sizes cluster `origin`'s record buffer for `n` finished jobs.
+  void reserve_records(std::size_t origin, std::size_t n);
+
+  /// Concatenates and moves out all agents' records, in origin-cluster
+  /// order (within a cluster: finish-notice order at the origin).
+  metrics::JobRecords take_records();
+
+  std::uint64_t submitted() const noexcept;
+  std::uint64_t finished() const noexcept;
+  std::uint64_t cancellations_issued() const noexcept;
+  std::uint64_t replicas_rejected() const noexcept;
+
+  /// Grid jobs that started on more than one cluster because the sibling
+  /// cancellation was still in flight when another replica was granted —
+  /// the latency-specific harm of redundant requests. (The classic
+  /// zero-delay gateway declines such grants; with L > 0 the information
+  /// simply is not there yet.)
+  std::uint64_t duplicate_starts() const noexcept;
+
+  /// Finish notices discarded because the job's record already existed
+  /// (the duplicate runs completing).
+  std::uint64_t duplicate_finishes() const noexcept;
+
+  /// Job-proportional live tracking state across all agents (tracked
+  /// jobs, replica lists, route tables), capacity-based. Unlike the
+  /// classic gateway there is no reclaim-at-finish: notices about a job
+  /// can arrive up to 2L after its record is written, so tracking
+  /// entries live for the whole run (O(total jobs)).
+  std::size_t live_state_bytes() const noexcept;
+
+#if RRSIM_VALIDATE_ENABLED
+  /// Cross-agent tracking sweep (quiescent only): every route entry maps
+  /// back to a tracked job at its origin whose replica list contains it.
+  void debug_validate() const;
+#endif
+
+ private:
+  struct Route {
+    std::uint32_t origin = 0;
+    std::uint32_t grid = 0;
+  };
+
+  struct Tracked {
+    struct Replica {
+      std::uint32_t cluster = 0;
+      sched::JobId id = 0;
+    };
+    std::vector<Replica> replicas;
+    double submit_time = 0.0;  ///< user's submit instant at the origin
+    std::uint32_t winner = 0;
+    std::uint16_t replicas_sent = 0;
+    bool redundant = false;
+    bool started = false;
+    bool finished = false;
+  };
+
+  /// Everything one cluster's agent owns; only that cluster's partition
+  /// thread may touch it.
+  struct Agent {
+    util::FlatHashMap<GridJobId, Tracked> tracked;  ///< jobs originating here
+    util::FlatHashMap<sched::JobId, Route> routes;  ///< replicas queued here
+    metrics::JobRecords records;
+    std::uint64_t next_replica = 0;  ///< per-origin allocation counter
+    std::uint64_t submitted = 0;
+    std::uint64_t finished = 0;
+    std::uint64_t cancels_issued = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t duplicate_starts = 0;
+    std::uint64_t duplicate_finishes = 0;
+  };
+
+  /// Fields a finish notice carries to the origin.
+  struct FinishInfo {
+    std::uint32_t winner = 0;
+    int nodes = 1;
+    double start_time = 0.0;
+    double finish_time = 0.0;
+    double actual_time = 0.0;
+    double requested_time = 0.0;
+  };
+
+  /// Globally unique, dense-per-origin replica ids: origin o allocates
+  /// o+1, o+1+n, o+1+2n, ... so no two agents can mint the same id
+  /// without any shared counter.
+  sched::JobId allocate_replica_id(std::size_t origin);
+
+  bool on_grant(std::size_t cluster, const sched::Job& job);
+  void on_finish(std::size_t cluster, const sched::Job& job);
+
+  /// Runs on `target`: registers the route and queues the replica.
+  void deliver_submit(std::size_t target, std::uint32_t origin,
+                      std::uint32_t grid, const sched::Job& replica);
+  /// Runs on `cluster`: qdel for a (possibly already terminal) replica.
+  void deliver_cancel(std::size_t cluster, sched::JobId replica);
+  /// Runs on `origin`: a replica started on `winner`.
+  void handle_start(std::size_t origin, std::uint32_t winner,
+                    std::uint32_t grid);
+  /// Runs on `origin`: a replica finished on info.winner.
+  void handle_finish(std::size_t origin, std::uint32_t grid,
+                     const FinishInfo& info);
+  /// Runs on `origin`: a remote target refused the replica (user limit).
+  void handle_reject(std::size_t origin, std::uint32_t grid,
+                     sched::JobId replica);
+
+  exec::PdesCoordinator& coord_;
+  std::vector<sched::ClusterScheduler*> scheds_;
+  double latency_;
+  std::vector<Agent> agents_;
+};
+
+}  // namespace rrsim::grid

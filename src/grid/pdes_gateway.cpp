@@ -1,0 +1,378 @@
+#include "rrsim/grid/pdes_gateway.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace rrsim::grid {
+
+PdesGateway::PdesGateway(exec::PdesCoordinator& coord,
+                         std::vector<sched::ClusterScheduler*> schedulers,
+                         double latency)
+    : coord_(coord), scheds_(std::move(schedulers)), latency_(latency) {
+  if (scheds_.size() != coord_.partitions()) {
+    throw std::invalid_argument("pdes gateway: need one scheduler per partition");
+  }
+  for (const sched::ClusterScheduler* s : scheds_) {
+    if (s == nullptr) throw std::invalid_argument("pdes gateway: null scheduler");
+  }
+  if (!(latency_ > 0.0) || latency_ != coord_.lookahead()) {
+    throw std::invalid_argument(
+        "pdes gateway: latency must be positive and equal the coordinator's "
+        "lookahead");
+  }
+  agents_.resize(scheds_.size());
+  for (std::size_t c = 0; c < scheds_.size(); ++c) {
+    sched::ClusterScheduler::Callbacks cb;
+    cb.on_grant = [this, c](const sched::Job& job) { return on_grant(c, job); };
+    cb.on_finish = [this, c](const sched::Job& job) { on_finish(c, job); };
+    scheds_[c]->set_callbacks(std::move(cb));
+  }
+}
+
+sched::JobId PdesGateway::allocate_replica_id(std::size_t origin) {
+  const std::uint64_t n = agents_.size();
+  const std::uint64_t raw = agents_[origin].next_replica * n + origin + 1;
+  if (raw > std::numeric_limits<sched::JobId>::max()) {
+    throw std::length_error("pdes gateway: replica id space exhausted");
+  }
+  ++agents_[origin].next_replica;
+  return static_cast<sched::JobId>(raw);
+}
+
+void PdesGateway::submit(const GridJob& job, double remote_inflation) {
+  if (remote_inflation < 1.0) {
+    throw std::invalid_argument("remote inflation factor must be >= 1");
+  }
+  if (job.targets.empty()) {
+    throw std::invalid_argument("grid job needs >= 1 target");
+  }
+  if (job.id > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("grid job id exceeds the 32-bit id space");
+  }
+  if (job.origin >= agents_.size()) {
+    throw std::invalid_argument("origin cluster outside the platform");
+  }
+  if (std::find(job.targets.begin(), job.targets.end(), job.origin) ==
+      job.targets.end()) {
+    throw std::invalid_argument("origin cluster must be among the targets");
+  }
+  if (!job.replica_specs.empty()) {
+    // Same-queue (moldable) siblings rely on the zero-delay grant-decline
+    // arbitration of the classic gateway; with a real latency the decline
+    // information cannot exist yet.
+    throw std::invalid_argument(
+        "moldable replica shapes are not supported in PDES mode");
+  }
+  {
+    auto sorted = job.targets;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw std::invalid_argument("duplicate target cluster");
+    }
+    if (sorted.back() >= agents_.size()) {
+      throw std::invalid_argument("target cluster outside the platform");
+    }
+  }
+  const std::size_t origin = job.origin;
+  Agent& agent = agents_[origin];
+  des::Simulation& sim = coord_.partition(origin);
+
+  Tracked fresh;
+  fresh.submit_time = sim.now();
+  fresh.redundant = job.redundant;
+  fresh.replicas_sent = static_cast<std::uint16_t>(
+      std::min<std::size_t>(job.targets.size(), 0xffff));
+  const auto inserted = agent.tracked.try_emplace(job.id, std::move(fresh));
+  if (!inserted.inserted) {
+    throw std::invalid_argument("duplicate grid job id");
+  }
+  ++agent.submitted;
+  Tracked& tracked = *inserted.value;
+  tracked.replicas.reserve(job.targets.size());
+
+  // Build all replica descriptors before queuing any, exactly like the
+  // classic gateway: the origin replica may be granted during its own
+  // submission pass, and the start handler must already see the full
+  // sibling set to cancel it.
+  struct PendingSubmit {
+    std::size_t cluster;
+    sched::Job replica;
+  };
+  std::vector<PendingSubmit> submits;
+  submits.reserve(job.targets.size());
+  bool first_replica = true;
+  for (const std::size_t target : job.targets) {
+    const workload::JobSpec& spec = job.spec;
+    sched::Job replica;
+    replica.id = allocate_replica_id(origin);
+    replica.nodes = spec.nodes;
+    replica.user = job.user;
+    replica.limit_exempt = first_replica && target == job.origin;
+    first_replica = false;
+    replica.actual_time = spec.runtime;
+    replica.requested_time = target == job.origin
+                                 ? spec.requested_time
+                                 : spec.requested_time * remote_inflation;
+    replica.requested_time =
+        std::max(replica.requested_time, replica.actual_time);
+    tracked.replicas.push_back(
+        Tracked::Replica{static_cast<std::uint32_t>(target), replica.id});
+    submits.push_back(PendingSubmit{target, replica});
+  }
+  const auto grid32 = static_cast<std::uint32_t>(job.id);
+  for (PendingSubmit& s : submits) {
+    if (s.cluster == origin) {
+      deliver_submit(origin, static_cast<std::uint32_t>(origin), grid32,
+                     s.replica);
+    } else {
+      coord_.post(origin, s.cluster, sim.now() + latency_,
+                  des::Priority::kArrival,
+                  [this, target = s.cluster, o = static_cast<std::uint32_t>(
+                                                 origin),
+                   grid32, replica = s.replica] {
+                    deliver_submit(target, o, grid32, replica);
+                  });
+    }
+  }
+}
+
+void PdesGateway::deliver_submit(std::size_t target, std::uint32_t origin,
+                                 std::uint32_t grid,
+                                 const sched::Job& replica) {
+  Agent& agent = agents_[target];
+  agent.routes.try_emplace(replica.id, Route{origin, grid});
+  if (!scheds_[target]->submit(replica)) {
+    // Refused by a per-user pending limit. Tell the origin so the job's
+    // replicas_delivered count excludes this request (the notice takes
+    // another L; a record written before it arrives keeps the optimistic
+    // count — stale information is the point of this mode).
+    agent.routes.erase(replica.id);
+    if (static_cast<std::size_t>(origin) == target) {
+      handle_reject(target, grid, replica.id);
+    } else {
+      coord_.post(target, origin, coord_.partition(target).now() + latency_,
+                  des::Priority::kControl,
+                  [this, o = static_cast<std::size_t>(origin), grid,
+                   rid = replica.id] { handle_reject(o, grid, rid); });
+    }
+  }
+}
+
+bool PdesGateway::on_grant(std::size_t cluster, const sched::Job& job) {
+  const Route* route = agents_[cluster].routes.find(job.id);
+  if (route == nullptr) return true;  // background load — always allow
+  const auto winner = static_cast<std::uint32_t>(cluster);
+  if (route->origin == cluster) {
+    handle_start(cluster, winner, route->grid);
+  } else {
+    coord_.post(cluster, route->origin,
+                coord_.partition(cluster).now() + latency_,
+                des::Priority::kControl,
+                [this, o = static_cast<std::size_t>(route->origin), winner,
+                 grid = route->grid] { handle_start(o, winner, grid); });
+  }
+  // Unlike the classic gateway there is no same-instant decline: the
+  // origin's knowledge is L old, so every grant stands and duplicate
+  // starts are counted instead of prevented.
+  return true;
+}
+
+void PdesGateway::handle_start(std::size_t origin, std::uint32_t winner,
+                               std::uint32_t grid) {
+  Agent& agent = agents_[origin];
+  Tracked* tracked = agent.tracked.find(grid);
+  if (tracked == nullptr) return;  // defensive: unknown job
+  if (tracked->started) {
+    ++agent.duplicate_starts;
+    return;  // siblings were already cancelled at the first start
+  }
+  tracked->started = true;
+  tracked->winner = winner;
+  des::Simulation& sim = coord_.partition(origin);
+  for (const auto& [cluster, rid] : tracked->replicas) {
+    if (cluster == winner) continue;
+    if (cluster == origin) {
+      // Local sibling: same-timestamp deferred qdel, exactly like the
+      // classic gateway (never from inside a scheduling pass).
+      sim.schedule_in(
+          0.0, [this, c = static_cast<std::size_t>(cluster), rid] {
+            deliver_cancel(c, rid);
+          },
+          des::Priority::kCancel);
+    } else {
+      coord_.post(origin, cluster, sim.now() + latency_,
+                  des::Priority::kCancel,
+                  [this, c = static_cast<std::size_t>(cluster), rid] {
+                    deliver_cancel(c, rid);
+                  });
+    }
+  }
+}
+
+void PdesGateway::deliver_cancel(std::size_t cluster, sched::JobId replica) {
+  if (scheds_[cluster]->cancel(replica)) {
+    ++agents_[cluster].cancels_issued;
+    agents_[cluster].routes.erase(replica);
+  }
+  // A cancel for a replica already running (or already terminal) is a
+  // no-op qdel: with latency the canceller cannot know better.
+}
+
+void PdesGateway::on_finish(std::size_t cluster, const sched::Job& job) {
+  Agent& agent = agents_[cluster];
+  const Route* route = agent.routes.find(job.id);
+  if (route == nullptr) return;
+  const std::uint32_t origin = route->origin;
+  const std::uint32_t grid = route->grid;
+  agent.routes.erase(job.id);  // terminal — nothing references it again
+  FinishInfo info;
+  info.winner = static_cast<std::uint32_t>(cluster);
+  info.nodes = job.nodes;
+  info.start_time = job.start_time;
+  info.finish_time = job.finish_time;
+  info.actual_time = job.actual_time;
+  info.requested_time = job.requested_time;
+  if (origin == cluster) {
+    handle_finish(cluster, grid, info);
+  } else {
+    coord_.post(cluster, origin, coord_.partition(cluster).now() + latency_,
+                des::Priority::kControl,
+                [this, o = static_cast<std::size_t>(origin), grid, info] {
+                  handle_finish(o, grid, info);
+                });
+  }
+}
+
+void PdesGateway::handle_finish(std::size_t origin, std::uint32_t grid,
+                                const FinishInfo& info) {
+  Agent& agent = agents_[origin];
+  Tracked* tracked = agent.tracked.find(grid);
+  if (tracked == nullptr) return;  // defensive: unknown job
+  if (tracked->finished) {
+    ++agent.duplicate_finishes;  // a duplicate start completing
+    return;
+  }
+  tracked->finished = true;
+  metrics::JobRecord rec;
+  rec.grid_id = grid;
+  rec.origin_cluster = origin;
+  rec.winner_cluster = info.winner;
+  rec.redundant = tracked->redundant;
+  rec.replicas = static_cast<int>(tracked->replicas_sent);
+  rec.replicas_delivered = static_cast<int>(tracked->replicas.size());
+  rec.nodes = info.nodes;
+  // The user's submit instant at the origin — not the L-delayed time the
+  // winning replica entered its queue — so wait/turnaround include the
+  // cross-cluster delivery delay the user actually experienced.
+  rec.submit_time = tracked->submit_time;
+  rec.start_time = info.start_time;
+  rec.finish_time = info.finish_time;
+  rec.actual_time = info.actual_time;
+  rec.requested_time = info.requested_time;
+  agent.records.push_back(rec);
+  ++agent.finished;
+}
+
+void PdesGateway::handle_reject(std::size_t origin, std::uint32_t grid,
+                                sched::JobId replica) {
+  Agent& agent = agents_[origin];
+  ++agent.rejected;
+  Tracked* tracked = agent.tracked.find(grid);
+  if (tracked == nullptr) return;
+  std::erase_if(tracked->replicas, [replica](const Tracked::Replica& r) {
+    return r.id == replica;
+  });
+}
+
+void PdesGateway::reserve_records(std::size_t origin, std::size_t n) {
+  agents_.at(origin).records.reserve(n);
+}
+
+metrics::JobRecords PdesGateway::take_records() {
+  std::size_t total = 0;
+  for (const Agent& a : agents_) total += a.records.size();
+  metrics::JobRecords all;
+  all.reserve(total);
+  for (Agent& a : agents_) {
+    for (metrics::JobRecord& r : a.records) all.push_back(r);
+    a.records.clear();
+  }
+  return all;
+}
+
+std::uint64_t PdesGateway::submitted() const noexcept {
+  std::uint64_t n = 0;
+  for (const Agent& a : agents_) n += a.submitted;
+  return n;
+}
+
+std::uint64_t PdesGateway::finished() const noexcept {
+  std::uint64_t n = 0;
+  for (const Agent& a : agents_) n += a.finished;
+  return n;
+}
+
+std::uint64_t PdesGateway::cancellations_issued() const noexcept {
+  std::uint64_t n = 0;
+  for (const Agent& a : agents_) n += a.cancels_issued;
+  return n;
+}
+
+std::uint64_t PdesGateway::replicas_rejected() const noexcept {
+  std::uint64_t n = 0;
+  for (const Agent& a : agents_) n += a.rejected;
+  return n;
+}
+
+std::uint64_t PdesGateway::duplicate_starts() const noexcept {
+  std::uint64_t n = 0;
+  for (const Agent& a : agents_) n += a.duplicate_starts;
+  return n;
+}
+
+std::uint64_t PdesGateway::duplicate_finishes() const noexcept {
+  std::uint64_t n = 0;
+  for (const Agent& a : agents_) n += a.duplicate_finishes;
+  return n;
+}
+
+std::size_t PdesGateway::live_state_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const Agent& a : agents_) {
+    bytes += a.tracked.memory_bytes() + a.routes.memory_bytes();
+    a.tracked.for_each([&bytes](const GridJobId&, const Tracked& t) {
+      bytes += t.replicas.capacity() * sizeof(Tracked::Replica);
+    });
+  }
+  return bytes;
+}
+
+#if RRSIM_VALIDATE_ENABLED
+void PdesGateway::debug_validate() const {
+  for (std::size_t c = 0; c < agents_.size(); ++c) {
+    agents_[c].routes.for_each([this, c](const sched::JobId& rid,
+                                         const Route& route) {
+      RRSIM_CHECK(route.origin < agents_.size(),
+                  "pdes gateway: route names a cluster outside the platform");
+      const Tracked* tracked = agents_[route.origin].tracked.find(route.grid);
+      RRSIM_CHECK(tracked != nullptr,
+                  "pdes gateway: route points at an untracked grid job");
+      bool listed = false;
+      for (const auto& [cluster, id] : tracked->replicas) {
+        if (cluster == c && id == rid) {
+          listed = true;
+          break;
+        }
+      }
+      RRSIM_CHECK(listed,
+                  "pdes gateway: routed replica missing from its job's "
+                  "replica list");
+    });
+  }
+}
+#endif
+
+}  // namespace rrsim::grid

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rrsim/exec/campaign_runner.h"
+
 namespace rrsim::core {
 namespace {
 
@@ -75,6 +77,37 @@ TEST(CommonFlags, UtilFlagImpliesCalibratedMode) {
 TEST(CommonFlags, ProtocolDrain) {
   EXPECT_TRUE(parse({"--protocol=drain"}).drain);
   EXPECT_THROW(parse({"--protocol=xyz"}), std::invalid_argument);
+}
+
+TEST(CommonFlags, PdesAndLatencyFlags) {
+  const ExperimentConfig base = parse({});
+  EXPECT_FALSE(base.pdes);
+  EXPECT_DOUBLE_EQ(base.cross_cluster_latency, 0.0);
+  EXPECT_EQ(base.pdes_jobs, 0);
+
+  const ExperimentConfig c = parse({"--pdes", "--latency=60", "--jobs=2"});
+  EXPECT_TRUE(c.pdes);
+  EXPECT_DOUBLE_EQ(c.cross_cluster_latency, 60.0);
+  // --pdes snapshots the resolved worker count (--jobs here).
+  EXPECT_EQ(c.pdes_jobs, 2);
+  exec::set_default_jobs(0);  // --jobs is process-wide; don't leak it
+
+  // Zero latency is valid: the degenerate path is the classic kernel.
+  EXPECT_DOUBLE_EQ(parse({"--latency=0"}).cross_cluster_latency, 0.0);
+}
+
+TEST(CommonFlags, PdesWithOneWorkerFallsBackButStaysEnabled) {
+  // jobs=1 still runs the windowed protocol (sequentially); the flag only
+  // warns, it does not silently disable PDES.
+  const ExperimentConfig c = parse({"--pdes", "--latency=1", "--jobs=1"});
+  EXPECT_TRUE(c.pdes);
+  EXPECT_EQ(c.pdes_jobs, 1);
+  exec::set_default_jobs(0);  // --jobs is process-wide; don't leak it
+}
+
+TEST(CommonFlags, NegativeLatencyThrows) {
+  EXPECT_THROW(parse({"--latency=-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--latency=-0.5", "--pdes"}), std::invalid_argument);
 }
 
 TEST(CommonFlags, BadValuesThrow) {

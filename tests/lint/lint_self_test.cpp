@@ -214,6 +214,60 @@ class Widget {
   EXPECT_TRUE(lint(fixture, Category::kTests).empty());
 }
 
+TEST(LintRules, WorkerRefCaptureFiresInSrcOnly) {
+  const std::string fixture = R"fix(
+void f(ThreadPool& pool, std::vector<int>& results) {
+  parallel_for_each(pool, 8, [&](int i) { results[i] = i; });
+}
+)fix";
+  const auto src = lint(fixture, Category::kSrc);
+  ASSERT_EQ(src.size(), 1u);
+  EXPECT_EQ(src[0].rule, "worker-ref-capture");
+  EXPECT_EQ(src[0].line, 3);
+  EXPECT_TRUE(lint(fixture, Category::kBench).empty());
+  EXPECT_TRUE(lint(fixture, Category::kTests).empty());
+}
+
+TEST(LintRules, WorkerRefCaptureFiresOnDefaultRefWithExtras) {
+  const auto findings = lint(R"fix(
+void f(ThreadPool& pool) {
+  exec::parallel_for_each(pool, 4, [&, n = 2](int i) { use(i + n); });
+}
+)fix");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "worker-ref-capture");
+}
+
+TEST(LintRules, WorkerExplicitCapturesAreSilent) {
+  EXPECT_TRUE(lint(R"fix(
+void f(ThreadPool& pool, std::vector<int>& results, int base) {
+  parallel_for_each(pool, 8, [&results, base](int i) {
+    results[i] = base + i;
+  });
+  parallel_for_each(pool, 8, [this, base](int i) { work(base + i); });
+}
+)fix").empty());
+}
+
+TEST(LintRules, WorkerRefCaptureAllowAnnotationSuppresses) {
+  EXPECT_TRUE(lint(R"fix(
+void f(ThreadPool& pool, std::vector<int>& results) {
+  // rrsim-lint-allow(worker-ref-capture): per-index writes are disjoint.
+  parallel_for_each(pool, 8, [&](int i) { results[i] = i; });
+}
+)fix").empty());
+}
+
+TEST(LintRules, RefCaptureOutsideWorkerCallIsSilent) {
+  EXPECT_TRUE(lint(R"fix(
+void f(std::vector<int>& v) {
+  std::for_each(v.begin(), v.end(), [&](int& x) { x += 1; });
+  auto fn = [&] { v.clear(); };
+  fn();
+}
+)fix").empty());
+}
+
 // --- the allow annotation contract ---------------------------------------
 
 TEST(LintAllows, JustifiedAllowSuppresses) {

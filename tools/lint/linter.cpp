@@ -22,6 +22,7 @@ constexpr char kUnseededShuffle[] = "unseeded-shuffle";
 constexpr char kPointerKey[] = "pointer-key";
 constexpr char kMutableGlobal[] = "mutable-global";
 constexpr char kStdFunctionMember[] = "std-function-member";
+constexpr char kWorkerRefCapture[] = "worker-ref-capture";
 constexpr char kBareAllow[] = "bare-allow";
 
 const std::vector<RuleInfo> kRules = {
@@ -47,6 +48,11 @@ const std::vector<RuleInfo> kRules = {
      "std::function stored as a class member in src/: use "
      "util::InlineFunction / util::TaskFunction on hot paths, or justify "
      "why the type-erased heap fallback is acceptable"},
+    {kWorkerRefCapture,
+     "default reference capture ([&] / [&, ...]) on a worker callback "
+     "passed to parallel_for_each in src/: wholesale capture silently "
+     "shares mutable state across worker threads (the PDES partition "
+     "contract forbids it); capture the objects you need explicitly"},
     {kBareAllow,
      "rrsim-lint-allow annotation without a justification or naming an "
      "unknown rule"},
@@ -465,6 +471,26 @@ class Scanner {
                "std::" + t.text +
                    " without a visibly seeded engine; pass a named "
                    "util::Rng-backed engine");
+      }
+    }
+
+    // worker-ref-capture (src/ only): a lambda handed to
+    // parallel_for_each with a default reference capture. Worker
+    // callbacks run concurrently on pool threads, so "capture whatever
+    // the body mentions" is exactly how shared mutable state sneaks into
+    // a parallel region; explicit captures make every shared object
+    // visible at the call site.
+    if (cat_ == Category::kSrc && t.text == "parallel_for_each" &&
+        i + 1 < count() && tok(i + 1).text == "(") {
+      const std::size_t close = match_paren(i + 1);
+      for (std::size_t j = i + 2; j + 2 < close; ++j) {
+        if (tok(j).text != "[" || tok(j + 1).text != "&") continue;
+        if (tok(j + 2).text == "]" || tok(j + 2).text == ",") {
+          report(kWorkerRefCapture, tok(j).line,
+                 "worker callback passed to parallel_for_each captures by "
+                 "default reference; name the captured objects explicitly "
+                 "so shared state is auditable");
+        }
       }
     }
 
