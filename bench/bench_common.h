@@ -97,9 +97,11 @@ inline std::size_t peak_rss_bytes() {
 /// Writes the execution-environment fields every BENCH_*.json record
 /// carries (trailing comma included): the machine's hardware concurrency,
 /// the worker count actually used, the process's peak RSS at write time,
-/// and a UTC timestamp. PR 1's record was taken on a 1-core box with no
-/// way to tell from the JSON — these fields make perf records comparable
-/// across machines and time.
+/// the trace-cache counters (how much stream/checkpoint regeneration the
+/// memoization absorbed, and what it holds resident), and a UTC timestamp.
+/// PR 1's record was taken on a 1-core box with no way to tell from the
+/// JSON — these fields make perf records comparable across machines and
+/// time.
 inline void write_json_env_fields(std::FILE* f, int jobs_used) {
   char stamp[32] = "unknown";
   const std::time_t now = std::time(nullptr);
@@ -107,13 +109,24 @@ inline void write_json_env_fields(std::FILE* f, int jobs_used) {
   if (gmtime_r(&now, &utc) != nullptr) {
     std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
   }
+  const workload::TraceCache& cache = workload::TraceCache::global();
   std::fprintf(f,
                "  \"hardware_concurrency\": %u,\n"
                "  \"jobs_used\": %d,\n"
                "  \"peak_rss_bytes\": %zu,\n"
+               "  \"trace_cache\": {\n"
+               "    \"hits\": %" PRIu64 ",\n"
+               "    \"misses\": %" PRIu64 ",\n"
+               "    \"checkpoint_hits\": %" PRIu64 ",\n"
+               "    \"checkpoint_misses\": %" PRIu64 ",\n"
+               "    \"entries\": %zu,\n"
+               "    \"resident_bytes\": %zu\n"
+               "  },\n"
                "  \"timestamp_utc\": \"%s\",\n",
                std::thread::hardware_concurrency(), jobs_used,
-               peak_rss_bytes(), stamp);
+               peak_rss_bytes(), cache.hits(), cache.misses(),
+               cache.checkpoint_hits(), cache.checkpoint_misses(),
+               cache.entries(), cache.resident_bytes(), stamp);
 }
 
 /// Writes one parallel-speedup JSON field (trailing comma included). On a

@@ -50,6 +50,14 @@ SimResult run_experiment(const ExperimentConfig& config,
       config.n_clusters > 1) {
     return detail::run_pdes_experiment(config);
   }
+  const bool windowed = config.stream_window > 0;
+  if (windowed && config.retain_records) {
+    throw std::invalid_argument(
+        "stream_window requires streaming record mode "
+        "(retain_records = false) on the classic kernel: retained runs "
+        "materialize every record anyway, so a windowed input would bound "
+        "nothing");
+  }
 
   detail::ResolvedClusters rc = detail::resolve_clusters(config);
   std::vector<grid::ClusterConfig>& cluster_configs = rc.cluster_configs;
@@ -124,10 +132,22 @@ SimResult run_experiment(const ExperimentConfig& config,
   // experiment_detail.h: same validation order, same fork order, same
   // TraceCache memoization, and the user/redundancy draws pre-drawn in
   // the cluster-major order both record modes consume them.
-  detail::ResolvedStreams rs = detail::resolve_streams(
-      config, cluster_configs, rc.master, *estimator);
-  auto placement_rng = std::make_unique<util::Rng>(rs.placement_rng);
-  const std::size_t jobs_generated = rs.jobs_generated;
+  // resolve_stream_windows() is its O(window x clusters) counterpart:
+  // checkpoint tables instead of streams, substream fingerprints instead
+  // of pre-drawn draws, bit-identical job/draw values by construction.
+  detail::ResolvedStreams rs;
+  detail::ResolvedWindows ws;
+  if (windowed) {
+    ws = detail::resolve_stream_windows(config, cluster_configs, rc.master,
+                                        *estimator);
+  } else {
+    rs = detail::resolve_streams(config, cluster_configs, rc.master,
+                                 *estimator);
+  }
+  auto placement_rng = std::make_unique<util::Rng>(
+      windowed ? ws.placement_rng : rs.placement_rng);
+  const std::size_t jobs_generated =
+      windowed ? ws.jobs_generated : rs.jobs_generated;
 
   // Declared before scheduling: the streaming mode's record sink points at
   // result.stream and must outlive the run.
@@ -174,6 +194,24 @@ SimResult run_experiment(const ExperimentConfig& config,
   std::vector<Pump> pumps;
   std::function<void(std::size_t)> pump_fire;
 
+  // Windowed pump state (stream_window > 0): no resident stream at all —
+  // a StreamWindow generator refills `buf` one window at a time, and the
+  // user/redundancy draws are made lazily from generators restored at this
+  // cluster's substream positions. Job ids, draw values and submit order
+  // are bit-identical to the eager pumps by construction.
+  struct WindowPump {
+    std::unique_ptr<workload::StreamWindow> gen;
+    workload::JobStream buf;      // current window, O(stream_window)
+    std::size_t in_buf = 0;       // index of the next job within buf
+    std::uint64_t produced = 0;   // jobs already submitted by this pump
+    util::Rng users_rng{0};
+    util::Rng redundancy_rng{0};
+    grid::GridJobId id_base = 0;  // ids are id_base + produced + 1
+    grid::GridJob scratch;
+  };
+  std::vector<WindowPump> wpumps;
+  std::function<void(std::size_t)> wpump_fire;
+
   std::vector<grid::GridJob>& jobs = workspace.jobs_;
   if (config.retain_records) {
     // --- Retained mode: stage every grid job, pre-schedule every arrival.
@@ -209,6 +247,72 @@ SimResult run_experiment(const ExperimentConfig& config,
             gateway.submit(job, inflation);
           },
           des::Priority::kArrival);
+    }
+  } else if (windowed) {
+    // --- Windowed streaming mode: O(stream_window) trace state per pump.
+    std::vector<grid::GridJob>().swap(jobs);
+    gateway.set_record_sink(&result.stream);
+
+    const std::size_t window = config.stream_window;
+    wpumps.resize(config.n_clusters);
+    {
+      std::size_t base = 0;
+      for (std::size_t i = 0; i < config.n_clusters; ++i) {
+        const detail::WindowedClusterStream& wcs = ws.streams[i];
+        WindowPump& p = wpumps[i];
+        p.id_base = static_cast<grid::GridJobId>(base);
+        base += wcs.checkpoints->total_jobs;
+        if (wcs.checkpoints->total_jobs == 0) continue;
+        p.gen = std::make_unique<workload::StreamWindow>(
+            cluster_configs[i].workload, cluster_configs[i].nodes,
+            config.submit_horizon, wcs.checkpoints->checkpoints.front(),
+            *estimator);
+        p.buf.reserve(window);
+        p.gen->next(window, p.buf);
+        p.users_rng = util::Rng::from_fingerprint(wcs.users_start);
+        p.redundancy_rng = util::Rng::from_fingerprint(wcs.redundancy_start);
+      }
+    }
+    const auto users_per_cluster =
+        static_cast<std::uint64_t>(config.users_per_cluster);
+    const bool scheme_active = !config.scheme.is_none();
+    const double redundant_fraction = config.redundant_fraction;
+    wpump_fire = [&gateway, &place_job, &wpumps, &sim, &wpump_fire, window,
+                  users_per_cluster, scheme_active, redundant_fraction,
+                  inflation](std::size_t ci) {
+      WindowPump& p = wpumps[ci];
+      const workload::JobSpec& spec = p.buf[p.in_buf];
+      grid::GridJob& job = p.scratch;
+      job.id = p.id_base + p.produced + 1;
+      job.origin = ci;
+      // Same draws, same per-generator order as the eager rs.draws loop
+      // (which advances the redundancy generator only under an active
+      // scheme — preserve the short-circuit exactly).
+      job.user = static_cast<sched::UserId>(static_cast<std::uint32_t>(
+          ci * 4096 + p.users_rng.below(users_per_cluster)));
+      job.spec = spec;
+      job.redundant =
+          scheme_active && p.redundancy_rng.chance(redundant_fraction);
+      job.targets.clear();
+      job.targets.push_back(ci);
+      place_job(job);
+      gateway.submit(job, inflation);
+      ++p.produced;
+      if (++p.in_buf == p.buf.size() && !p.gen->exhausted()) {
+        p.gen->next(window, p.buf);
+        p.in_buf = 0;
+      }
+      if (p.in_buf < p.buf.size()) {
+        sim.schedule_at(p.buf[p.in_buf].submit_time,
+                        [&wpump_fire, ci] { wpump_fire(ci); },
+                        des::Priority::kArrival);
+      }
+    };
+    for (std::size_t i = 0; i < config.n_clusters; ++i) {
+      if (wpumps[i].buf.empty()) continue;
+      sim.schedule_at(wpumps[i].buf.front().submit_time,
+                      [&wpump_fire, i] { wpump_fire(i); },
+                      des::Priority::kArrival);
     }
   } else {
     // --- Streaming mode: per-cluster pumps, per-finish metric folding.
@@ -312,11 +416,34 @@ SimResult run_experiment(const ExperimentConfig& config,
           job.targets.capacity() * sizeof(std::size_t) +
           job.replica_specs.capacity() * sizeof(workload::JobSpec);
     }
+  } else if (windowed) {
+    result.live_state_bytes += wpumps.capacity() * sizeof(WindowPump);
+    for (const WindowPump& p : wpumps) {
+      result.live_state_bytes +=
+          p.scratch.targets.capacity() * sizeof(std::size_t);
+    }
   } else {
     result.live_state_bytes += pumps.capacity() * sizeof(Pump);
     for (const Pump& p : pumps) {
       result.live_state_bytes +=
           p.scratch.targets.capacity() * sizeof(std::size_t);
+    }
+  }
+  // Resident trace state: what stream_window exists to bound. Windowed
+  // runs hold checkpoint tables plus one window buffer per cluster;
+  // whole-stream runs hold every generated spec.
+  if (windowed) {
+    for (const detail::WindowedClusterStream& wcs : ws.streams) {
+      result.resident_trace_bytes += wcs.checkpoints->payload_bytes();
+    }
+    for (const WindowPump& p : wpumps) {
+      result.resident_trace_bytes +=
+          p.buf.capacity() * sizeof(workload::JobSpec);
+    }
+  } else {
+    for (const detail::ClusterStream& cs : rs.streams) {
+      result.resident_trace_bytes +=
+          cs.get().size() * sizeof(workload::JobSpec);
     }
   }
   result.records = gateway.take_records();

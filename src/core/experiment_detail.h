@@ -170,8 +170,12 @@ inline ResolvedStreams resolve_streams(
           key, [&]() {
             const workload::LublinModel model(cluster_configs[i].workload,
                                               cluster_configs[i].nodes);
-            workload::JobStream s =
-                model.generate_stream(stream_rng, config.submit_horizon);
+            // rrsim-lint-allow(stream-materialization): this IS the
+            // retained whole-stream path — SWF-adjacent drivers and
+            // record-retaining runs consume the materialized snapshot;
+            // windowed runs go through resolve_stream_windows() instead.
+            workload::JobStream s = model.generate_stream(
+                stream_rng, config.submit_horizon);
             workload::apply_estimator(s, estimator, est_rng);
             return s;
           });
@@ -195,6 +199,93 @@ inline ResolvedStreams resolve_streams(
       d.redundant = !config.scheme.is_none() &&
                     redundancy_rng.chance(config.redundant_fraction);
       out.draws.push_back(d);
+    }
+  }
+  return out;
+}
+
+/// One cluster's windowed stream: the memoized checkpoint table (counts +
+/// seekable generator states, ~48 bytes per window) plus the exact
+/// positions of the user/redundancy substreams where this cluster's draws
+/// begin. ~120 bytes of fixed state per cluster; the jobs themselves are
+/// re-materialized one window at a time by the arrival pumps.
+struct WindowedClusterStream {
+  workload::TraceCache::CheckpointPtr checkpoints;
+  std::pair<std::uint64_t, std::uint64_t> users_start{0, 0};
+  std::pair<std::uint64_t, std::uint64_t> redundancy_start{0, 0};
+};
+
+/// Output of resolve_stream_windows() — the O(window x clusters)
+/// counterpart of ResolvedStreams (no streams vector, no draws vector).
+struct ResolvedWindows {
+  std::vector<WindowedClusterStream> streams;
+  util::Rng placement_rng{0};
+  std::size_t jobs_generated = 0;
+  std::size_t window = 0;
+};
+
+/// Windowed counterpart of resolve_streams(): identical master fork order
+/// (the TraceCache keys and every other substream land exactly where the
+/// eager path leaves them), but instead of materializing streams it
+/// memoizes generator checkpoint tables (one scan pass per trace per
+/// process, O(window) resident) and, instead of pre-drawing rs.draws,
+/// positions the user/redundancy substreams per cluster: it captures the
+/// fingerprints where cluster i's draws begin and rolls the generators
+/// forward past them with the same calls the eager loop makes, so a pump
+/// restoring from the fingerprints reproduces its cluster's draws
+/// bit-identically. Requires the Lublin path (throws on trace_files: SWF
+/// replays are file-backed, not regenerable from a checkpoint).
+inline ResolvedWindows resolve_stream_windows(
+    const ExperimentConfig& config,
+    const std::vector<grid::ClusterConfig>& cluster_configs,
+    util::Rng& master, const workload::RuntimeEstimator& estimator) {
+  if (config.stream_window == 0) {
+    throw std::logic_error("resolve_stream_windows needs stream_window > 0");
+  }
+  if (!config.trace_files.empty()) {
+    throw std::invalid_argument(
+        "stream_window is incompatible with SWF trace replay "
+        "(trace_files); windowed generation needs the Lublin model");
+  }
+  ResolvedWindows out;
+  out.window = config.stream_window;
+  util::Rng redundancy_rng = master.fork(kStreamRedundancy);
+  util::Rng users_rng = master.fork(kStreamUsers);
+  out.placement_rng = master.fork(kStreamPlacement);
+  out.streams.resize(config.n_clusters);
+  for (std::size_t i = 0; i < config.n_clusters; ++i) {
+    util::Rng stream_rng = master.fork(kStreamWorkloadBase + i);
+    util::Rng est_rng = master.fork(kStreamEstimatorBase + i);
+    const workload::TraceKey key = workload::TraceKey::of(
+        cluster_configs[i].workload, cluster_configs[i].nodes,
+        config.submit_horizon, stream_rng, est_rng, estimator);
+    out.streams[i].checkpoints =
+        workload::TraceCache::global().get_or_build_checkpoints(
+            key, config.stream_window, [&]() {
+              return workload::scan_checkpoints(
+                  cluster_configs[i].workload, cluster_configs[i].nodes,
+                  config.submit_horizon, stream_rng, est_rng, estimator,
+                  config.stream_window);
+            });
+    out.jobs_generated += out.streams[i].checkpoints->total_jobs;
+  }
+
+  // Substream positioning, cluster-major — the order resolve_streams()
+  // pre-draws rs.draws. Capturing before advancing gives each cluster the
+  // exact generator its draws start from; advancing with the *same* calls
+  // (below, and chance only when a scheme is active — the eager loop
+  // short-circuits past the redundancy draw for NONE) leaves cluster i+1's
+  // start exactly where the eager path puts it.
+  for (std::size_t i = 0; i < config.n_clusters; ++i) {
+    out.streams[i].users_start = users_rng.fingerprint();
+    out.streams[i].redundancy_start = redundancy_rng.fingerprint();
+    const std::uint64_t count = out.streams[i].checkpoints->total_jobs;
+    for (std::uint64_t j = 0; j < count; ++j) {
+      (void)users_rng.below(
+          static_cast<std::uint64_t>(config.users_per_cluster));
+      if (!config.scheme.is_none()) {
+        (void)redundancy_rng.chance(config.redundant_fraction);
+      }
     }
   }
   return out;

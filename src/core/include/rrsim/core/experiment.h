@@ -152,6 +152,18 @@ struct ExperimentConfig {
   /// measure-zero under the Lublin model): the placement stream is then
   /// consumed in a different order.
   bool retain_records = true;
+  /// If > 0, job streams are never materialized whole: generation is
+  /// windowed (workload::StreamWindow pulls this many jobs at a time from
+  /// the per-cluster generators, bit-identical output by construction) and
+  /// the TraceCache memoizes generator *checkpoints* instead of streams,
+  /// so resident trace state is O(stream_window x clusters) instead of
+  /// O(total jobs) — the regime that fits 10^3 clusters x 10^7 jobs.
+  /// Requires the streaming record mode on the classic kernel
+  /// (retain_records == false; PDES retains records but still streams its
+  /// *input* windowed) and the Lublin generator path (no trace_files:
+  /// SWF replays are file-backed, not regenerable from a checkpoint).
+  /// 0 (the default) keeps whole-stream resolution.
+  std::size_t stream_window = 0;
   double queue_sample_interval = 60.0;  ///< seconds between queue samples
   std::uint64_t seed = 1;
 
@@ -173,6 +185,11 @@ struct SimResult {
   /// though tables shrink as jobs finish. Excludes the retained records
   /// and the DES event slab.
   std::size_t live_state_bytes = 0;
+  /// Resident bytes of workload trace state during the run: materialized
+  /// job streams (whole-stream modes, shared snapshots counted once) or
+  /// checkpoint tables + window buffers (windowed mode). The quantity the
+  /// stream_window option exists to bound.
+  std::size_t resident_trace_bytes = 0;
   sched::OpCounters ops;        ///< summed over all schedulers
   std::uint64_t gateway_cancels = 0;  ///< replica cancellations issued
   std::uint64_t replicas_rejected = 0;  ///< refused by per-user limits

@@ -18,6 +18,9 @@
 //   --user-limit=L    per-user pending-request cap (0 = off)
 //   --users=U         users per cluster (population for the cap)
 //   --seed=S
+//   --window=W        windowed trace generation: pull W jobs at a time
+//                     instead of materializing whole streams (requires
+//                     streaming record mode on the classic kernel; 0 = off)
 //   --jobs=N          campaign worker threads (also env RRSIM_JOBS;
 //                     default: hardware concurrency). Campaign results
 //                     are bit-identical for any N.

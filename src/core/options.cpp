@@ -84,6 +84,15 @@ ExperimentConfig apply_common_flags(ExperimentConfig config,
   if (cli.has("seed")) {
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   }
+  if (cli.has("window")) {
+    const std::int64_t window = cli.get_int("window", 0);
+    if (window < 0) {
+      throw std::invalid_argument("--window must be >= 0 jobs (got " +
+                                  std::to_string(window) + "; 0 disables "
+                                  "windowed generation)");
+    }
+    config.stream_window = static_cast<std::size_t>(window);
+  }
   if (cli.has("jobs")) {
     const std::int64_t jobs = cli.get_int("jobs", 0);
     if (jobs < 1) {

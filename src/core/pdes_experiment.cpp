@@ -80,11 +80,26 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
 
   const auto placement = grid::make_placement(config.placement);
   const auto estimator = workload::make_estimator(config.estimator);
-  ResolvedStreams rs =
-      resolve_streams(config, rc.cluster_configs, rc.master, *estimator);
+  // Windowed input (stream_window > 0) composes with PDES: records are
+  // still retained (required above), but the *trace* side — the dominant
+  // resident set at grid scale — stays O(window x clusters). Each pump's
+  // generator and draw substreams are partition-confined state, so the
+  // worker-count independence argument is unchanged.
+  const bool windowed = config.stream_window > 0;
+  ResolvedStreams rs;
+  ResolvedWindows ws;
+  if (windowed) {
+    ws = resolve_stream_windows(config, rc.cluster_configs, rc.master,
+                                *estimator);
+  } else {
+    rs = resolve_streams(config, rc.cluster_configs, rc.master, *estimator);
+  }
+  const std::size_t jobs_generated =
+      windowed ? ws.jobs_generated : rs.jobs_generated;
 
   for (std::size_t i = 0; i < n; ++i) {
-    gateway.reserve_records(i, rs.streams[i].get().size());
+    gateway.reserve_records(i, windowed ? ws.streams[i].checkpoints->total_jobs
+                                        : rs.streams[i].get().size());
   }
 
   // Placement state is per-cluster so redundant jobs can pick their
@@ -94,8 +109,9 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
   // across worker counts, which is the determinism that matters here.)
   std::vector<util::Rng> placement_rngs;
   placement_rngs.reserve(n);
+  util::Rng& placement_master = windowed ? ws.placement_rng : rs.placement_rng;
   for (std::size_t i = 0; i < n; ++i) {
-    placement_rngs.push_back(rs.placement_rng.fork(i));
+    placement_rngs.push_back(placement_master.fork(i));
   }
   std::vector<int> sizes;
   sizes.reserve(n);
@@ -131,7 +147,81 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
     grid::GridJob scratch;
   };
   std::vector<Pump> pumps(n);
-  {
+  std::function<void(std::size_t)> pump_fire;
+  // Windowed counterpart: a StreamWindow generator refills `buf` one
+  // window at a time, draws made lazily from substream-positioned
+  // generators (see the classic kernel's WindowPump for the bit-identity
+  // argument). All of it is partition-confined, like Pump.
+  struct WindowPump {
+    std::unique_ptr<workload::StreamWindow> gen;
+    workload::JobStream buf;
+    std::size_t in_buf = 0;
+    std::uint64_t produced = 0;
+    util::Rng users_rng{0};
+    util::Rng redundancy_rng{0};
+    grid::GridJobId id_base = 0;
+    grid::GridJob scratch;
+  };
+  std::vector<WindowPump> wpumps;
+  std::function<void(std::size_t)> wpump_fire;
+  if (windowed) {
+    const std::size_t window = config.stream_window;
+    wpumps.resize(n);
+    std::size_t base = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const WindowedClusterStream& wcs = ws.streams[i];
+      WindowPump& p = wpumps[i];
+      p.id_base = static_cast<grid::GridJobId>(base);
+      base += wcs.checkpoints->total_jobs;
+      if (wcs.checkpoints->total_jobs == 0) continue;
+      p.gen = std::make_unique<workload::StreamWindow>(
+          rc.cluster_configs[i].workload, rc.cluster_configs[i].nodes,
+          config.submit_horizon, wcs.checkpoints->checkpoints.front(),
+          *estimator);
+      p.buf.reserve(window);
+      p.gen->next(window, p.buf);
+      p.users_rng = util::Rng::from_fingerprint(wcs.users_start);
+      p.redundancy_rng = util::Rng::from_fingerprint(wcs.redundancy_start);
+    }
+    const auto users_per_cluster =
+        static_cast<std::uint64_t>(config.users_per_cluster);
+    const bool scheme_active = !config.scheme.is_none();
+    const double redundant_fraction = config.redundant_fraction;
+    wpump_fire = [&gateway, &place_job, &wpumps, &coord, &wpump_fire, window,
+                  users_per_cluster, scheme_active, redundant_fraction,
+                  inflation](std::size_t ci) {
+      WindowPump& p = wpumps[ci];
+      const workload::JobSpec& spec = p.buf[p.in_buf];
+      grid::GridJob& job = p.scratch;
+      job.id = p.id_base + p.produced + 1;
+      job.origin = ci;
+      job.user = static_cast<sched::UserId>(static_cast<std::uint32_t>(
+          ci * 4096 + p.users_rng.below(users_per_cluster)));
+      job.spec = spec;
+      job.redundant =
+          scheme_active && p.redundancy_rng.chance(redundant_fraction);
+      job.targets.clear();
+      job.targets.push_back(ci);
+      place_job(job);
+      gateway.submit(job, inflation);
+      ++p.produced;
+      if (++p.in_buf == p.buf.size() && !p.gen->exhausted()) {
+        p.gen->next(window, p.buf);
+        p.in_buf = 0;
+      }
+      if (p.in_buf < p.buf.size()) {
+        coord.partition(ci).schedule_at(
+            p.buf[p.in_buf].submit_time,
+            [&wpump_fire, ci] { wpump_fire(ci); }, des::Priority::kArrival);
+      }
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wpumps[i].buf.empty()) continue;
+      coord.partition(i).schedule_at(wpumps[i].buf.front().submit_time,
+                                     [&wpump_fire, i] { wpump_fire(i); },
+                                     des::Priority::kArrival);
+    }
+  } else {
     std::size_t base = 0;
     for (std::size_t i = 0; i < n; ++i) {
       pumps[i].stream = &rs.streams[i].get();
@@ -139,38 +229,37 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
       pumps[i].id_base = static_cast<grid::GridJobId>(base);
       base += rs.streams[i].get().size();
     }
-  }
-  // Fires cluster ci's next arrival on ci's partition, then schedules the
-  // following one there. Runs concurrently for different ci, but touches
-  // only cluster-confined state (pumps[ci], placement_rngs[ci], the
-  // origin gateway agent) plus the coordinator's per-source mailbox.
-  std::function<void(std::size_t)> pump_fire =
-      [&gateway, &place_job, &pumps, &rs, &coord, &pump_fire,
-       inflation](std::size_t ci) {
-        Pump& p = pumps[ci];
-        const workload::JobSpec& spec = (*p.stream)[p.next];
-        const Draw& d = rs.draws[p.draw_base + p.next];
-        grid::GridJob& job = p.scratch;
-        job.id = p.id_base + p.next + 1;
-        job.origin = ci;
-        job.user = static_cast<sched::UserId>(d.user);
-        job.spec = spec;
-        job.redundant = d.redundant;
-        job.targets.clear();
-        job.targets.push_back(ci);
-        place_job(job);
-        gateway.submit(job, inflation);
-        if (++p.next < p.stream->size()) {
-          coord.partition(ci).schedule_at(
-              (*p.stream)[p.next].submit_time,
-              [&pump_fire, ci] { pump_fire(ci); }, des::Priority::kArrival);
-        }
-      };
-  for (std::size_t i = 0; i < n; ++i) {
-    if (pumps[i].stream->empty()) continue;
-    coord.partition(i).schedule_at(pumps[i].stream->front().submit_time,
-                                   [&pump_fire, i] { pump_fire(i); },
-                                   des::Priority::kArrival);
+    // Fires cluster ci's next arrival on ci's partition, then schedules
+    // the following one there. Runs concurrently for different ci, but
+    // touches only cluster-confined state (pumps[ci], placement_rngs[ci],
+    // the origin gateway agent) plus the coordinator's per-source mailbox.
+    pump_fire = [&gateway, &place_job, &pumps, &rs, &coord, &pump_fire,
+                 inflation](std::size_t ci) {
+      Pump& p = pumps[ci];
+      const workload::JobSpec& spec = (*p.stream)[p.next];
+      const Draw& d = rs.draws[p.draw_base + p.next];
+      grid::GridJob& job = p.scratch;
+      job.id = p.id_base + p.next + 1;
+      job.origin = ci;
+      job.user = static_cast<sched::UserId>(d.user);
+      job.spec = spec;
+      job.redundant = d.redundant;
+      job.targets.clear();
+      job.targets.push_back(ci);
+      place_job(job);
+      gateway.submit(job, inflation);
+      if (++p.next < p.stream->size()) {
+        coord.partition(ci).schedule_at(
+            (*p.stream)[p.next].submit_time,
+            [&pump_fire, ci] { pump_fire(ci); }, des::Priority::kArrival);
+      }
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pumps[i].stream->empty()) continue;
+      coord.partition(i).schedule_at(pumps[i].stream->front().submit_time,
+                                     [&pump_fire, i] { pump_fire(i); },
+                                     des::Priority::kArrival);
+    }
   }
 
   // One single-probe tracker per partition (the classic kernel's one
@@ -213,7 +302,7 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
   result.duplicate_starts = gateway.duplicate_starts();
   result.duplicate_finishes = gateway.duplicate_finishes();
   result.pdes_windows = coord.windows();
-  result.jobs_generated = rs.jobs_generated;
+  result.jobs_generated = jobs_generated;
   double max_sum = 0.0;
   result.queue_growth_per_hour.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -229,13 +318,32 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
     result.live_state_bytes += s->live_state_bytes();
   }
   result.live_state_bytes += rs.draws.capacity() * sizeof(Draw) +
-                             pumps.capacity() * sizeof(Pump);
+                             pumps.capacity() * sizeof(Pump) +
+                             wpumps.capacity() * sizeof(WindowPump);
   for (const Pump& p : pumps) {
     result.live_state_bytes +=
         p.scratch.targets.capacity() * sizeof(std::size_t);
   }
+  for (const WindowPump& p : wpumps) {
+    result.live_state_bytes +=
+        p.scratch.targets.capacity() * sizeof(std::size_t);
+  }
+  if (windowed) {
+    for (const WindowedClusterStream& wcs : ws.streams) {
+      result.resident_trace_bytes += wcs.checkpoints->payload_bytes();
+    }
+    for (const WindowPump& p : wpumps) {
+      result.resident_trace_bytes +=
+          p.buf.capacity() * sizeof(workload::JobSpec);
+    }
+  } else {
+    for (const ClusterStream& cs : rs.streams) {
+      result.resident_trace_bytes +=
+          cs.get().size() * sizeof(workload::JobSpec);
+    }
+  }
   result.records = gateway.take_records();
-  if (config.drain && gateway.finished() != rs.jobs_generated) {
+  if (config.drain && gateway.finished() != jobs_generated) {
     throw std::logic_error(
         "conservation violation: not every grid job finished exactly once");
   }

@@ -57,6 +57,17 @@ class Pcg32 {
   std::uint64_t state() const noexcept { return state_; }
   std::uint64_t increment() const noexcept { return inc_; }
 
+  /// Rebuilds a generator from a previously captured (state, increment)
+  /// pair: the restored generator continues the captured generator's
+  /// output sequence exactly (no re-seeding scramble is applied).
+  static Pcg32 from_state(std::uint64_t state,
+                          std::uint64_t increment) noexcept {
+    Pcg32 g;
+    g.state_ = state;
+    g.inc_ = increment;
+    return g;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;
@@ -126,6 +137,18 @@ class Rng {
   /// key for deterministically generated data (see workload::TraceCache).
   std::pair<std::uint64_t, std::uint64_t> fingerprint() const noexcept {
     return {gen_.state(), gen_.increment()};
+  }
+
+  /// Rebuilds an Rng from a fingerprint(): the restored generator produces
+  /// the fingerprinted generator's future output exactly. This is what
+  /// makes generator checkpoints (workload::StreamCheckpoint) seekable —
+  /// capture fingerprints mid-stream, restore later, regenerate the same
+  /// suffix.
+  static Rng from_fingerprint(
+      std::pair<std::uint64_t, std::uint64_t> fp) noexcept {
+    Rng r;
+    r.gen_ = Pcg32::from_state(fp.first, fp.second);
+    return r;
   }
 
  private:

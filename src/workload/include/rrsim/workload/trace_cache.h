@@ -11,6 +11,13 @@
 // the exact Rng states, and the estimator — and hands out shared read-only
 // snapshots, so each distinct trace is generated once per process no
 // matter how many sweep points or worker threads consume it.
+//
+// Two entry kinds share one LRU-evicted store:
+//   - whole streams (retained-mode drivers; ~32 bytes/job), and
+//   - generator checkpoint tables (windowed drivers; ~48 bytes/window —
+//     see stream_window.h), which let a sweep point seek to window k and
+//     re-materialize it in O(window) instead of holding 10^7 specs
+//     resident or regenerating from t = 0.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +33,7 @@
 #include "rrsim/util/rng.h"
 #include "rrsim/workload/estimators.h"
 #include "rrsim/workload/lublin.h"
+#include "rrsim/workload/stream_window.h"
 
 namespace rrsim::workload {
 
@@ -68,22 +76,31 @@ struct TraceKey {
   std::string bytes() const;
 };
 
-/// Process-wide, thread-safe memo of generated job streams.
+/// Process-wide, thread-safe memo of generated job streams and generator
+/// checkpoint tables.
 ///
-/// Values are shared immutable snapshots: consumers must treat the stream
-/// as read-only and copy before mutating (experiment drivers copy anyway,
+/// Values are shared immutable snapshots: consumers must treat them as
+/// read-only and copy before mutating (experiment drivers copy anyway,
 /// because submission-time bookkeeping annotates specs per run). Lookups
 /// that miss run the supplied generator *outside* the cache lock; when two
 /// threads race on the same key, both may generate, and the first to
 /// publish wins (generation is deterministic, so the discarded duplicate
 /// is bit-identical — no blocking, no torn results).
+///
+/// Eviction is genuinely LRU: every hit moves the entry to the back of the
+/// recency list, and the byte budget evicts from the front (least recently
+/// used), so a sweep's hot streams survive a parade of one-shot entries.
 class TraceCache {
  public:
   using StreamPtr = std::shared_ptr<const JobStream>;
+  using CheckpointPtr = std::shared_ptr<const CheckpointedTrace>;
   // rrsim-lint-allow(std-function-member): invoked once per cache miss
   // (trace generation, milliseconds of work); the JobStream() signature
   // rules out InlineFunction (void() only).
   using Generator = std::function<JobStream()>;
+  // rrsim-lint-allow(std-function-member): same once-per-miss economics as
+  // Generator, for checkpoint-table construction (one full scan pass).
+  using CheckpointBuilder = std::function<CheckpointedTrace()>;
 
   TraceCache() = default;
   TraceCache(const TraceCache&) = delete;
@@ -94,17 +111,26 @@ class TraceCache {
   /// `generate` and publishes nothing.
   StreamPtr get_or_generate(const TraceKey& key, const Generator& generate);
 
+  /// Returns the cached checkpoint table for (`key`, `window`), building
+  /// (and publishing) it via `build` on a miss. Tables for different
+  /// windows of the same trace are distinct entries. When the cache is
+  /// disabled, always calls `build` and publishes nothing. Throws
+  /// std::invalid_argument on window == 0.
+  CheckpointPtr get_or_build_checkpoints(const TraceKey& key,
+                                         std::size_t window,
+                                         const CheckpointBuilder& build);
+
   /// Turns memoization on/off. Disabling does not drop existing entries
   /// (use clear()); it makes every lookup generate afresh — the serial-
   /// baseline mode of bench/micro_sweep.
   void set_enabled(bool on);
   bool enabled() const;
 
-  /// Caps the resident bytes of cached streams (approximate: payload
-  /// bytes, not map overhead). Insertion evicts oldest-first until under
-  /// budget; in-flight shared_ptrs keep evicted streams alive. 0 means
-  /// unlimited (default). A sweep's working set is typically a handful of
-  /// streams, far below any sane budget.
+  /// Caps the resident bytes of cached payloads (approximate: payload
+  /// bytes, not map overhead). Insertion evicts least-recently-used
+  /// entries until under budget; in-flight shared_ptrs keep evicted
+  /// payloads alive. 0 means unlimited (default). A sweep's working set
+  /// is typically a handful of streams, far below any sane budget.
   void set_byte_budget(std::size_t bytes);
 
   /// Drops all entries and zeroes the hit/miss counters.
@@ -113,6 +139,8 @@ class TraceCache {
   // --- Statistics (cumulative since last clear()) ------------------------
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  std::uint64_t checkpoint_hits() const;
+  std::uint64_t checkpoint_misses() const;
   std::size_t entries() const;
   std::size_t resident_bytes() const;
 
@@ -120,6 +148,23 @@ class TraceCache {
   static TraceCache& global();
 
  private:
+  /// One cached payload: exactly one of `stream` / `checkpoints` is set,
+  /// by entry kind (the key's leading tag byte). `lru` is this entry's
+  /// node in the recency list, so a hit can splice it to the back in O(1).
+  struct Entry {
+    StreamPtr stream;
+    CheckpointPtr checkpoints;
+    std::size_t bytes = 0;
+    std::list<const std::string*>::iterator lru;
+  };
+
+  // rrsim-lint-allow(unordered-container): lookup/insert/erase only —
+  // never iterated (eviction walks lru_), so the unspecified bucket order
+  // cannot reach any output.
+  using Map = std::unordered_map<std::string, Entry>;
+
+  Map::iterator publish_locked(std::string key, Entry entry);
+  void touch_locked(Map::iterator it);
   void evict_to_budget_locked();
 
   mutable std::mutex mu_;
@@ -128,11 +173,13 @@ class TraceCache {
   std::size_t resident_bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
-  // rrsim-lint-allow(unordered-container): lookup/insert/erase only —
-  // never iterated (eviction walks insertion_order_), so the unspecified
-  // bucket order cannot reach any output.
-  std::unordered_map<std::string, StreamPtr> map_;
-  std::list<std::string> insertion_order_;  // oldest first, for eviction
+  std::uint64_t checkpoint_hits_ = 0;
+  std::uint64_t checkpoint_misses_ = 0;
+  Map map_;
+  /// Recency order, least recently used first. Nodes point at the map's
+  /// own key strings (stable under rehash — unordered_map never moves
+  /// elements), so no key is stored twice.
+  std::list<const std::string*> lru_;
 };
 
 }  // namespace rrsim::workload

@@ -2,10 +2,16 @@
 
 #include <bit>
 #include <cstring>
+#include <stdexcept>
 
 namespace rrsim::workload {
 
 namespace {
+
+// Leading tag byte of the map key, so stream and checkpoint entries for
+// the same trace never collide.
+constexpr char kStreamTag = 'S';
+constexpr char kCheckpointTag = 'C';
 
 void append_u64(std::string& out, std::uint64_t v) {
   char buf[sizeof v];
@@ -53,7 +59,9 @@ std::string TraceKey::bytes() const {
 
 TraceCache::StreamPtr TraceCache::get_or_generate(const TraceKey& key,
                                                   const Generator& generate) {
-  std::string k = key.bytes();
+  std::string k;
+  k.push_back(kStreamTag);
+  k += key.bytes();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!enabled_) {
@@ -62,7 +70,8 @@ TraceCache::StreamPtr TraceCache::get_or_generate(const TraceKey& key,
       ++misses_;
     } else if (const auto it = map_.find(k); it != map_.end()) {
       ++hits_;
-      return it->second;
+      touch_locked(it);
+      return it->second.stream;
     } else {
       ++misses_;
     }
@@ -72,29 +81,75 @@ TraceCache::StreamPtr TraceCache::get_or_generate(const TraceKey& key,
   auto stream = std::make_shared<const JobStream>(generate());
   std::lock_guard<std::mutex> lock(mu_);
   if (!enabled_) return stream;
-  const auto [it, inserted] = map_.emplace(std::move(k), stream);
+  Entry entry;
+  entry.stream = stream;
+  entry.bytes = stream->size() * sizeof(JobSpec);
+  const auto it = publish_locked(std::move(k), std::move(entry));
+  return it->second.stream;
+}
+
+TraceCache::CheckpointPtr TraceCache::get_or_build_checkpoints(
+    const TraceKey& key, std::size_t window, const CheckpointBuilder& build) {
+  if (window == 0) throw std::invalid_argument("window must be > 0");
+  std::string k;
+  k.push_back(kCheckpointTag);
+  k += key.bytes();
+  append_u64(k, window);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) {
+      ++checkpoint_misses_;
+    } else if (const auto it = map_.find(k); it != map_.end()) {
+      ++checkpoint_hits_;
+      touch_locked(it);
+      return it->second.checkpoints;
+    } else {
+      ++checkpoint_misses_;
+    }
+  }
+  // Build outside the lock; deterministic builds make racing duplicates
+  // harmless, same as get_or_generate.
+  auto table = std::make_shared<const CheckpointedTrace>(build());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return table;
+  Entry entry;
+  entry.checkpoints = table;
+  entry.bytes = table->payload_bytes();
+  const auto it = publish_locked(std::move(k), std::move(entry));
+  return it->second.checkpoints;
+}
+
+TraceCache::Map::iterator TraceCache::publish_locked(std::string key,
+                                                     Entry entry) {
+  const auto [it, inserted] = map_.emplace(std::move(key), std::move(entry));
   if (!inserted) {
     // A racing thread published first. Generation is deterministic, so
-    // the two streams are bit-identical; adopt the published one so all
-    // consumers share a single buffer.
-    return it->second;
+    // the two payloads are bit-identical; adopt the published one so all
+    // consumers share a single buffer. Treat the reuse as a touch.
+    touch_locked(it);
+    return it;
   }
-  insertion_order_.push_back(it->first);
-  resident_bytes_ += it->second->size() * sizeof(JobSpec);
+  lru_.push_back(&it->first);
+  it->second.lru = std::prev(lru_.end());
+  resident_bytes_ += it->second.bytes;
+  // The fresh entry is at the recency back, so even a tight budget evicts
+  // colder entries first; if the budget is smaller than this one payload,
+  // the entry itself goes, and the caller's shared_ptr keeps it alive.
   evict_to_budget_locked();
-  return it->second;
+  return it;
+}
+
+void TraceCache::touch_locked(Map::iterator it) {
+  lru_.splice(lru_.end(), lru_, it->second.lru);
 }
 
 void TraceCache::evict_to_budget_locked() {
   if (byte_budget_ == 0) return;
-  while (resident_bytes_ > byte_budget_ && !insertion_order_.empty()) {
-    const std::string& oldest = insertion_order_.front();
-    const auto it = map_.find(oldest);
-    if (it != map_.end()) {
-      resident_bytes_ -= it->second->size() * sizeof(JobSpec);
-      map_.erase(it);
-    }
-    insertion_order_.pop_front();
+  while (resident_bytes_ > byte_budget_ && !lru_.empty()) {
+    const auto it = map_.find(*lru_.front());
+    resident_bytes_ -= it->second.bytes;
+    map_.erase(it);
+    lru_.pop_front();
   }
 }
 
@@ -117,10 +172,12 @@ void TraceCache::set_byte_budget(std::size_t bytes) {
 void TraceCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
-  insertion_order_.clear();
+  lru_.clear();
   resident_bytes_ = 0;
   hits_ = 0;
   misses_ = 0;
+  checkpoint_hits_ = 0;
+  checkpoint_misses_ = 0;
 }
 
 std::uint64_t TraceCache::hits() const {
@@ -131,6 +188,16 @@ std::uint64_t TraceCache::hits() const {
 std::uint64_t TraceCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+std::uint64_t TraceCache::checkpoint_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_hits_;
+}
+
+std::uint64_t TraceCache::checkpoint_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_misses_;
 }
 
 std::size_t TraceCache::entries() const {

@@ -110,6 +110,13 @@ TEST(CommonFlags, NegativeLatencyThrows) {
   EXPECT_THROW(parse({"--latency=-0.5", "--pdes"}), std::invalid_argument);
 }
 
+TEST(CommonFlags, WindowFlag) {
+  EXPECT_EQ(parse({}).stream_window, 0u);  // default: whole-stream mode
+  EXPECT_EQ(parse({"--window=256"}).stream_window, 256u);
+  EXPECT_EQ(parse({"--window=0"}).stream_window, 0u);  // explicit disable
+  EXPECT_THROW(parse({"--window=-1"}), std::invalid_argument);
+}
+
 TEST(CommonFlags, BadValuesThrow) {
   EXPECT_THROW(parse({"--algo=unknown"}), std::invalid_argument);
   EXPECT_THROW(parse({"--scheme=R0"}), std::invalid_argument);

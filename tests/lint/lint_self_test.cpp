@@ -268,6 +268,53 @@ void f(std::vector<int>& v) {
 )fix").empty());
 }
 
+TEST(LintRules, StreamMaterializationFiresInCoreAndExecOnly) {
+  const std::string fixture = R"fix(
+void f(const workload::LublinModel& model, util::Rng& rng) {
+  auto s = model.generate_stream(rng, 3600.0);
+  (void)s;
+}
+)fix";
+  for (const char* path :
+       {"src/core/experiment.cpp", "src/exec/sweep.cpp",
+        "src/core/detail/resolver.h"}) {
+    const auto findings = lint_source(path, fixture, Category::kSrc);
+    ASSERT_EQ(findings.size(), 1u) << path;
+    EXPECT_EQ(findings[0].rule, "stream-materialization");
+    EXPECT_EQ(findings[0].line, 3);
+  }
+  // The workload layer defines and may call it freely; so do bench and
+  // tests (whatever their path says).
+  EXPECT_TRUE(
+      lint_source("src/workload/lublin.cpp", fixture, Category::kSrc)
+          .empty());
+  EXPECT_TRUE(lint_source("bench/core/micro.cpp", fixture, Category::kBench)
+                  .empty());
+  EXPECT_TRUE(
+      lint_source("tests/core/streaming_test.cpp", fixture, Category::kTests)
+          .empty());
+}
+
+TEST(LintRules, StreamMaterializationIgnoresDeclarationsWithoutCall) {
+  // Mentioning the name without a call (docs, aliases) stays silent.
+  EXPECT_TRUE(lint_source("src/core/experiment.h", R"fix(
+struct Api {
+  int generate_stream;
+};
+)fix", Category::kSrc).empty());
+}
+
+TEST(LintRules, StreamMaterializationAllowAnnotationSuppresses) {
+  EXPECT_TRUE(lint_source("src/core/experiment_detail.h", R"fix(
+void f(const workload::LublinModel& model, util::Rng& rng) {
+  // rrsim-lint-allow(stream-materialization): the retained path keeps
+  // whole streams by contract.
+  auto s = model.generate_stream(rng, 3600.0);
+  (void)s;
+}
+)fix", Category::kSrc).empty());
+}
+
 // --- the allow annotation contract ---------------------------------------
 
 TEST(LintAllows, JustifiedAllowSuppresses) {

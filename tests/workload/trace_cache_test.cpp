@@ -1,9 +1,12 @@
 // TraceCache contract: one generation per distinct key, shared snapshots
 // on hits, generate-every-time when disabled, bitwise key sensitivity,
-// and oldest-first eviction under a byte budget.
+// checkpoint-table entries alongside streams, and least-recently-used
+// eviction under a byte budget (hits refresh recency).
 #include "rrsim/workload/trace_cache.h"
 
 #include <gtest/gtest.h>
+
+#include <stdexcept>
 
 namespace rrsim::workload {
 namespace {
@@ -128,6 +131,119 @@ TEST(TraceCache, ByteBudgetEvictsOldestFirst) {
   EXPECT_EQ(generations, 3);
   cache.get_or_generate(key_with(1), gen);  // evicted: regenerates
   EXPECT_EQ(generations, 4);
+}
+
+TEST(TraceCache, HitsRefreshRecencySoEvictionIsGenuinelyLru) {
+  TraceCache cache;
+  cache.set_byte_budget(2 * sizeof(JobSpec));
+  int generations = 0;
+  const auto gen = [&generations] {
+    ++generations;
+    return make_stream(1);
+  };
+  cache.get_or_generate(key_with(1), gen);
+  cache.get_or_generate(key_with(2), gen);
+  cache.get_or_generate(key_with(1), gen);  // hit: key 1 is now the newest
+  cache.get_or_generate(key_with(3), gen);  // evicts key 2, not key 1
+  EXPECT_EQ(generations, 3);
+  cache.get_or_generate(key_with(1), gen);  // still resident
+  EXPECT_EQ(generations, 3);
+  cache.get_or_generate(key_with(2), gen);  // the real victim: regenerates
+  EXPECT_EQ(generations, 4);
+}
+
+TEST(TraceCache, CheckpointTablesAreCachedPerKeyAndWindow) {
+  TraceCache cache;
+  int builds = 0;
+  const auto build = [&builds] {
+    ++builds;
+    CheckpointedTrace t;
+    t.window = 8;
+    t.total_jobs = 20;
+    t.checkpoints.resize(3);
+    return t;
+  };
+  const auto a = cache.get_or_build_checkpoints(key_with(1), 8, build);
+  const auto b = cache.get_or_build_checkpoints(key_with(1), 8, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get());  // shared snapshot, not an equal copy
+  EXPECT_EQ(cache.checkpoint_hits(), 1u);
+  EXPECT_EQ(cache.checkpoint_misses(), 1u);
+  // Stream counters are untouched by checkpoint traffic and vice versa.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // A different window of the same trace is a different table.
+  cache.get_or_build_checkpoints(key_with(1), 16, build);
+  EXPECT_EQ(builds, 2);
+  // And a checkpoint entry never collides with the stream entry for the
+  // same trace key.
+  int generations = 0;
+  cache.get_or_generate(key_with(1), [&generations] {
+    ++generations;
+    return make_stream(1);
+  });
+  EXPECT_EQ(generations, 1);
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_THROW(cache.get_or_build_checkpoints(key_with(1), 0, build),
+               std::invalid_argument);
+}
+
+TEST(TraceCache, DisabledModeCountsCheckpointMissesWithoutPublishing) {
+  TraceCache cache;
+  cache.set_enabled(false);
+  int builds = 0;
+  const auto build = [&builds] {
+    ++builds;
+    return CheckpointedTrace{};
+  };
+  cache.get_or_build_checkpoints(key_with(1), 8, build);
+  cache.get_or_build_checkpoints(key_with(1), 8, build);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.checkpoint_misses(), 2u);
+  EXPECT_EQ(cache.checkpoint_hits(), 0u);
+}
+
+TEST(TraceCache, ByteBudgetEvictsAcrossEntryKinds) {
+  TraceCache cache;
+  // Room for one 2-job stream plus a little; a checkpoint table then
+  // pushes the older stream out.
+  cache.set_byte_budget(2 * sizeof(JobSpec) +
+                        2 * sizeof(StreamCheckpoint));
+  int generations = 0;
+  const auto gen = [&generations] {
+    ++generations;
+    return make_stream(2);
+  };
+  cache.get_or_generate(key_with(1), gen);
+  const auto build = [] {
+    CheckpointedTrace t;
+    t.window = 4;
+    t.checkpoints.resize(2);
+    t.checkpoints.shrink_to_fit();
+    return t;
+  };
+  cache.get_or_build_checkpoints(key_with(2), 4, build);
+  cache.get_or_generate(key_with(3), gen);  // evicts until under budget
+  EXPECT_LE(cache.resident_bytes(),
+            2 * sizeof(JobSpec) + 2 * sizeof(StreamCheckpoint));
+  // The oldest entry (stream 1) is gone; the newest (stream 3) survived.
+  cache.get_or_generate(key_with(3), gen);
+  EXPECT_EQ(generations, 2);
+  cache.get_or_generate(key_with(1), gen);
+  EXPECT_EQ(generations, 3);
+}
+
+TEST(TraceCache, ClearZeroesCheckpointCounters) {
+  TraceCache cache;
+  cache.get_or_build_checkpoints(key_with(1), 8,
+                                 [] { return CheckpointedTrace{}; });
+  cache.get_or_build_checkpoints(key_with(1), 8,
+                                 [] { return CheckpointedTrace{}; });
+  cache.clear();
+  EXPECT_EQ(cache.checkpoint_hits(), 0u);
+  EXPECT_EQ(cache.checkpoint_misses(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
 }
 
 TEST(TraceCache, LiveConsumersSurviveEviction) {

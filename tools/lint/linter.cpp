@@ -23,6 +23,7 @@ constexpr char kPointerKey[] = "pointer-key";
 constexpr char kMutableGlobal[] = "mutable-global";
 constexpr char kStdFunctionMember[] = "std-function-member";
 constexpr char kWorkerRefCapture[] = "worker-ref-capture";
+constexpr char kStreamMaterialization[] = "stream-materialization";
 constexpr char kBareAllow[] = "bare-allow";
 
 const std::vector<RuleInfo> kRules = {
@@ -53,10 +54,31 @@ const std::vector<RuleInfo> kRules = {
      "passed to parallel_for_each in src/: wholesale capture silently "
      "shares mutable state across worker threads (the PDES partition "
      "contract forbids it); capture the objects you need explicitly"},
+    {kStreamMaterialization,
+     "generate_stream call in src/core or src/exec: whole-stream "
+     "materialization is O(total jobs) resident and defeats the windowed "
+     "trace engine; pull windows via workload::StreamWindow (or justify "
+     "the explicitly-retained path with an allow annotation)"},
     {kBareAllow,
      "rrsim-lint-allow annotation without a justification or naming an "
      "unknown rule"},
 };
+
+/// True if `name` appears as a whole path component of `path` (the same
+/// component matching category_for_path uses).
+bool has_path_component(const std::string& path, std::string_view name) {
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t p = path.find(name, from);
+    if (p == std::string::npos) return false;
+    const bool left_ok = p == 0 || path[p - 1] == '/' || path[p - 1] == '\\';
+    const std::size_t after = p + name.size();
+    const bool right_ok =
+        after == path.size() || path[after] == '/' || path[after] == '\\';
+    if (left_ok && right_ok) return true;
+    from = p + 1;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Pass 1: strip comments and literals, collect allow annotations
@@ -320,7 +342,13 @@ class Scanner {
  public:
   Scanner(const std::string& path, Category cat, const AllowSet& allows,
           std::vector<Finding>& findings)
-      : path_(path), cat_(cat), allows_(allows), findings_(findings) {}
+      : path_(path),
+        cat_(cat),
+        allows_(allows),
+        findings_(findings),
+        stream_rule_applies_(cat == Category::kSrc &&
+                             (has_path_component(path, "core") ||
+                              has_path_component(path, "exec"))) {}
 
   void run(const std::vector<Token>& tokens) {
     tokens_ = &tokens;
@@ -492,6 +520,18 @@ class Scanner {
                  "so shared state is auditable");
         }
       }
+    }
+
+    // stream-materialization (src/core + src/exec only): a call that
+    // materializes a whole job stream in the experiment/execution layers.
+    // Fires on member calls too (model.generate_stream(...) is the usual
+    // form) — the retained-path call site carries a justified allow.
+    if (stream_rule_applies_ && t.text == "generate_stream" &&
+        i + 1 < count() && tok(i + 1).text == "(") {
+      report(kStreamMaterialization, t.line,
+             "generate_stream materializes a whole stream (O(total jobs) "
+             "resident); pull bounded chunks via workload::StreamWindow, "
+             "or annotate the explicitly-retained path");
     }
 
     // pointer-key: map/set keyed on a pointer, or a pointer-comparing
@@ -680,6 +720,7 @@ class Scanner {
   std::vector<ScopeFrame> stack_;
   std::vector<std::size_t> stmt_;
   std::set<std::string> reported_;
+  const bool stream_rule_applies_;
 };
 
 }  // namespace
