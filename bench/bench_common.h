@@ -119,6 +119,8 @@ inline void write_json_env_fields(std::FILE* f, int jobs_used) {
                "    \"misses\": %" PRIu64 ",\n"
                "    \"checkpoint_hits\": %" PRIu64 ",\n"
                "    \"checkpoint_misses\": %" PRIu64 ",\n"
+               "    \"draw_hits\": %" PRIu64 ",\n"
+               "    \"draw_misses\": %" PRIu64 ",\n"
                "    \"entries\": %zu,\n"
                "    \"resident_bytes\": %zu\n"
                "  },\n"
@@ -126,6 +128,7 @@ inline void write_json_env_fields(std::FILE* f, int jobs_used) {
                std::thread::hardware_concurrency(), jobs_used,
                peak_rss_bytes(), cache.hits(), cache.misses(),
                cache.checkpoint_hits(), cache.checkpoint_misses(),
+               cache.draw_hits(), cache.draw_misses(),
                cache.entries(), cache.resident_bytes(), stamp);
 }
 

@@ -272,21 +272,43 @@ inline ResolvedWindows resolve_stream_windows(
 
   // Substream positioning, cluster-major — the order resolve_streams()
   // pre-draws rs.draws. Capturing before advancing gives each cluster the
-  // exact generator its draws start from; advancing with the *same* calls
-  // (below, and chance only when a scheme is active — the eager loop
-  // short-circuits past the redundancy draw for NONE) leaves cluster i+1's
-  // start exactly where the eager path puts it.
+  // exact generator its draws start from. The advance itself is one draw
+  // per job — O(total jobs) — so it is memoized per cluster segment: a
+  // repeated sweep point (or a fraction sweep — chance() advances the
+  // generator independently of p, see DrawSegmentKey) seeks straight to
+  // the end fingerprints, keeping resolution O(window) on checkpoint-table
+  // hits. A miss replays the *same* calls the eager loop makes (below, and
+  // chance only when a scheme is active — the eager loop short-circuits
+  // past the redundancy draw for NONE), so cluster i+1's start lands
+  // exactly where the eager path puts it.
   for (std::size_t i = 0; i < config.n_clusters; ++i) {
     out.streams[i].users_start = users_rng.fingerprint();
     out.streams[i].redundancy_start = redundancy_rng.fingerprint();
-    const std::uint64_t count = out.streams[i].checkpoints->total_jobs;
-    for (std::uint64_t j = 0; j < count; ++j) {
-      (void)users_rng.below(
-          static_cast<std::uint64_t>(config.users_per_cluster));
-      if (!config.scheme.is_none()) {
-        (void)redundancy_rng.chance(config.redundant_fraction);
-      }
-    }
+    workload::DrawSegmentKey seg;
+    seg.users_start = out.streams[i].users_start;
+    seg.redundancy_start = out.streams[i].redundancy_start;
+    seg.count = out.streams[i].checkpoints->total_jobs;
+    seg.users_per_cluster =
+        static_cast<std::uint64_t>(config.users_per_cluster);
+    seg.scheme_active = !config.scheme.is_none();
+    const workload::DrawSegment end =
+        workload::TraceCache::global().get_or_advance_draws(seg, [&]() {
+          util::Rng users = util::Rng::from_fingerprint(seg.users_start);
+          util::Rng redundancy =
+              util::Rng::from_fingerprint(seg.redundancy_start);
+          for (std::uint64_t j = 0; j < seg.count; ++j) {
+            (void)users.below(seg.users_per_cluster);
+            if (seg.scheme_active) {
+              (void)redundancy.chance(config.redundant_fraction);
+            }
+          }
+          workload::DrawSegment e;
+          e.users_end = users.fingerprint();
+          e.redundancy_end = redundancy.fingerprint();
+          return e;
+        });
+    users_rng = util::Rng::from_fingerprint(end.users_end);
+    redundancy_rng = util::Rng::from_fingerprint(end.redundancy_end);
   }
   return out;
 }

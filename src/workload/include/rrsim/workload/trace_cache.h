@@ -76,6 +76,35 @@ struct TraceKey {
   std::string bytes() const;
 };
 
+/// Where the per-job user/redundancy substreams land after one cluster's
+/// segment of draws (see core::detail::resolve_stream_windows): the exact
+/// generator fingerprints the *next* cluster's draws start from.
+struct DrawSegment {
+  std::pair<std::uint64_t, std::uint64_t> users_end{0, 0};
+  std::pair<std::uint64_t, std::uint64_t> redundancy_end{0, 0};
+};
+
+/// Everything that determines a DrawSegment bit-exactly: the substream
+/// start states, the number of per-job draws, and the draw shapes. The
+/// redundancy *fraction* is deliberately absent — Rng::chance consumes
+/// exactly one next_u64 regardless of p, so the end state is independent
+/// of the swept fraction, which is precisely what lets fraction sweeps
+/// reuse one fast-forward (util_rng_test pins that invariant). The user
+/// count *is* present: Rng::below's rejection loop can consume a
+/// value-dependent number of draws.
+struct DrawSegmentKey {
+  std::pair<std::uint64_t, std::uint64_t> users_start{0, 0};
+  std::pair<std::uint64_t, std::uint64_t> redundancy_start{0, 0};
+  std::uint64_t count = 0;
+  std::uint64_t users_per_cluster = 0;
+  /// False for scheme NONE, where the redundancy substream never advances
+  /// (the eager loop short-circuits past the chance() call).
+  bool scheme_active = false;
+
+  /// Flat byte encoding, same contract as TraceKey::bytes().
+  std::string bytes() const;
+};
+
 /// Process-wide, thread-safe memo of generated job streams and generator
 /// checkpoint tables.
 ///
@@ -101,6 +130,9 @@ class TraceCache {
   // rrsim-lint-allow(std-function-member): same once-per-miss economics as
   // Generator, for checkpoint-table construction (one full scan pass).
   using CheckpointBuilder = std::function<CheckpointedTrace()>;
+  // rrsim-lint-allow(std-function-member): once-per-miss again — a miss
+  // replays one cluster's O(jobs) substream fast-forward.
+  using DrawAdvancer = std::function<DrawSegment()>;
 
   TraceCache() = default;
   TraceCache(const TraceCache&) = delete;
@@ -119,6 +151,16 @@ class TraceCache {
   CheckpointPtr get_or_build_checkpoints(const TraceKey& key,
                                          std::size_t window,
                                          const CheckpointBuilder& build);
+
+  /// Returns the memoized substream end fingerprints for `key`, computing
+  /// them via `advance` on a miss. This is what keeps windowed input
+  /// resolution O(window) for repeated sweep points: without it every run
+  /// would fast-forward the user/redundancy substreams one draw per job
+  /// (O(total jobs)) even when the checkpoint table itself is a cache hit.
+  /// Entries are ~32 bytes and share the LRU-evicted store. When the cache
+  /// is disabled, always calls `advance` and publishes nothing.
+  DrawSegment get_or_advance_draws(const DrawSegmentKey& key,
+                                   const DrawAdvancer& advance);
 
   /// Turns memoization on/off. Disabling does not drop existing entries
   /// (use clear()); it makes every lookup generate afresh — the serial-
@@ -141,6 +183,8 @@ class TraceCache {
   std::uint64_t misses() const;
   std::uint64_t checkpoint_hits() const;
   std::uint64_t checkpoint_misses() const;
+  std::uint64_t draw_hits() const;
+  std::uint64_t draw_misses() const;
   std::size_t entries() const;
   std::size_t resident_bytes() const;
 
@@ -148,12 +192,14 @@ class TraceCache {
   static TraceCache& global();
 
  private:
-  /// One cached payload: exactly one of `stream` / `checkpoints` is set,
-  /// by entry kind (the key's leading tag byte). `lru` is this entry's
-  /// node in the recency list, so a hit can splice it to the back in O(1).
+  /// One cached payload: exactly one of `stream` / `checkpoints` / `draws`
+  /// is meaningful, by entry kind (the key's leading tag byte). `lru` is
+  /// this entry's node in the recency list, so a hit can splice it to the
+  /// back in O(1).
   struct Entry {
     StreamPtr stream;
     CheckpointPtr checkpoints;
+    DrawSegment draws;
     std::size_t bytes = 0;
     std::list<const std::string*>::iterator lru;
   };
@@ -163,7 +209,12 @@ class TraceCache {
   // cannot reach any output.
   using Map = std::unordered_map<std::string, Entry>;
 
-  Map::iterator publish_locked(std::string key, Entry entry);
+  /// Inserts (or adopts a racing thread's) entry, updates recency and the
+  /// byte budget, and returns a copy of the published entry's payload
+  /// pointers. Returns a *value*, never an iterator: eviction inside can
+  /// erase the just-inserted node when the budget is smaller than this one
+  /// payload, so no reference into the map survives this call.
+  Entry publish_locked(std::string key, Entry entry);
   void touch_locked(Map::iterator it);
   void evict_to_budget_locked();
 
@@ -175,6 +226,8 @@ class TraceCache {
   std::uint64_t misses_ = 0;
   std::uint64_t checkpoint_hits_ = 0;
   std::uint64_t checkpoint_misses_ = 0;
+  std::uint64_t draw_hits_ = 0;
+  std::uint64_t draw_misses_ = 0;
   Map map_;
   /// Recency order, least recently used first. Nodes point at the map's
   /// own key strings (stable under rehash — unordered_map never moves

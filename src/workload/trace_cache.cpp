@@ -8,10 +8,11 @@ namespace rrsim::workload {
 
 namespace {
 
-// Leading tag byte of the map key, so stream and checkpoint entries for
-// the same trace never collide.
+// Leading tag byte of the map key, so stream, checkpoint, and draw-segment
+// entries never collide across kinds.
 constexpr char kStreamTag = 'S';
 constexpr char kCheckpointTag = 'C';
+constexpr char kDrawTag = 'D';
 
 void append_u64(std::string& out, std::uint64_t v) {
   char buf[sizeof v];
@@ -57,6 +58,19 @@ std::string TraceKey::bytes() const {
   return out;
 }
 
+std::string DrawSegmentKey::bytes() const {
+  std::string out;
+  out.reserve(6 * sizeof(std::uint64_t) + 1);
+  append_u64(out, users_start.first);
+  append_u64(out, users_start.second);
+  append_u64(out, redundancy_start.first);
+  append_u64(out, redundancy_start.second);
+  append_u64(out, count);
+  append_u64(out, users_per_cluster);
+  out.push_back(scheme_active ? '\1' : '\0');
+  return out;
+}
+
 TraceCache::StreamPtr TraceCache::get_or_generate(const TraceKey& key,
                                                   const Generator& generate) {
   std::string k;
@@ -84,8 +98,7 @@ TraceCache::StreamPtr TraceCache::get_or_generate(const TraceKey& key,
   Entry entry;
   entry.stream = stream;
   entry.bytes = stream->size() * sizeof(JobSpec);
-  const auto it = publish_locked(std::move(k), std::move(entry));
-  return it->second.stream;
+  return publish_locked(std::move(k), std::move(entry)).stream;
 }
 
 TraceCache::CheckpointPtr TraceCache::get_or_build_checkpoints(
@@ -115,28 +128,57 @@ TraceCache::CheckpointPtr TraceCache::get_or_build_checkpoints(
   Entry entry;
   entry.checkpoints = table;
   entry.bytes = table->payload_bytes();
-  const auto it = publish_locked(std::move(k), std::move(entry));
-  return it->second.checkpoints;
+  return publish_locked(std::move(k), std::move(entry)).checkpoints;
 }
 
-TraceCache::Map::iterator TraceCache::publish_locked(std::string key,
-                                                     Entry entry) {
+DrawSegment TraceCache::get_or_advance_draws(const DrawSegmentKey& key,
+                                             const DrawAdvancer& advance) {
+  std::string k;
+  k.push_back(kDrawTag);
+  k += key.bytes();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) {
+      ++draw_misses_;
+    } else if (const auto it = map_.find(k); it != map_.end()) {
+      ++draw_hits_;
+      touch_locked(it);
+      return it->second.draws;
+    } else {
+      ++draw_misses_;
+    }
+  }
+  // Advance outside the lock, same once-per-miss economics as generation:
+  // the fast-forward is one draw per job, O(total jobs) per cluster.
+  const DrawSegment seg = advance();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return seg;
+  Entry entry;
+  entry.draws = seg;
+  entry.bytes = sizeof(DrawSegment);
+  return publish_locked(std::move(k), std::move(entry)).draws;
+}
+
+TraceCache::Entry TraceCache::publish_locked(std::string key, Entry entry) {
   const auto [it, inserted] = map_.emplace(std::move(key), std::move(entry));
   if (!inserted) {
     // A racing thread published first. Generation is deterministic, so
     // the two payloads are bit-identical; adopt the published one so all
     // consumers share a single buffer. Treat the reuse as a touch.
     touch_locked(it);
-    return it;
+    return it->second;
   }
   lru_.push_back(&it->first);
   it->second.lru = std::prev(lru_.end());
   resident_bytes_ += it->second.bytes;
-  // The fresh entry is at the recency back, so even a tight budget evicts
-  // colder entries first; if the budget is smaller than this one payload,
-  // the entry itself goes, and the caller's shared_ptr keeps it alive.
+  // Copy the payload out BEFORE evicting: the fresh entry sits at the
+  // recency back, so colder entries go first, but a budget smaller than
+  // this one payload evicts the entry itself — eviction may invalidate
+  // `it`, and the returned shared_ptrs (not the map node) are what keep
+  // the payload alive for the caller.
+  Entry published = it->second;
   evict_to_budget_locked();
-  return it;
+  return published;
 }
 
 void TraceCache::touch_locked(Map::iterator it) {
@@ -147,9 +189,12 @@ void TraceCache::evict_to_budget_locked() {
   if (byte_budget_ == 0) return;
   while (resident_bytes_ > byte_budget_ && !lru_.empty()) {
     const auto it = map_.find(*lru_.front());
+    lru_.pop_front();
+    // Every lru_ node should name a live map entry; if the invariant ever
+    // drifts, skip the stale node rather than dereference end().
+    if (it == map_.end()) continue;
     resident_bytes_ -= it->second.bytes;
     map_.erase(it);
-    lru_.pop_front();
   }
 }
 
@@ -178,6 +223,8 @@ void TraceCache::clear() {
   misses_ = 0;
   checkpoint_hits_ = 0;
   checkpoint_misses_ = 0;
+  draw_hits_ = 0;
+  draw_misses_ = 0;
 }
 
 std::uint64_t TraceCache::hits() const {
@@ -198,6 +245,16 @@ std::uint64_t TraceCache::checkpoint_hits() const {
 std::uint64_t TraceCache::checkpoint_misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return checkpoint_misses_;
+}
+
+std::uint64_t TraceCache::draw_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draw_hits_;
+}
+
+std::uint64_t TraceCache::draw_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draw_misses_;
 }
 
 std::size_t TraceCache::entries() const {

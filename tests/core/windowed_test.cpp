@@ -13,6 +13,7 @@
 #include "rrsim/core/campaign.h"
 #include "rrsim/core/paper.h"
 #include "rrsim/metrics/summary.h"
+#include "rrsim/workload/trace_cache.h"
 
 namespace rrsim::core {
 namespace {
@@ -73,6 +74,29 @@ TEST(Windowed, BitIdenticalToEagerStreamingAcrossWindowsAndEstimators) {
       expect_same_run(windowed, eager);
     }
   }
+}
+
+TEST(Windowed, RepeatedRunsHitTheDrawSegmentMemoAndStayBitIdentical) {
+  // Input resolution memoizes the O(total jobs) user/redundancy substream
+  // fast-forward per cluster segment; a repeated sweep point must hit that
+  // memo (one hit per cluster) and reproduce the run bit-identically.
+  ExperimentConfig config = streaming_config();
+  config.stream_window = 64;
+  const SimResult first = run_experiment(config);
+  const workload::TraceCache& cache = workload::TraceCache::global();
+  const std::uint64_t hits_before = cache.draw_hits();
+  const std::uint64_t misses_before = cache.draw_misses();
+  const SimResult second = run_experiment(config);
+  EXPECT_EQ(cache.draw_hits(), hits_before + config.n_clusters);
+  EXPECT_EQ(cache.draw_misses(), misses_before);
+  expect_same_run(second, first);
+  // A different redundant fraction still hits: chance() advances the
+  // generator independently of p (see DrawSegmentKey), so fraction sweeps
+  // share one fast-forward per segment.
+  config.redundant_fraction = 0.25;
+  run_experiment(config);
+  EXPECT_EQ(cache.draw_hits(), hits_before + 2 * config.n_clusters);
+  EXPECT_EQ(cache.draw_misses(), misses_before);
 }
 
 TEST(Windowed, ResidentTraceStateIsBoundedByTheWindow) {

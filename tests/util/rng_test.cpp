@@ -137,6 +137,24 @@ TEST(Rng, FromFingerprintContinuesTheSequenceExactly) {
   EXPECT_EQ(restored.fingerprint(), original.fingerprint());
 }
 
+TEST(Rng, ChanceAdvancesStateIndependentlyOfProbability) {
+  // workload::DrawSegmentKey relies on this: chance(p) consumes exactly
+  // one next_u64 whatever p is, so the generator's end state after a run
+  // of coin flips does not depend on the swept probability — which is what
+  // lets redundant-fraction sweep points share one memoized substream
+  // fast-forward. If chance() ever short-circuits for p <= 0 or p >= 1,
+  // the memo key must grow a fraction field.
+  Rng a(23);
+  Rng b(23);
+  const double ps_a[] = {0.0, 0.3, 1.0, -1.0, 0.5};
+  const double ps_b[] = {0.9, 0.1, 2.0, 0.7, 0.0};
+  for (int i = 0; i < 5; ++i) {
+    (void)a.chance(ps_a[i]);
+    (void)b.chance(ps_b[i]);
+    ASSERT_EQ(a.fingerprint(), b.fingerprint()) << "diverged at flip " << i;
+  }
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(Rng::min() == 0);
   static_assert(Rng::max() == ~0ULL);

@@ -246,6 +246,97 @@ TEST(TraceCache, ClearZeroesCheckpointCounters) {
   EXPECT_EQ(cache.entries(), 0u);
 }
 
+DrawSegmentKey draw_key_with(std::uint64_t users_state,
+                             std::uint64_t count = 100) {
+  DrawSegmentKey k;
+  k.users_start = {users_state, 3};
+  k.redundancy_start = {5, 7};
+  k.count = count;
+  k.users_per_cluster = 8;
+  k.scheme_active = true;
+  return k;
+}
+
+TEST(TraceCache, DrawSegmentsAreMemoizedPerKey) {
+  TraceCache cache;
+  int advances = 0;
+  const auto advance = [&advances] {
+    ++advances;
+    DrawSegment s;
+    s.users_end = {11, 3};
+    s.redundancy_end = {13, 7};
+    return s;
+  };
+  const DrawSegment a = cache.get_or_advance_draws(draw_key_with(1), advance);
+  const DrawSegment b = cache.get_or_advance_draws(draw_key_with(1), advance);
+  EXPECT_EQ(advances, 1);
+  EXPECT_EQ(a.users_end, b.users_end);
+  EXPECT_EQ(a.redundancy_end, b.redundancy_end);
+  EXPECT_EQ(b.users_end, (std::pair<std::uint64_t, std::uint64_t>{11, 3}));
+  EXPECT_EQ(cache.draw_hits(), 1u);
+  EXPECT_EQ(cache.draw_misses(), 1u);
+  // Draw traffic touches neither the stream nor the checkpoint counters.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.checkpoint_hits(), 0u);
+  // Every key field is significant: a different start state, count,
+  // user-count, or scheme activeness is a different segment.
+  cache.get_or_advance_draws(draw_key_with(2), advance);
+  cache.get_or_advance_draws(draw_key_with(1, 101), advance);
+  DrawSegmentKey inactive = draw_key_with(1);
+  inactive.scheme_active = false;
+  cache.get_or_advance_draws(inactive, advance);
+  DrawSegmentKey more_users = draw_key_with(1);
+  more_users.users_per_cluster = 9;
+  cache.get_or_advance_draws(more_users, advance);
+  EXPECT_EQ(advances, 5);
+  EXPECT_EQ(cache.entries(), 5u);
+
+  cache.clear();
+  EXPECT_EQ(cache.draw_hits(), 0u);
+  EXPECT_EQ(cache.draw_misses(), 0u);
+}
+
+TEST(TraceCache, DisabledModeAdvancesDrawsEveryTimeWithoutPublishing) {
+  TraceCache cache;
+  cache.set_enabled(false);
+  int advances = 0;
+  const auto advance = [&advances] {
+    ++advances;
+    return DrawSegment{};
+  };
+  cache.get_or_advance_draws(draw_key_with(1), advance);
+  cache.get_or_advance_draws(draw_key_with(1), advance);
+  EXPECT_EQ(advances, 2);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.draw_misses(), 2u);
+  EXPECT_EQ(cache.draw_hits(), 0u);
+}
+
+TEST(TraceCache, FreshEntryLargerThanBudgetIsEvictedYetStillReturned) {
+  // Regression: with a budget smaller than a single payload, insertion
+  // evicts the just-inserted entry itself. The returned snapshot must be
+  // the caller-held payload, not a reference into the erased map node
+  // (which was a use-after-free).
+  TraceCache cache;
+  cache.set_byte_budget(1);
+  const auto held =
+      cache.get_or_generate(key_with(1), [] { return make_stream(4); });
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->size(), 4u);
+  EXPECT_EQ(cache.entries(), 0u);  // the fresh entry itself was evicted
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  const auto table = cache.get_or_build_checkpoints(key_with(2), 8, [] {
+    CheckpointedTrace t;
+    t.window = 8;
+    t.total_jobs = 20;
+    t.checkpoints.resize(3);
+    return t;
+  });
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->total_jobs, 20u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
 TEST(TraceCache, LiveConsumersSurviveEviction) {
   TraceCache cache;
   cache.set_byte_budget(sizeof(JobSpec));
