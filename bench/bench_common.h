@@ -7,6 +7,7 @@
 #include <cinttypes>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <exception>
 #include <iostream>
@@ -32,6 +33,21 @@ namespace rrsim::bench {
 /// banner, so the banner reports the configured worker count even when
 /// apply_common_flags runs later).
 inline int repetitions(const util::Cli& cli, int quick_default) {
+  // Trace-cache byte budget from the environment, so CI can cap bench
+  // memory without editing every invocation. Applied before the flags, so
+  // an explicit --trace-cache-budget (apply_common_flags, which harnesses
+  // call later) wins over the env var.
+  if (const char* env = std::getenv("RRSIM_TRACE_CACHE_BUDGET")) {
+    char* end = nullptr;
+    const long long budget = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || budget < 0) {
+      throw std::invalid_argument(
+          "RRSIM_TRACE_CACHE_BUDGET must be a non-negative byte count (got "
+          "\"" + std::string(env) + "\")");
+    }
+    workload::TraceCache::global().set_byte_budget(
+        static_cast<std::size_t>(budget));
+  }
   if (cli.has("jobs")) {
     const std::int64_t jobs = cli.get_int("jobs", 0);
     if (jobs < 1) {
@@ -102,34 +118,52 @@ inline std::size_t peak_rss_bytes() {
 /// PR 1's record was taken on a 1-core box with no way to tell from the
 /// JSON — these fields make perf records comparable across machines and
 /// time.
-inline void write_json_env_fields(std::FILE* f, int jobs_used) {
+///
+/// Pass include_trace_cache = false when this process's global cache saw
+/// no traffic (e.g. micro_scale, whose measured runs happen in child
+/// processes with their own caches): the block is then replaced by a note
+/// pointing at the per-point stats, instead of an all-zero block that
+/// reads as "the cache never hit".
+inline void write_json_env_fields(std::FILE* f, int jobs_used,
+                                  bool include_trace_cache = true) {
   char stamp[32] = "unknown";
   const std::time_t now = std::time(nullptr);
   std::tm utc{};
   if (gmtime_r(&now, &utc) != nullptr) {
     std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
   }
-  const workload::TraceCache& cache = workload::TraceCache::global();
   std::fprintf(f,
                "  \"hardware_concurrency\": %u,\n"
                "  \"jobs_used\": %d,\n"
-               "  \"peak_rss_bytes\": %zu,\n"
-               "  \"trace_cache\": {\n"
-               "    \"hits\": %" PRIu64 ",\n"
-               "    \"misses\": %" PRIu64 ",\n"
-               "    \"checkpoint_hits\": %" PRIu64 ",\n"
-               "    \"checkpoint_misses\": %" PRIu64 ",\n"
-               "    \"draw_hits\": %" PRIu64 ",\n"
-               "    \"draw_misses\": %" PRIu64 ",\n"
-               "    \"entries\": %zu,\n"
-               "    \"resident_bytes\": %zu\n"
-               "  },\n"
-               "  \"timestamp_utc\": \"%s\",\n",
+               "  \"peak_rss_bytes\": %zu,\n",
                std::thread::hardware_concurrency(), jobs_used,
-               peak_rss_bytes(), cache.hits(), cache.misses(),
-               cache.checkpoint_hits(), cache.checkpoint_misses(),
-               cache.draw_hits(), cache.draw_misses(),
-               cache.entries(), cache.resident_bytes(), stamp);
+               peak_rss_bytes());
+  if (include_trace_cache) {
+    const workload::TraceCache& cache = workload::TraceCache::global();
+    std::fprintf(f,
+                 "  \"trace_cache\": {\n"
+                 "    \"hits\": %" PRIu64 ",\n"
+                 "    \"misses\": %" PRIu64 ",\n"
+                 "    \"checkpoint_hits\": %" PRIu64 ",\n"
+                 "    \"checkpoint_misses\": %" PRIu64 ",\n"
+                 "    \"draw_hits\": %" PRIu64 ",\n"
+                 "    \"draw_misses\": %" PRIu64 ",\n"
+                 "    \"spool_hits\": %" PRIu64 ",\n"
+                 "    \"spool_misses\": %" PRIu64 ",\n"
+                 "    \"entries\": %zu,\n"
+                 "    \"resident_bytes\": %zu\n"
+                 "  },\n",
+                 cache.hits(), cache.misses(), cache.checkpoint_hits(),
+                 cache.checkpoint_misses(), cache.draw_hits(),
+                 cache.draw_misses(), cache.spool_hits(),
+                 cache.spool_misses(), cache.entries(),
+                 cache.resident_bytes());
+  } else {
+    std::fprintf(f,
+                 "  \"trace_cache_note\": \"runs execute in isolated child "
+                 "processes; see the per-point trace_cache stats\",\n");
+  }
+  std::fprintf(f, "  \"timestamp_utc\": \"%s\",\n", stamp);
 }
 
 /// Writes one parallel-speedup JSON field (trailing comma included). On a

@@ -83,8 +83,12 @@ struct ChildResult {
   std::size_t trace_bytes = 0;
   std::size_t peak_rss = 0;
   std::uint64_t ops = 0;
+  std::uint64_t st_hits = 0;
+  std::uint64_t st_misses = 0;
   std::uint64_t ck_hits = 0;
   std::uint64_t ck_misses = 0;
+  std::uint64_t dr_hits = 0;
+  std::uint64_t dr_misses = 0;
 };
 
 /// Child mode: run one experiment, print one machine-readable line.
@@ -121,13 +125,19 @@ int run_child(const util::Cli& cli) {
                             result.ops.sched_passes;
   const workload::TraceCache& cache = workload::TraceCache::global();
   const std::size_t rss = rrsim::bench::peak_rss_bytes();
+  // The cache counters are this child's own: each measurement process has
+  // its own global TraceCache, so the parent can report real per-point
+  // cache activity instead of its own (idle) cache.
   std::printf("SCALE jobs=%zu elapsed=%.6f stretch=%.17g live=%zu "
-              "trace=%zu rss=%zu ops=%" PRIu64 " ckhits=%" PRIu64
-              " ckmisses=%" PRIu64 "\n",
+              "trace=%zu rss=%zu ops=%" PRIu64 " sthits=%" PRIu64
+              " stmisses=%" PRIu64 " ckhits=%" PRIu64 " ckmisses=%" PRIu64
+              " drhits=%" PRIu64 " drmisses=%" PRIu64 "\n",
               static_cast<std::size_t>(result.jobs_generated), elapsed,
               m.avg_stretch, result.live_state_bytes,
-              result.resident_trace_bytes, rss, ops, cache.checkpoint_hits(),
-              cache.checkpoint_misses());
+              result.resident_trace_bytes, rss, ops, cache.hits(),
+              cache.misses(), cache.checkpoint_hits(),
+              cache.checkpoint_misses(), cache.draw_hits(),
+              cache.draw_misses());
   // Hard resident-set budget (the CI smoke): a regression that re-grows
   // the resident set past the budget fails the run, not just a number in
   // a JSON nobody reads.
@@ -171,11 +181,14 @@ ChildResult run_point(std::size_t clusters, double hours,
   while (std::fgets(line, sizeof line, pipe) != nullptr) {
     if (std::sscanf(line,
                     "SCALE jobs=%zu elapsed=%lf stretch=%lf live=%zu "
-                    "trace=%zu rss=%zu ops=%" SCNu64 " ckhits=%" SCNu64
-                    " ckmisses=%" SCNu64,
+                    "trace=%zu rss=%zu ops=%" SCNu64 " sthits=%" SCNu64
+                    " stmisses=%" SCNu64 " ckhits=%" SCNu64
+                    " ckmisses=%" SCNu64 " drhits=%" SCNu64
+                    " drmisses=%" SCNu64,
                     &r.jobs, &r.elapsed_s, &r.avg_stretch,
                     &r.live_state_bytes, &r.trace_bytes, &r.peak_rss, &r.ops,
-                    &r.ck_hits, &r.ck_misses) == 9) {
+                    &r.st_hits, &r.st_misses, &r.ck_hits, &r.ck_misses,
+                    &r.dr_hits, &r.dr_misses) == 13) {
       parsed = true;
     }
   }
@@ -301,7 +314,9 @@ int main(int argc, char** argv) {
     std::FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) throw std::runtime_error("cannot write " + out_path);
     std::fprintf(f, "{\n  \"benchmark\": \"micro_scale\",\n");
-    rrsim::bench::write_json_env_fields(f, 1);
+    // Parent process: the measured runs happen in children, so the
+    // parent's own trace cache would report all zeros — suppress it.
+    rrsim::bench::write_json_env_fields(f, 1, false);
     std::fprintf(f,
                  "  \"utilization\": 0.7,\n"
                  "  \"scheme\": \"fixed3 p=0.5\",\n"
@@ -337,11 +352,14 @@ int main(int argc, char** argv) {
           "     \"windowed\": {\"seconds\": %.4f, \"live_state_bytes\": "
           "%zu, \"resident_trace_bytes\": %zu, \"materialized_trace_bytes\": "
           "%.0f, \"trace_ratio\": %.2f, \"peak_rss_bytes\": %zu, \"ops\": "
-          "%" PRIu64 ", \"checkpoint_hits\": %" PRIu64
-          ", \"checkpoint_misses\": %" PRIu64 "}",
+          "%" PRIu64 ", \"trace_cache\": {\"hits\": %" PRIu64
+          ", \"misses\": %" PRIu64 ", \"checkpoint_hits\": %" PRIu64
+          ", \"checkpoint_misses\": %" PRIu64 ", \"draw_hits\": %" PRIu64
+          ", \"draw_misses\": %" PRIu64 "}}",
           win.elapsed_s, win.live_state_bytes, win.trace_bytes, materialized,
           materialized / static_cast<double>(win.trace_bytes), win.peak_rss,
-          win.ops, win.ck_hits, win.ck_misses);
+          win.ops, win.st_hits, win.st_misses, win.ck_hits, win.ck_misses,
+          win.dr_hits, win.dr_misses);
       if (row.p.all_modes) {
         std::fprintf(
             f,

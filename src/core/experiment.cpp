@@ -212,6 +212,33 @@ SimResult run_experiment(const ExperimentConfig& config,
   std::vector<WindowPump> wpumps;
   std::function<void(std::size_t)> wpump_fire;
 
+  // Windowed SWF replay state (stream_window > 0 with trace_files): the
+  // per-cluster spool readers pull O(window) buffers, but arrivals are
+  // driven by ONE merged pump doing a k-way merge keyed (submit time,
+  // cluster). SWF integer timestamps tie across clusters, and independent
+  // per-cluster pumps would acquire interleaving-dependent event sequence
+  // numbers at a tie; the merged pump emits tied arrivals in (time,
+  // cluster, within-cluster order) — exactly the retained mode's
+  // cluster-major staging order — and chains a single kArrival event, so
+  // the windowed replay is bit-identical to the retained replay (only
+  // arrival pumps schedule at kArrival priority, so relative order against
+  // every other event class is decided by priority alone in both modes).
+  struct SwfWindowCluster {
+    std::unique_ptr<workload::WindowSpool::Reader> reader;
+    workload::JobStream buf;      // current window, O(stream_window)
+    std::size_t in_buf = 0;       // index of the next job within buf
+    std::uint64_t produced = 0;   // jobs already submitted
+    util::Rng users_rng{0};
+    util::Rng redundancy_rng{0};
+    grid::GridJobId id_base = 0;  // ids are id_base + produced + 1
+    grid::GridJob scratch;
+  };
+  std::vector<SwfWindowCluster> mclusters;
+  // Min-heap over (next submit time, cluster): the pair's lexicographic
+  // order is exactly the tie rule above.
+  std::vector<std::pair<double, std::size_t>> mheap;
+  std::function<void()> merged_fire;
+
   std::vector<grid::GridJob>& jobs = workspace.jobs_;
   if (config.retain_records) {
     // --- Retained mode: stage every grid job, pre-schedule every arrival.
@@ -247,6 +274,73 @@ SimResult run_experiment(const ExperimentConfig& config,
             gateway.submit(job, inflation);
           },
           des::Priority::kArrival);
+    }
+  } else if (windowed && !config.trace_files.empty()) {
+    // --- Windowed SWF replay: merged arrival pump over spool readers.
+    std::vector<grid::GridJob>().swap(jobs);
+    gateway.set_record_sink(&result.stream);
+
+    const std::size_t window = config.stream_window;
+    mclusters.resize(config.n_clusters);
+    {
+      std::size_t base = 0;
+      for (std::size_t i = 0; i < config.n_clusters; ++i) {
+        const detail::WindowedClusterStream& wcs = ws.streams[i];
+        SwfWindowCluster& p = mclusters[i];
+        p.id_base = static_cast<grid::GridJobId>(base);
+        base += wcs.total_jobs();
+        if (wcs.total_jobs() == 0) continue;
+        p.reader = std::make_unique<workload::WindowSpool::Reader>(wcs.spool);
+        p.buf.reserve(window);
+        p.reader->next(window, p.buf);
+        p.users_rng = util::Rng::from_fingerprint(wcs.users_start);
+        p.redundancy_rng = util::Rng::from_fingerprint(wcs.redundancy_start);
+        mheap.emplace_back(p.buf.front().submit_time, i);
+      }
+    }
+    std::make_heap(mheap.begin(), mheap.end(), std::greater<>{});
+    const auto users_per_cluster =
+        static_cast<std::uint64_t>(config.users_per_cluster);
+    const bool scheme_active = !config.scheme.is_none();
+    const double redundant_fraction = config.redundant_fraction;
+    merged_fire = [&gateway, &place_job, &mclusters, &mheap, &sim,
+                   &merged_fire, window, users_per_cluster, scheme_active,
+                   redundant_fraction, inflation] {
+      std::pop_heap(mheap.begin(), mheap.end(), std::greater<>{});
+      const std::size_t ci = mheap.back().second;
+      mheap.pop_back();
+      SwfWindowCluster& p = mclusters[ci];
+      const workload::JobSpec& spec = p.buf[p.in_buf];
+      grid::GridJob& job = p.scratch;
+      job.id = p.id_base + p.produced + 1;
+      job.origin = ci;
+      // Same draws, same per-generator order as the eager rs.draws loop.
+      job.user = static_cast<sched::UserId>(static_cast<std::uint32_t>(
+          ci * 4096 + p.users_rng.below(users_per_cluster)));
+      job.spec = spec;
+      job.redundant =
+          scheme_active && p.redundancy_rng.chance(redundant_fraction);
+      job.targets.clear();
+      job.targets.push_back(ci);
+      place_job(job);
+      gateway.submit(job, inflation);
+      ++p.produced;
+      if (++p.in_buf == p.buf.size() && !p.reader->exhausted()) {
+        p.reader->next(window, p.buf);
+        p.in_buf = 0;
+      }
+      if (p.in_buf < p.buf.size()) {
+        mheap.emplace_back(p.buf[p.in_buf].submit_time, ci);
+        std::push_heap(mheap.begin(), mheap.end(), std::greater<>{});
+      }
+      if (!mheap.empty()) {
+        sim.schedule_at(mheap.front().first, [&merged_fire] { merged_fire(); },
+                        des::Priority::kArrival);
+      }
+    };
+    if (!mheap.empty()) {
+      sim.schedule_at(mheap.front().first, [&merged_fire] { merged_fire(); },
+                      des::Priority::kArrival);
     }
   } else if (windowed) {
     // --- Windowed streaming mode: O(stream_window) trace state per pump.
@@ -422,6 +516,13 @@ SimResult run_experiment(const ExperimentConfig& config,
       result.live_state_bytes +=
           p.scratch.targets.capacity() * sizeof(std::size_t);
     }
+    result.live_state_bytes += mclusters.capacity() * sizeof(SwfWindowCluster);
+    result.live_state_bytes +=
+        mheap.capacity() * sizeof(std::pair<double, std::size_t>);
+    for (const SwfWindowCluster& p : mclusters) {
+      result.live_state_bytes +=
+          p.scratch.targets.capacity() * sizeof(std::size_t);
+    }
   } else {
     result.live_state_bytes += pumps.capacity() * sizeof(Pump);
     for (const Pump& p : pumps) {
@@ -430,13 +531,17 @@ SimResult run_experiment(const ExperimentConfig& config,
     }
   }
   // Resident trace state: what stream_window exists to bound. Windowed
-  // runs hold checkpoint tables plus one window buffer per cluster;
-  // whole-stream runs hold every generated spec.
+  // runs hold checkpoint tables (or spool indexes) plus one window buffer
+  // per cluster; whole-stream runs hold every generated spec.
   if (windowed) {
     for (const detail::WindowedClusterStream& wcs : ws.streams) {
-      result.resident_trace_bytes += wcs.checkpoints->payload_bytes();
+      result.resident_trace_bytes += wcs.payload_bytes();
     }
     for (const WindowPump& p : wpumps) {
+      result.resident_trace_bytes +=
+          p.buf.capacity() * sizeof(workload::JobSpec);
+    }
+    for (const SwfWindowCluster& p : mclusters) {
       result.resident_trace_bytes +=
           p.buf.capacity() * sizeof(workload::JobSpec);
     }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -124,6 +125,32 @@ inline ResolvedClusters resolve_clusters(const ExperimentConfig& config) {
   return out;
 }
 
+/// Loads one SWF trace file filtered for one cluster: submit times shifted
+/// to t=0 (clamped to 1e-6 so nothing arrives "before" the simulation),
+/// cut at the horizon, jobs wider than the cluster dropped. This is THE
+/// entry point for file-backed traces — the retained path materializes its
+/// result directly and the windowed path spools it (window_spool.h), so
+/// both replay byte-identical job sequences, including the post-read_swf
+/// order of integer-time ties within a file.
+inline workload::JobStream load_swf_stream(const std::string& path,
+                                           double horizon, int max_nodes) {
+  // rrsim-lint-allow(stream-materialization): the one sanctioned read_swf
+  // call in core — SWF parsing must see the whole file to sort by submit
+  // time; retained mode keeps the result, windowed mode spools it to disk
+  // and drops it.
+  const workload::JobStream whole = workload::read_swf_file(path);
+  const double t0 = whole.empty() ? 0.0 : whole.front().submit_time;
+  workload::JobStream filtered;
+  for (workload::JobSpec spec : whole) {
+    spec.submit_time -= t0;
+    if (spec.submit_time > horizon) break;
+    if (spec.submit_time <= 0.0) spec.submit_time = 1e-6;
+    if (spec.nodes > max_nodes) continue;
+    filtered.push_back(spec);
+  }
+  return filtered;
+}
+
 /// Resolves the job streams (memoized via the TraceCache on the Lublin
 /// path) and the cluster-major user/redundancy draws. `master` must be
 /// the generator resolve_clusters() returned, untouched in between.
@@ -144,20 +171,9 @@ inline ResolvedStreams resolve_streams(
     util::Rng stream_rng = master.fork(kStreamWorkloadBase + i);
     util::Rng est_rng = master.fork(kStreamEstimatorBase + i);
     if (!config.trace_files.empty()) {
-      workload::JobStream own_stream = workload::read_swf_file(
-          config.trace_files[i % config.trace_files.size()]);
-      // Shift to t=0, drop jobs that cannot run here, cut at the horizon.
-      const double t0 =
-          own_stream.empty() ? 0.0 : own_stream.front().submit_time;
-      workload::JobStream filtered;
-      for (workload::JobSpec spec : own_stream) {
-        spec.submit_time -= t0;
-        if (spec.submit_time > config.submit_horizon) break;
-        if (spec.submit_time <= 0.0) spec.submit_time = 1e-6;
-        if (spec.nodes > cluster_configs[i].nodes) continue;
-        filtered.push_back(spec);
-      }
-      out.streams[i].own = std::move(filtered);
+      out.streams[i].own = load_swf_stream(
+          config.trace_files[i % config.trace_files.size()],
+          config.submit_horizon, cluster_configs[i].nodes);
     } else {
       // Memoized: sweep points sharing (seed, params, shape) — the common-
       // random-number pairing every figure uses — generate this stream
@@ -204,15 +220,28 @@ inline ResolvedStreams resolve_streams(
   return out;
 }
 
-/// One cluster's windowed stream: the memoized checkpoint table (counts +
-/// seekable generator states, ~48 bytes per window) plus the exact
-/// positions of the user/redundancy substreams where this cluster's draws
-/// begin. ~120 bytes of fixed state per cluster; the jobs themselves are
-/// re-materialized one window at a time by the arrival pumps.
+/// One cluster's windowed stream: the memoized seekable description of the
+/// trace — a checkpoint table on the Lublin path (~48 bytes per window) or
+/// a shared window spool on the SWF path (on-disk records + in-memory
+/// index) — plus the exact positions of the user/redundancy substreams
+/// where this cluster's draws begin. O(1) fixed state per cluster; the
+/// jobs themselves are re-materialized one window at a time by the
+/// arrival pumps.
 struct WindowedClusterStream {
-  workload::TraceCache::CheckpointPtr checkpoints;
+  workload::TraceCache::CheckpointPtr checkpoints;  // Lublin path
+  workload::TraceCache::SpoolPtr spool;             // SWF path
   std::pair<std::uint64_t, std::uint64_t> users_start{0, 0};
   std::pair<std::uint64_t, std::uint64_t> redundancy_start{0, 0};
+
+  std::uint64_t total_jobs() const noexcept {
+    return checkpoints ? checkpoints->total_jobs
+                       : (spool ? spool->total_jobs() : 0);
+  }
+  /// Resident bytes of the seekable description (for accounting).
+  std::size_t payload_bytes() const noexcept {
+    return checkpoints ? checkpoints->payload_bytes()
+                       : (spool ? spool->payload_bytes() : 0);
+  }
 };
 
 /// Output of resolve_stream_windows() — the O(window x clusters)
@@ -233,19 +262,16 @@ struct ResolvedWindows {
 /// fingerprints where cluster i's draws begin and rolls the generators
 /// forward past them with the same calls the eager loop makes, so a pump
 /// restoring from the fingerprints reproduces its cluster's draws
-/// bit-identically. Requires the Lublin path (throws on trace_files: SWF
-/// replays are file-backed, not regenerable from a checkpoint).
+/// bit-identically. File-backed traces (trace_files) are spooled to disk
+/// once per (path, shape, horizon, window) via the TraceCache and pulled
+/// back one window at a time, so SWF replay composes with windowed mode
+/// instead of forcing retained whole-stream residency.
 inline ResolvedWindows resolve_stream_windows(
     const ExperimentConfig& config,
     const std::vector<grid::ClusterConfig>& cluster_configs,
     util::Rng& master, const workload::RuntimeEstimator& estimator) {
   if (config.stream_window == 0) {
     throw std::logic_error("resolve_stream_windows needs stream_window > 0");
-  }
-  if (!config.trace_files.empty()) {
-    throw std::invalid_argument(
-        "stream_window is incompatible with SWF trace replay "
-        "(trace_files); windowed generation needs the Lublin model");
   }
   ResolvedWindows out;
   out.window = config.stream_window;
@@ -254,20 +280,43 @@ inline ResolvedWindows resolve_stream_windows(
   out.placement_rng = master.fork(kStreamPlacement);
   out.streams.resize(config.n_clusters);
   for (std::size_t i = 0; i < config.n_clusters; ++i) {
+    // Forked unconditionally — exactly as resolve_streams() does on both
+    // of its paths — so every later substream lands in the same place no
+    // matter which source backs the windows.
     util::Rng stream_rng = master.fork(kStreamWorkloadBase + i);
     util::Rng est_rng = master.fork(kStreamEstimatorBase + i);
-    const workload::TraceKey key = workload::TraceKey::of(
-        cluster_configs[i].workload, cluster_configs[i].nodes,
-        config.submit_horizon, stream_rng, est_rng, estimator);
-    out.streams[i].checkpoints =
-        workload::TraceCache::global().get_or_build_checkpoints(
-            key, config.stream_window, [&]() {
-              return workload::scan_checkpoints(
-                  cluster_configs[i].workload, cluster_configs[i].nodes,
-                  config.submit_horizon, stream_rng, est_rng, estimator,
-                  config.stream_window);
-            });
-    out.jobs_generated += out.streams[i].checkpoints->total_jobs;
+    if (!config.trace_files.empty()) {
+      const std::string& path =
+          config.trace_files[i % config.trace_files.size()];
+      workload::SpoolKey skey;
+      skey.path = path;
+      skey.max_nodes = cluster_configs[i].nodes;
+      skey.horizon = config.submit_horizon;
+      skey.window = config.stream_window;
+      out.streams[i].spool =
+          workload::TraceCache::global().get_or_build_spool(skey, [&]() {
+            workload::WindowSpool spool(config.stream_window);
+            for (const workload::JobSpec& spec : load_swf_stream(
+                     path, config.submit_horizon, cluster_configs[i].nodes)) {
+              spool.append(spec);
+            }
+            spool.finish();
+            return spool;
+          });
+    } else {
+      const workload::TraceKey key = workload::TraceKey::of(
+          cluster_configs[i].workload, cluster_configs[i].nodes,
+          config.submit_horizon, stream_rng, est_rng, estimator);
+      out.streams[i].checkpoints =
+          workload::TraceCache::global().get_or_build_checkpoints(
+              key, config.stream_window, [&]() {
+                return workload::scan_checkpoints(
+                    cluster_configs[i].workload, cluster_configs[i].nodes,
+                    config.submit_horizon, stream_rng, est_rng, estimator,
+                    config.stream_window);
+              });
+    }
+    out.jobs_generated += out.streams[i].total_jobs();
   }
 
   // Substream positioning, cluster-major — the order resolve_streams()
@@ -287,7 +336,7 @@ inline ResolvedWindows resolve_stream_windows(
     workload::DrawSegmentKey seg;
     seg.users_start = out.streams[i].users_start;
     seg.redundancy_start = out.streams[i].redundancy_start;
-    seg.count = out.streams[i].checkpoints->total_jobs;
+    seg.count = out.streams[i].total_jobs();
     seg.users_per_cluster =
         static_cast<std::uint64_t>(config.users_per_cluster);
     seg.scheme_active = !config.scheme.is_none();

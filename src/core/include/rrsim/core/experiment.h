@@ -76,6 +76,9 @@ struct ExperimentConfig {
   /// times are shifted to start at 0 and truncated to submit_horizon,
   /// jobs wider than the cluster are skipped, and the traces' own
   /// requested times are kept (load_mode and estimator do not apply).
+  /// Composes with stream_window > 0: the trace is spooled to disk once
+  /// (workload::WindowSpool) and replayed window by window, bit-identical
+  /// to the retained replay including integer-time tie order.
   std::vector<std::string> trace_files;
 
   // --- redundancy --------------------------------------------------------
@@ -160,8 +163,13 @@ struct ExperimentConfig {
   /// O(total jobs) — the regime that fits 10^3 clusters x 10^7 jobs.
   /// Requires the streaming record mode on the classic kernel
   /// (retain_records == false; PDES retains records but still streams its
-  /// *input* windowed) and the Lublin generator path (no trace_files:
-  /// SWF replays are file-backed, not regenerable from a checkpoint).
+  /// *input* windowed). File-backed traces (trace_files) have no
+  /// generator to checkpoint; they are spooled to an unlinked temp file
+  /// instead (workload::WindowSpool, cached per trace key), keeping only
+  /// the window index resident — and, unlike the eager streaming mode,
+  /// the windowed SWF replay reproduces the *retained* path's
+  /// cross-cluster tie order exactly (a single merged arrival pump keyed
+  /// (time, cluster) instead of independent per-cluster pumps).
   /// 0 (the default) keeps whole-stream resolution.
   std::size_t stream_window = 0;
   double queue_sample_interval = 60.0;  ///< seconds between queue samples

@@ -16,6 +16,7 @@
 // number streams shared by every point of a figure are generated once.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "rrsim/core/campaign.h"
@@ -23,6 +24,34 @@
 #include "rrsim/exec/sweep_runner.h"
 
 namespace rrsim::core {
+
+/// Trace-cache activity of one CampaignSweep::run(), as deltas of the
+/// process-global workload::TraceCache counters around the run — the
+/// sweep-granularity observability the per-process counters cannot give
+/// when several sweeps share one process. Other threads running
+/// experiments concurrently would perturb the deltas; the benches that
+/// read this run one sweep at a time, which is the supported shape.
+struct SweepCacheStats {
+  std::uint64_t stream_hits = 0;
+  std::uint64_t stream_misses = 0;
+  std::uint64_t checkpoint_hits = 0;
+  std::uint64_t checkpoint_misses = 0;
+  std::uint64_t draw_hits = 0;
+  std::uint64_t draw_misses = 0;
+  std::uint64_t spool_hits = 0;
+  std::uint64_t spool_misses = 0;
+};
+
+/// Cache-affinity key of a sweep point: an FNV-1a digest of exactly the
+/// config fields that determine the point's memoized trace inputs (seed,
+/// platform shape, load, horizon, estimator, users, window, trace files)
+/// and none of the swept treatment knobs (scheme, fraction, placement,
+/// scheduler) — so every point of a fraction or scheme sweep over one
+/// workload maps to one affinity group and exec::SweepRunner can schedule
+/// the group's units temporally adjacent (see add_affine). Never 0 (the
+/// runner's opt-out value). Collisions are harmless: affinity is a
+/// scheduling hint, results are unaffected.
+std::uint64_t trace_affinity(const ExperimentConfig& config);
 
 /// Deterministic multi-campaign sweep. Not thread-safe; build and run it
 /// from one thread.
@@ -61,12 +90,19 @@ class CampaignSweep {
   /// units): tasks queued here interleave into the same flat pool.
   exec::SweepRunner& runner() noexcept { return runner_; }
 
-  /// Executes everything queued; see exec::SweepRunner::run().
-  void run() { runner_.run(); }
+  /// Executes everything queued; see exec::SweepRunner::run(). Also
+  /// captures this run's trace-cache deltas into last_cache_stats().
+  void run();
+
+  /// Trace-cache activity of the most recent successful run().
+  const SweepCacheStats& last_cache_stats() const noexcept {
+    return last_cache_stats_;
+  }
 
  private:
   int reps_;
   exec::SweepRunner runner_;
+  SweepCacheStats last_cache_stats_;
 };
 
 }  // namespace rrsim::core

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "rrsim/exec/campaign_runner.h"
+#include "rrsim/workload/trace_cache.h"
 
 namespace rrsim::core {
 
@@ -92,6 +93,16 @@ ExperimentConfig apply_common_flags(ExperimentConfig config,
                                   "windowed generation)");
     }
     config.stream_window = static_cast<std::size_t>(window);
+  }
+  if (cli.has("trace-cache-budget")) {
+    const std::int64_t budget = cli.get_int("trace-cache-budget", 0);
+    if (budget < 0) {
+      throw std::invalid_argument(
+          "--trace-cache-budget must be >= 0 bytes (got " +
+          std::to_string(budget) + "; 0 means unlimited)");
+    }
+    workload::TraceCache::global().set_byte_budget(
+        static_cast<std::size_t>(budget));
   }
   if (cli.has("jobs")) {
     const std::int64_t jobs = cli.get_int("jobs", 0);

@@ -98,7 +98,7 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
       windowed ? ws.jobs_generated : rs.jobs_generated;
 
   for (std::size_t i = 0; i < n; ++i) {
-    gateway.reserve_records(i, windowed ? ws.streams[i].checkpoints->total_jobs
+    gateway.reserve_records(i, windowed ? ws.streams[i].total_jobs()
                                         : rs.streams[i].get().size());
   }
 
@@ -148,12 +148,16 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
   };
   std::vector<Pump> pumps(n);
   std::function<void(std::size_t)> pump_fire;
-  // Windowed counterpart: a StreamWindow generator refills `buf` one
-  // window at a time, draws made lazily from substream-positioned
-  // generators (see the classic kernel's WindowPump for the bit-identity
-  // argument). All of it is partition-confined, like Pump.
+  // Windowed counterpart: a WindowSource — a StreamWindow generator on the
+  // Lublin path, a spool reader on the SWF path — refills `buf` one window
+  // at a time, draws made lazily from substream-positioned generators (see
+  // the classic kernel's WindowPump for the bit-identity argument). All of
+  // it is partition-confined, like Pump; SWF spool readers share one
+  // immutable spool via pread, so concurrent partitions never contend.
+  // (No merged pump here: each partition is its own DES with its own event
+  // sequence, so cross-cluster integer-time ties cannot reorder anything.)
   struct WindowPump {
-    std::unique_ptr<workload::StreamWindow> gen;
+    std::unique_ptr<workload::WindowSource> gen;
     workload::JobStream buf;
     std::size_t in_buf = 0;
     std::uint64_t produced = 0;
@@ -172,12 +176,16 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
       const WindowedClusterStream& wcs = ws.streams[i];
       WindowPump& p = wpumps[i];
       p.id_base = static_cast<grid::GridJobId>(base);
-      base += wcs.checkpoints->total_jobs;
-      if (wcs.checkpoints->total_jobs == 0) continue;
-      p.gen = std::make_unique<workload::StreamWindow>(
-          rc.cluster_configs[i].workload, rc.cluster_configs[i].nodes,
-          config.submit_horizon, wcs.checkpoints->checkpoints.front(),
-          *estimator);
+      base += wcs.total_jobs();
+      if (wcs.total_jobs() == 0) continue;
+      if (wcs.spool) {
+        p.gen = std::make_unique<workload::WindowSpool::Reader>(wcs.spool);
+      } else {
+        p.gen = std::make_unique<workload::StreamWindow>(
+            rc.cluster_configs[i].workload, rc.cluster_configs[i].nodes,
+            config.submit_horizon, wcs.checkpoints->checkpoints.front(),
+            *estimator);
+      }
       p.buf.reserve(window);
       p.gen->next(window, p.buf);
       p.users_rng = util::Rng::from_fingerprint(wcs.users_start);
@@ -330,7 +338,7 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
   }
   if (windowed) {
     for (const WindowedClusterStream& wcs : ws.streams) {
-      result.resident_trace_bytes += wcs.checkpoints->payload_bytes();
+      result.resident_trace_bytes += wcs.payload_bytes();
     }
     for (const WindowPump& p : wpumps) {
       result.resident_trace_bytes +=

@@ -1,13 +1,69 @@
 #include "rrsim/core/sweep.h"
 
+#include <bit>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "rrsim/metrics/summary.h"
 #include "rrsim/util/stats.h"
+#include "rrsim/workload/trace_cache.h"
 
 namespace rrsim::core {
+
+namespace {
+
+// FNV-1a, byte-at-a-time. Doubles are mixed on their exact bit patterns —
+// the same "identical bits" contract as workload::TraceKey.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void byte(unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte((v >> (8 * i)) & 0xff);
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+    u64(s.size());  // length-delimited: "ab","c" != "a","bc"
+  }
+};
+
+}  // namespace
+
+std::uint64_t trace_affinity(const ExperimentConfig& config) {
+  // Exactly the fields that reach the memoized trace inputs — TraceKey
+  // (via resolve_clusters' calibration and the per-cluster workload
+  // parameters), DrawSegmentKey, and SpoolKey. Treatment knobs the cache
+  // deliberately ignores (scheme, fraction, placement, scheduler,
+  // protocol) are deliberately absent here too: points differing only in
+  // them share every cached entry, which is the sharing this affinity
+  // exists to exploit.
+  Fnv f;
+  f.u64(config.seed);
+  f.u64(config.n_clusters);
+  f.u64(static_cast<std::uint64_t>(config.nodes_per_cluster));
+  for (const int n : config.cluster_nodes) {
+    f.u64(static_cast<std::uint64_t>(n));
+  }
+  f.u64(config.cluster_nodes.size());
+  f.u64(static_cast<std::uint64_t>(config.load_mode));
+  f.f64(config.target_utilization);
+  f.f64(config.base_workload.mean_interarrival());
+  for (const double iat : config.cluster_mean_iat) f.f64(iat);
+  f.u64(config.cluster_mean_iat.size());
+  f.f64(config.submit_horizon);
+  f.str(config.estimator);
+  f.u64(static_cast<std::uint64_t>(config.users_per_cluster));
+  f.u64(config.stream_window);
+  for (const std::string& path : config.trace_files) f.str(path);
+  f.u64(config.trace_files.size());
+  // 0 is SweepRunner's "no affinity" opt-out; never collide with it.
+  return f.h == 0 ? 1 : f.h;
+}
 
 namespace {
 
@@ -29,6 +85,27 @@ metrics::ClassifiedMetrics classified_of(const SimResult& r) {
 CampaignSweep::CampaignSweep(int reps, int jobs)
     : reps_(reps), runner_(jobs) {
   if (reps < 1) throw std::invalid_argument("reps must be >= 1");
+}
+
+void CampaignSweep::run() {
+  const workload::TraceCache& cache = workload::TraceCache::global();
+  const std::uint64_t sh = cache.hits();
+  const std::uint64_t sm = cache.misses();
+  const std::uint64_t ch = cache.checkpoint_hits();
+  const std::uint64_t cm = cache.checkpoint_misses();
+  const std::uint64_t dh = cache.draw_hits();
+  const std::uint64_t dm = cache.draw_misses();
+  const std::uint64_t ph = cache.spool_hits();
+  const std::uint64_t pm = cache.spool_misses();
+  runner_.run();
+  last_cache_stats_.stream_hits = cache.hits() - sh;
+  last_cache_stats_.stream_misses = cache.misses() - sm;
+  last_cache_stats_.checkpoint_hits = cache.checkpoint_hits() - ch;
+  last_cache_stats_.checkpoint_misses = cache.checkpoint_misses() - cm;
+  last_cache_stats_.draw_hits = cache.draw_hits() - dh;
+  last_cache_stats_.draw_misses = cache.draw_misses() - dm;
+  last_cache_stats_.spool_hits = cache.spool_hits() - ph;
+  last_cache_stats_.spool_misses = cache.spool_misses() - pm;
 }
 
 // Replications run through the worker thread's persistent workspace: the
@@ -59,8 +136,8 @@ void CampaignSweep::add_relative(
   };
   auto acc = std::make_shared<Acc>();
   acc->out.per_rep_rel_stretch.reserve(static_cast<std::size_t>(reps_));
-  runner_.add(
-      reps_,
+  runner_.add_affine(
+      reps_, trace_affinity(config),
       [config](int r) {
         ExperimentConfig with = config;
         with.seed = config.seed + static_cast<std::uint64_t>(r);
@@ -121,8 +198,8 @@ void CampaignSweep::add_classified(
     std::size_t non_jobs = 0;
   };
   auto acc = std::make_shared<Acc>();
-  runner_.add(
-      reps_,
+  runner_.add_affine(
+      reps_, trace_affinity(config),
       [config](int r) {
         ExperimentConfig c = config;
         c.seed = config.seed + static_cast<std::uint64_t>(r);
@@ -159,8 +236,8 @@ void CampaignSweep::add_prediction(
     bool streamed = false;
   };
   auto pooled = std::make_shared<Pool>();
-  runner_.add(
-      reps_,
+  runner_.add_affine(
+      reps_, trace_affinity(config),
       [config](int r) {
         ExperimentConfig c = config;
         c.seed = config.seed + static_cast<std::uint64_t>(r);
@@ -201,8 +278,8 @@ void CampaignSweep::add_prediction(
 void CampaignSweep::add_experiments(
     const ExperimentConfig& config,
     std::function<void(int, const SimResult&)> per_rep) {
-  runner_.add(
-      reps_,
+  runner_.add_affine(
+      reps_, trace_affinity(config),
       [config](int r) {
         ExperimentConfig c = config;
         c.seed = config.seed + static_cast<std::uint64_t>(r);

@@ -71,10 +71,27 @@ struct CheckpointedTrace {
   }
 };
 
+/// The pull interface every windowed job source presents: generator-backed
+/// (StreamWindow) and file-backed (WindowSpool::Reader) sources are
+/// interchangeable to the arrival pumps, which only ever ask for "the next
+/// up-to-W jobs".
+class WindowSource {
+ public:
+  virtual ~WindowSource() = default;
+
+  /// Replaces the contents of `out` with the next up-to-`max_jobs` jobs.
+  /// Returns the number emitted; 0 iff the source is exhausted. Throws
+  /// std::invalid_argument on max_jobs == 0.
+  virtual std::size_t next(std::size_t max_jobs, JobStream& out) = 0;
+
+  /// True once the source has ended (no further next() will emit).
+  virtual bool exhausted() const noexcept = 0;
+};
+
 /// Pull-based Lublin stream generator. Not thread-safe; each consumer
 /// (arrival pump, checkpoint scan) owns its instance. The estimator is
 /// borrowed and must outlive the generator.
-class StreamWindow {
+class StreamWindow : public WindowSource {
  public:
   /// Starts a fresh stream: takes the generators by value at exactly the
   /// states generate_stream/apply_estimator would receive them, and primes
@@ -95,10 +112,10 @@ class StreamWindow {
   /// (submit_time, nodes, runtime, and estimator-applied requested_time
   /// all final). Returns the number emitted; 0 iff the stream is
   /// exhausted. Throws std::invalid_argument on max_jobs == 0.
-  std::size_t next(std::size_t max_jobs, JobStream& out);
+  std::size_t next(std::size_t max_jobs, JobStream& out) override;
 
   /// True once the stream has ended (no further next() will emit).
-  bool exhausted() const noexcept { return exhausted_; }
+  bool exhausted() const noexcept override { return exhausted_; }
 
   /// Jobs emitted so far (across all next() calls, plus the checkpoint's
   /// job_index when resumed).

@@ -12,12 +12,17 @@
 // snapshots, so each distinct trace is generated once per process no
 // matter how many sweep points or worker threads consume it.
 //
-// Two entry kinds share one LRU-evicted store:
-//   - whole streams (retained-mode drivers; ~32 bytes/job), and
+// Four entry kinds share one LRU-evicted store:
+//   - whole streams (retained-mode drivers; ~32 bytes/job),
 //   - generator checkpoint tables (windowed drivers; ~48 bytes/window —
 //     see stream_window.h), which let a sweep point seek to window k and
 //     re-materialize it in O(window) instead of holding 10^7 specs
-//     resident or regenerating from t = 0.
+//     resident or regenerating from t = 0,
+//   - substream draw segments (~32 bytes), and
+//   - window spools (windowed SWF replay; resident cost is the spool's
+//     in-memory index only — the records live in an unlinked temp file,
+//     see window_spool.h), so a grid sweep replays each trace file once
+//     no matter how many points consume it.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +39,7 @@
 #include "rrsim/workload/estimators.h"
 #include "rrsim/workload/lublin.h"
 #include "rrsim/workload/stream_window.h"
+#include "rrsim/workload/window_spool.h"
 
 namespace rrsim::workload {
 
@@ -105,6 +111,22 @@ struct DrawSegmentKey {
   std::string bytes() const;
 };
 
+/// Everything that determines a spooled SWF window store bit-exactly: the
+/// file path, the filters applied while loading (cluster size and horizon
+/// — see core::detail::load_swf_stream), and the window the spool was
+/// chunked at. The path is taken at face value; callers replaying a file
+/// that changed on disk mid-process get whatever was spooled first, the
+/// same staleness contract as any memo keyed by name.
+struct SpoolKey {
+  std::string path;
+  int max_nodes = 1;
+  double horizon = 0.0;
+  std::size_t window = 0;
+
+  /// Flat byte encoding, same contract as TraceKey::bytes().
+  std::string bytes() const;
+};
+
 /// Process-wide, thread-safe memo of generated job streams and generator
 /// checkpoint tables.
 ///
@@ -133,6 +155,10 @@ class TraceCache {
   // rrsim-lint-allow(std-function-member): once-per-miss again — a miss
   // replays one cluster's O(jobs) substream fast-forward.
   using DrawAdvancer = std::function<DrawSegment()>;
+  using SpoolPtr = std::shared_ptr<const WindowSpool>;
+  // rrsim-lint-allow(std-function-member): once-per-miss — a miss reads
+  // and spools one whole SWF file.
+  using SpoolBuilder = std::function<WindowSpool()>;
 
   TraceCache() = default;
   TraceCache(const TraceCache&) = delete;
@@ -162,6 +188,15 @@ class TraceCache {
   DrawSegment get_or_advance_draws(const DrawSegmentKey& key,
                                    const DrawAdvancer& advance);
 
+  /// Returns the cached window spool for `key`, building (and publishing)
+  /// it via `build` on a miss. The entry's budget charge is the spool's
+  /// resident index bytes (payload_bytes), not its on-disk record bytes;
+  /// eviction drops the index and closes the unlinked backing file once
+  /// the last consumer's shared_ptr releases. When the cache is disabled,
+  /// always calls `build` and publishes nothing. Throws
+  /// std::invalid_argument on key.window == 0.
+  SpoolPtr get_or_build_spool(const SpoolKey& key, const SpoolBuilder& build);
+
   /// Turns memoization on/off. Disabling does not drop existing entries
   /// (use clear()); it makes every lookup generate afresh — the serial-
   /// baseline mode of bench/micro_sweep.
@@ -175,6 +210,10 @@ class TraceCache {
   /// is typically a handful of streams, far below any sane budget.
   void set_byte_budget(std::size_t bytes);
 
+  /// The current byte budget (0 = unlimited). The flag/env plumbing in
+  /// core/options and bench_common reads this back for validation tests.
+  std::size_t byte_budget() const;
+
   /// Drops all entries and zeroes the hit/miss counters.
   void clear();
 
@@ -185,6 +224,8 @@ class TraceCache {
   std::uint64_t checkpoint_misses() const;
   std::uint64_t draw_hits() const;
   std::uint64_t draw_misses() const;
+  std::uint64_t spool_hits() const;
+  std::uint64_t spool_misses() const;
   std::size_t entries() const;
   std::size_t resident_bytes() const;
 
@@ -193,13 +234,15 @@ class TraceCache {
 
  private:
   /// One cached payload: exactly one of `stream` / `checkpoints` / `draws`
-  /// is meaningful, by entry kind (the key's leading tag byte). `lru` is
+  /// / `spool` is meaningful, by entry kind (the key's leading tag byte).
+  /// `lru` is
   /// this entry's node in the recency list, so a hit can splice it to the
   /// back in O(1).
   struct Entry {
     StreamPtr stream;
     CheckpointPtr checkpoints;
     DrawSegment draws;
+    SpoolPtr spool;
     std::size_t bytes = 0;
     std::list<const std::string*>::iterator lru;
   };
@@ -228,6 +271,8 @@ class TraceCache {
   std::uint64_t checkpoint_misses_ = 0;
   std::uint64_t draw_hits_ = 0;
   std::uint64_t draw_misses_ = 0;
+  std::uint64_t spool_hits_ = 0;
+  std::uint64_t spool_misses_ = 0;
   Map map_;
   /// Recency order, least recently used first. Nodes point at the map's
   /// own key strings (stable under rehash — unordered_map never moves

@@ -13,6 +13,7 @@ namespace {
 constexpr char kStreamTag = 'S';
 constexpr char kCheckpointTag = 'C';
 constexpr char kDrawTag = 'D';
+constexpr char kSpoolTag = 'P';
 
 void append_u64(std::string& out, std::uint64_t v) {
   char buf[sizeof v];
@@ -68,6 +69,16 @@ std::string DrawSegmentKey::bytes() const {
   append_u64(out, count);
   append_u64(out, users_per_cluster);
   out.push_back(scheme_active ? '\1' : '\0');
+  return out;
+}
+
+std::string SpoolKey::bytes() const {
+  std::string out;
+  out.reserve(3 * sizeof(std::uint64_t) + path.size());
+  append_u64(out, static_cast<std::uint64_t>(max_nodes));
+  append_double(out, horizon);
+  append_u64(out, window);
+  out += path;
   return out;
 }
 
@@ -159,6 +170,36 @@ DrawSegment TraceCache::get_or_advance_draws(const DrawSegmentKey& key,
   return publish_locked(std::move(k), std::move(entry)).draws;
 }
 
+TraceCache::SpoolPtr TraceCache::get_or_build_spool(const SpoolKey& key,
+                                                    const SpoolBuilder& build) {
+  if (key.window == 0) throw std::invalid_argument("window must be > 0");
+  std::string k;
+  k.push_back(kSpoolTag);
+  k += key.bytes();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) {
+      ++spool_misses_;
+    } else if (const auto it = map_.find(k); it != map_.end()) {
+      ++spool_hits_;
+      touch_locked(it);
+      return it->second.spool;
+    } else {
+      ++spool_misses_;
+    }
+  }
+  // Build outside the lock: a miss reads and spools one whole trace file.
+  // Racing duplicates each spool into their own unlinked temp file; the
+  // loser's storage is reclaimed when its shared_ptr dies.
+  auto spool = std::make_shared<const WindowSpool>(build());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return spool;
+  Entry entry;
+  entry.spool = spool;
+  entry.bytes = spool->payload_bytes();
+  return publish_locked(std::move(k), std::move(entry)).spool;
+}
+
 TraceCache::Entry TraceCache::publish_locked(std::string key, Entry entry) {
   const auto [it, inserted] = map_.emplace(std::move(key), std::move(entry));
   if (!inserted) {
@@ -214,6 +255,11 @@ void TraceCache::set_byte_budget(std::size_t bytes) {
   evict_to_budget_locked();
 }
 
+std::size_t TraceCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byte_budget_;
+}
+
 void TraceCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
@@ -225,6 +271,8 @@ void TraceCache::clear() {
   checkpoint_misses_ = 0;
   draw_hits_ = 0;
   draw_misses_ = 0;
+  spool_hits_ = 0;
+  spool_misses_ = 0;
 }
 
 std::uint64_t TraceCache::hits() const {
@@ -255,6 +303,16 @@ std::uint64_t TraceCache::draw_hits() const {
 std::uint64_t TraceCache::draw_misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return draw_misses_;
+}
+
+std::uint64_t TraceCache::spool_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spool_hits_;
+}
+
+std::uint64_t TraceCache::spool_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spool_misses_;
 }
 
 std::size_t TraceCache::entries() const {

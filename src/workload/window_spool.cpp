@@ -1,0 +1,222 @@
+#include "rrsim/workload/window_spool.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rrsim::workload {
+namespace {
+
+// Fixed-size on-disk record: the four JobSpec fields, 8 bytes each,
+// little-endian, doubles as their exact bit patterns. Serialized
+// field-by-field — a struct memcpy would write indeterminate padding
+// bytes (same rationale as TraceKey::bytes).
+constexpr std::size_t kRecordBytes = 32;
+
+// Flush the writer's coalescing buffer at this size: large enough that
+// spooling is a handful of write() calls per million jobs, small enough
+// to stay invisible next to the simulation's own footprint.
+constexpr std::size_t kFlushThreshold = std::size_t{1} << 20;
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_double(std::vector<unsigned char>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+double get_double(const unsigned char* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string temp_dir_or_default(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  if (const char* env = std::getenv("TMPDIR"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "/tmp";
+}
+
+}  // namespace
+
+WindowSpool::WindowSpool(std::size_t window, const std::string& dir)
+    : window_(window) {
+  if (window == 0) {
+    throw std::invalid_argument("WindowSpool: window must be >= 1");
+  }
+  std::string path = temp_dir_or_default(dir) + "/rrsim-spool-XXXXXX";
+  fd_ = ::mkstemp(path.data());
+  if (fd_ < 0) {
+    throw std::runtime_error("WindowSpool: mkstemp failed under '" + path +
+                             "': " + std::strerror(errno));
+  }
+  // Unlink before anyone can observe the name: the storage now lives only
+  // as long as the descriptor, so every exit path — including exceptions —
+  // reclaims it without cleanup-by-name.
+  if (::unlink(path.c_str()) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("WindowSpool: unlink failed for '" + path +
+                             "': " + std::strerror(err));
+  }
+  buffer_.reserve(kFlushThreshold + kRecordBytes);
+}
+
+WindowSpool::WindowSpool(WindowSpool&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      window_(other.window_),
+      total_jobs_(other.total_jobs_),
+      finished_(other.finished_),
+      index_(std::move(other.index_)),
+      buffer_(std::move(other.buffer_)),
+      flushed_bytes_(other.flushed_bytes_) {}
+
+WindowSpool& WindowSpool::operator=(WindowSpool&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    window_ = other.window_;
+    total_jobs_ = other.total_jobs_;
+    finished_ = other.finished_;
+    index_ = std::move(other.index_);
+    buffer_ = std::move(other.buffer_);
+    flushed_bytes_ = other.flushed_bytes_;
+  }
+  return *this;
+}
+
+WindowSpool::~WindowSpool() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WindowSpool::append(const JobSpec& spec) {
+  if (finished_) {
+    throw std::logic_error("WindowSpool: append after finish()");
+  }
+  if (total_jobs_ % window_ == 0) {
+    index_.push_back(WindowIndex{
+        total_jobs_, flushed_bytes_ + buffer_.size()});
+  }
+  put_double(buffer_, spec.submit_time);
+  put_u64(buffer_, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(spec.nodes)));
+  put_double(buffer_, spec.runtime);
+  put_double(buffer_, spec.requested_time);
+  ++total_jobs_;
+  if (buffer_.size() >= kFlushThreshold) flush_buffer();
+}
+
+void WindowSpool::finish() {
+  if (finished_) return;
+  flush_buffer();
+  finished_ = true;
+}
+
+std::uint64_t WindowSpool::file_bytes() const noexcept {
+  return flushed_bytes_ + buffer_.size();
+}
+
+void WindowSpool::flush_buffer() {
+  std::size_t done = 0;
+  while (done < buffer_.size()) {
+    const ssize_t n =
+        ::write(fd_, buffer_.data() + done, buffer_.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("WindowSpool: write failed: ") +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  flushed_bytes_ += buffer_.size();
+  buffer_.clear();
+}
+
+void WindowSpool::read_records(std::uint64_t first, std::size_t count,
+                               JobStream& out) const {
+  std::vector<unsigned char> raw(count * kRecordBytes);
+  std::size_t done = 0;
+  const auto base = static_cast<off_t>(first * kRecordBytes);
+  while (done < raw.size()) {
+    const ssize_t n = ::pread(fd_, raw.data() + done, raw.size() - done,
+                              base + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("WindowSpool: pread failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      throw std::runtime_error("WindowSpool: spool file truncated");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const unsigned char* p = raw.data() + i * kRecordBytes;
+    JobSpec spec;
+    spec.submit_time = get_double(p);
+    spec.nodes = static_cast<int>(static_cast<std::int64_t>(get_u64(p + 8)));
+    spec.runtime = get_double(p + 16);
+    spec.requested_time = get_double(p + 24);
+    out.push_back(spec);
+  }
+}
+
+WindowSpool::Reader::Reader(std::shared_ptr<const WindowSpool> spool,
+                            std::size_t start_window)
+    : spool_(std::move(spool)) {
+  if (spool_ == nullptr) {
+    throw std::invalid_argument("WindowSpool::Reader: null spool");
+  }
+  if (!spool_->finished()) {
+    throw std::logic_error("WindowSpool::Reader: spool not finished");
+  }
+  if (start_window > spool_->index_.size()) {
+    throw std::invalid_argument(
+        "WindowSpool::Reader: start_window " + std::to_string(start_window) +
+        " past the index (" + std::to_string(spool_->index_.size()) +
+        " windows)");
+  }
+  next_job_ = start_window < spool_->index_.size()
+                  ? spool_->index_[start_window].job_index
+                  : spool_->total_jobs();
+}
+
+std::size_t WindowSpool::Reader::next(std::size_t max_jobs, JobStream& out) {
+  if (max_jobs == 0) {
+    throw std::invalid_argument("WindowSpool::Reader: max_jobs must be >= 1");
+  }
+  out.clear();
+  const std::uint64_t remaining = spool_->total_jobs() - next_job_;
+  const std::size_t count = static_cast<std::size_t>(
+      remaining < max_jobs ? remaining : max_jobs);
+  if (count == 0) return 0;
+  spool_->read_records(next_job_, count, out);
+  next_job_ += count;
+  return count;
+}
+
+}  // namespace rrsim::workload

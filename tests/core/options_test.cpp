@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "rrsim/exec/campaign_runner.h"
+#include "rrsim/workload/trace_cache.h"
 
 namespace rrsim::core {
 namespace {
@@ -115,6 +116,23 @@ TEST(CommonFlags, WindowFlag) {
   EXPECT_EQ(parse({"--window=256"}).stream_window, 256u);
   EXPECT_EQ(parse({"--window=0"}).stream_window, 0u);  // explicit disable
   EXPECT_THROW(parse({"--window=-1"}), std::invalid_argument);
+}
+
+TEST(CommonFlags, TraceCacheBudgetFlag) {
+  workload::TraceCache& cache = workload::TraceCache::global();
+  const std::size_t before = cache.byte_budget();
+  EXPECT_EQ(before, 0u);  // default: unlimited, and no flag leaves it so
+  parse({});
+  EXPECT_EQ(cache.byte_budget(), 0u);
+
+  parse({"--trace-cache-budget=1048576"});
+  EXPECT_EQ(cache.byte_budget(), 1048576u);
+  parse({"--trace-cache-budget=0"});  // explicit unlimited
+  EXPECT_EQ(cache.byte_budget(), 0u);
+
+  EXPECT_THROW(parse({"--trace-cache-budget=-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--trace-cache-budget=lots"}), std::invalid_argument);
+  cache.set_byte_budget(0);  // process-wide; don't leak into other tests
 }
 
 TEST(CommonFlags, BadValuesThrow) {

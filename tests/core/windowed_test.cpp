@@ -180,13 +180,15 @@ TEST(Windowed, RejectsRetainedRecordsOnTheClassicKernel) {
   EXPECT_THROW(run_experiment(config), std::invalid_argument);
 }
 
-TEST(Windowed, RejectsSwfTraceReplay) {
+TEST(Windowed, SwfTraceReplayIsAcceptedAndStillChecksTheFile) {
+  // trace_files + stream_window used to be rejected outright; the
+  // WindowSpool lifted that (bit-identity to retained replay is pinned in
+  // swf_spool_test.cpp). A missing trace file still fails loudly — as a
+  // file error from the spool build, not a config rejection.
   ExperimentConfig config = streaming_config();
   config.stream_window = 64;
-  // Rejected before any file is opened: SWF replay is file-backed, not
-  // regenerable from a generator checkpoint.
   config.trace_files = {"/nonexistent.swf"};
-  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+  EXPECT_THROW(run_experiment(config), std::runtime_error);
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rrsim/core/paper.h"
@@ -174,6 +176,31 @@ TEST(SweepDeterminism, CallbacksFireInAddOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(SweepDeterminism, LastCacheStatsSeesCrossPointSharing) {
+  // Two points differing only in a treatment knob (redundant fraction)
+  // share one trace_affinity and one set of cached trace inputs: the
+  // sweep-level delta counters must show the sharing.
+  EXPECT_EQ(trace_affinity(tiny_config()), trace_affinity(tiny_config()));
+  ExperimentConfig a = tiny_config();
+  a.scheme = RedundancyScheme::fixed(2);
+  ExperimentConfig b = a;
+  b.redundant_fraction = 0.25;
+  EXPECT_EQ(trace_affinity(a), trace_affinity(b));
+  ExperimentConfig other_seed = a;
+  other_seed.seed += 1;
+  EXPECT_NE(trace_affinity(a), trace_affinity(other_seed));
+
+  CampaignSweep sweep(1, 1);
+  int fired = 0;
+  sweep.add_classified(a, [&fired](const ClassifiedCampaign&) { ++fired; });
+  sweep.add_classified(b, [&fired](const ClassifiedCampaign&) { ++fired; });
+  sweep.run();
+  EXPECT_EQ(fired, 2);
+  // The second point's streams come straight from the cache the first
+  // point (or an earlier test) populated.
+  EXPECT_GT(sweep.last_cache_stats().stream_hits, 0u);
+}
+
 TEST(SweepDeterminism, ValidatesArguments) {
   EXPECT_THROW(CampaignSweep(0), std::invalid_argument);
   CampaignSweep sweep(2);
@@ -197,6 +224,84 @@ TEST(SweepRunner, CustomUnitsReduceInOrderForAnyJobCount) {
     EXPECT_EQ(doubled, (std::vector<int>{0, 2, 4, 6, 8})) << "jobs=" << jobs;
     EXPECT_EQ(squared, (std::vector<int>{0, 1, 4})) << "jobs=" << jobs;
   }
+}
+
+TEST(SweepRunner, AffinityGroupingKeepsResultsBitIdentical) {
+  // Affinity only reorders execution; reduction order — and therefore
+  // every observable output — must match plain add() for any job count.
+  for (int jobs : {1, 2, 8}) {
+    exec::SweepRunner runner(jobs);
+    std::vector<int> a;
+    std::vector<int> b;
+    std::vector<int> c;
+    runner.add_affine(
+        3, 42, [](int u) { return 10 + u; },
+        [&a](int, int v) { a.push_back(v); });
+    runner.add_affine(
+        3, 42, [](int u) { return 20 + u; },
+        [&b](int, int v) { b.push_back(v); });
+    runner.add_affine(
+        2, 7, [](int u) { return 30 + u; },
+        [&c](int, int v) { c.push_back(v); });
+    runner.run();
+    EXPECT_EQ(a, (std::vector<int>{10, 11, 12})) << "jobs=" << jobs;
+    EXPECT_EQ(b, (std::vector<int>{20, 21, 22})) << "jobs=" << jobs;
+    EXPECT_EQ(c, (std::vector<int>{30, 31})) << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepRunner, SerialAffinityRunsLeadersImmediatelyBeforeFollowers) {
+  // jobs=1: each (affinity, unit) group's leader runs, then its followers,
+  // before the next group — the tightest locality for an LRU-budgeted
+  // cache. Tasks: X and Y share affinity 5; Z opts out (affinity 0).
+  // Execution order is observed on the map side (single-threaded here),
+  // since results carry no execution-order information by design.
+  std::vector<std::string> trace;
+  const auto log = [&trace](const char* tag) {
+    return [&trace, tag](int u) {
+      trace.push_back(tag + std::to_string(u));
+      return u;
+    };
+  };
+  exec::SweepRunner runner(1);
+  runner.add_affine(2, 5, log("X"), [](int, int) {});
+  runner.add_affine(2, 5, log("Y"), [](int, int) {});
+  runner.add_affine(1, 0, log("Z"), [](int, int) {});
+  runner.run();
+  // Flat order X0 X1 Y0 Y1 Z0. Groups: (5,0)={X0 leader, Y0 follower},
+  // (5,1)={X1 leader, Y1 follower}, Z0 its own leader. Serial execution
+  // merges each leader with its followers in leader order.
+  EXPECT_EQ(trace,
+            (std::vector<std::string>{"X0", "Y0", "X1", "Y1", "Z0"}));
+}
+
+TEST(SweepRunner, ParallelAffinityRunsAllLeadersBeforeAnyFollower) {
+  // jobs>1: leaders fan out first, then a barrier, then followers. Record
+  // the phase boundary via a counter snapshot.
+  exec::SweepRunner runner(4);
+  std::atomic<int> executed{0};
+  std::atomic<int> followers_seen_before_leaders_done{0};
+  constexpr int kLeaders = 3;  // units 0..2 of the first-queued task
+  runner.add_affine(
+      3, 9,
+      [&executed](int u) {
+        ++executed;
+        return u;
+      },
+      [](int, int) {});
+  runner.add_affine(
+      3, 9,
+      [&executed, &followers_seen_before_leaders_done](int u) {
+        if (executed.load() < kLeaders) {
+          ++followers_seen_before_leaders_done;
+        }
+        ++executed;
+        return u;
+      },
+      [](int, int) {});
+  runner.run();
+  EXPECT_EQ(followers_seen_before_leaders_done.load(), 0);
+  EXPECT_EQ(executed.load(), 6);
 }
 
 TEST(SweepRunner, MapExceptionPropagatesAndClearsTheBatch) {

@@ -304,6 +304,43 @@ struct Api {
 )fix", Category::kSrc).empty());
 }
 
+TEST(LintRules, SwfFullTraceLoadFiresInCoreAndExecOnly) {
+  const std::string fixture = R"fix(
+void f(const std::string& path) {
+  auto jobs = workload::read_swf_file(path);
+  auto jobs2 = read_swf(path, 16);
+  (void)jobs;
+  (void)jobs2;
+}
+)fix";
+  for (const char* path :
+       {"src/core/experiment_detail.h", "src/exec/replay.cpp"}) {
+    const auto findings = lint_source(path, fixture, Category::kSrc);
+    ASSERT_EQ(findings.size(), 2u) << path;
+    EXPECT_EQ(findings[0].rule, "stream-materialization");
+    EXPECT_EQ(findings[0].line, 3);
+    EXPECT_EQ(findings[1].rule, "stream-materialization");
+    EXPECT_EQ(findings[1].line, 4);
+  }
+  // The workload layer owns the readers; bench/tests load traces freely.
+  EXPECT_TRUE(
+      lint_source("src/workload/swf.cpp", fixture, Category::kSrc).empty());
+  EXPECT_TRUE(lint_source("tests/core/swf_spool_test.cpp", fixture,
+                          Category::kTests)
+                  .empty());
+}
+
+TEST(LintRules, SwfLoadAllowAnnotationSuppresses) {
+  EXPECT_TRUE(lint_source("src/core/experiment_detail.h", R"fix(
+void f(const std::string& path) {
+  // rrsim-lint-allow(stream-materialization): the one sanctioned
+  // full-trace load both replay paths share.
+  auto jobs = workload::read_swf_file(path);
+  (void)jobs;
+}
+)fix", Category::kSrc).empty());
+}
+
 TEST(LintRules, StreamMaterializationAllowAnnotationSuppresses) {
   EXPECT_TRUE(lint_source("src/core/experiment_detail.h", R"fix(
 void f(const workload::LublinModel& model, util::Rng& rng) {

@@ -55,10 +55,11 @@ const std::vector<RuleInfo> kRules = {
      "shares mutable state across worker threads (the PDES partition "
      "contract forbids it); capture the objects you need explicitly"},
     {kStreamMaterialization,
-     "generate_stream call in src/core or src/exec: whole-stream "
-     "materialization is O(total jobs) resident and defeats the windowed "
-     "trace engine; pull windows via workload::StreamWindow (or justify "
-     "the explicitly-retained path with an allow annotation)"},
+     "generate_stream / read_swf call in src/core or src/exec: whole-"
+     "stream materialization is O(total jobs) resident and defeats the "
+     "windowed trace engine; pull windows via workload::StreamWindow or a "
+     "WindowSpool reader (or justify the explicitly-retained path with an "
+     "allow annotation)"},
     {kBareAllow,
      "rrsim-lint-allow annotation without a justification or naming an "
      "unknown rule"},
@@ -532,6 +533,19 @@ class Scanner {
              "generate_stream materializes a whole stream (O(total jobs) "
              "resident); pull bounded chunks via workload::StreamWindow, "
              "or annotate the explicitly-retained path");
+    }
+    // Same rule, SWF flavor: read_swf / read_swf_file load an entire
+    // trace file into memory. In core/exec that belongs in exactly one
+    // sanctioned entry point (core::detail::load_swf_stream, which both
+    // the retained path and the WindowSpool builder share) — anywhere
+    // else it is a full-trace load sneaking past the spool.
+    if (stream_rule_applies_ &&
+        (t.text == "read_swf" || t.text == "read_swf_file") &&
+        i + 1 < count() && tok(i + 1).text == "(") {
+      report(kStreamMaterialization, t.line,
+             t.text + " loads a whole SWF trace (O(total jobs) resident); "
+             "replay through the retained entry point or a WindowSpool "
+             "reader, or annotate the sanctioned loader");
     }
 
     // pointer-key: map/set keyed on a pointer, or a pointer-comparing
