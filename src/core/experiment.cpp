@@ -100,6 +100,17 @@ SimResult run_experiment(const ExperimentConfig& config,
   grid::Platform& platform = *workspace.platform_;
   grid::Gateway& gateway = *workspace.gateway_;
 
+  // Tie-break schedule hook (rrsim_check): installed before any event is
+  // scheduled; the gateway probe lets the explorer prove same-timestamp
+  // events on disjoint clusters independent. sim.reset() at the end of
+  // the run uninstalls the policy, so pooled workspaces never retain a
+  // pointer into a departed driver.
+  if (config.tie_break_policy != nullptr) {
+    sim.set_tie_break_policy(config.tie_break_policy, 0);
+    config.tie_break_policy->attach_coupling_probe(
+        0, [&gateway] { return gateway.cross_cluster_links(); });
+  }
+
   if (config.per_user_pending_limit > 0) {
     for (std::size_t i = 0; i < platform.size(); ++i) {
       platform.scheduler(i).set_per_user_pending_limit(
@@ -273,7 +284,7 @@ SimResult run_experiment(const ExperimentConfig& config,
             place_job(job);
             gateway.submit(job, inflation);
           },
-          des::Priority::kArrival);
+          des::Priority::kArrival, static_cast<std::uint32_t>(job.origin));
     }
   } else if (windowed && !config.trace_files.empty()) {
     // --- Windowed SWF replay: merged arrival pump over spool readers.
@@ -335,12 +346,14 @@ SimResult run_experiment(const ExperimentConfig& config,
       }
       if (!mheap.empty()) {
         sim.schedule_at(mheap.front().first, [&merged_fire] { merged_fire(); },
-                        des::Priority::kArrival);
+                        des::Priority::kArrival,
+                        static_cast<std::uint32_t>(mheap.front().second));
       }
     };
     if (!mheap.empty()) {
       sim.schedule_at(mheap.front().first, [&merged_fire] { merged_fire(); },
-                      des::Priority::kArrival);
+                      des::Priority::kArrival,
+                      static_cast<std::uint32_t>(mheap.front().second));
     }
   } else if (windowed) {
     // --- Windowed streaming mode: O(stream_window) trace state per pump.
@@ -399,14 +412,15 @@ SimResult run_experiment(const ExperimentConfig& config,
       if (p.in_buf < p.buf.size()) {
         sim.schedule_at(p.buf[p.in_buf].submit_time,
                         [&wpump_fire, ci] { wpump_fire(ci); },
-                        des::Priority::kArrival);
+                        des::Priority::kArrival,
+                        static_cast<std::uint32_t>(ci));
       }
     };
     for (std::size_t i = 0; i < config.n_clusters; ++i) {
       if (wpumps[i].buf.empty()) continue;
       sim.schedule_at(wpumps[i].buf.front().submit_time,
                       [&wpump_fire, i] { wpump_fire(i); },
-                      des::Priority::kArrival);
+                      des::Priority::kArrival, static_cast<std::uint32_t>(i));
     }
   } else {
     // --- Streaming mode: per-cluster pumps, per-finish metric folding.
@@ -446,14 +460,15 @@ SimResult run_experiment(const ExperimentConfig& config,
       if (++p.next < p.stream->size()) {
         sim.schedule_at((*p.stream)[p.next].submit_time,
                         [&pump_fire, ci] { pump_fire(ci); },
-                        des::Priority::kArrival);
+                        des::Priority::kArrival,
+                        static_cast<std::uint32_t>(ci));
       }
     };
     for (std::size_t i = 0; i < config.n_clusters; ++i) {
       if (pumps[i].stream->empty()) continue;
       sim.schedule_at(pumps[i].stream->front().submit_time,
                       [&pump_fire, i] { pump_fire(i); },
-                      des::Priority::kArrival);
+                      des::Priority::kArrival, static_cast<std::uint32_t>(i));
     }
   }
 

@@ -135,9 +135,11 @@ inline ResolvedClusters resolve_clusters(const ExperimentConfig& config) {
 inline workload::JobStream load_swf_stream(const std::string& path,
                                            double horizon, int max_nodes) {
   // rrsim-lint-allow(stream-materialization): the one sanctioned read_swf
-  // call in core — SWF parsing must see the whole file to sort by submit
-  // time; retained mode keeps the result, windowed mode spools it to disk
-  // and drops it.
+  // call in core — SWF parsing must see the whole file for the stable
+  // submit-time sort (ties keep file order; the tie-break explorer in
+  // tools/check relies on that baseline). Retained mode keeps the result,
+  // windowed mode spools it to disk and drops it; every other core/exec
+  // call site must go through this loader or a WindowSpool reader.
   const workload::JobStream whole = workload::read_swf_file(path);
   const double t0 = whole.empty() ? 0.0 : whole.front().submit_time;
   workload::JobStream filtered;

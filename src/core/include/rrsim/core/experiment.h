@@ -175,6 +175,17 @@ struct ExperimentConfig {
   double queue_sample_interval = 60.0;  ///< seconds between queue samples
   std::uint64_t seed = 1;
 
+  /// Tie-break schedule hook for the rrsim_check explorer: when non-null,
+  /// the policy is installed on the classic kernel's simulation (and on
+  /// every PDES partition, which then requires pdes_jobs == 1 so policy
+  /// calls stay single-threaded) before any event is scheduled, and its
+  /// coupling probe is attached to the gateway/coordinator. Not owned;
+  /// must outlive the run. Deliberately *not* part of the trace-cache
+  /// key: the policy permutes dispatch order, never the generated
+  /// workload. nullptr (default) keeps the kernel's seq-order fast path —
+  /// outputs are bit-identical to a build without this field.
+  des::TieBreakPolicy* tie_break_policy = nullptr;
+
   /// Resolved size of cluster `i`.
   int nodes_of(std::size_t i) const;
 };

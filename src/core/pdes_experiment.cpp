@@ -78,6 +78,25 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
 
   grid::PdesGateway gateway(coord, scheds, config.cross_cluster_latency);
 
+  // Tie-break schedule hook (rrsim_check): one policy shared by every
+  // partition, distinguished through the partition id in each TieGroup.
+  // The policy object is called from whichever thread runs a partition's
+  // window, so explorer runs are restricted to one worker.
+  if (config.tie_break_policy != nullptr) {
+    if (coord.jobs() != 1) {
+      throw std::invalid_argument(
+          "tie_break_policy requires pdes_jobs == 1 (policy calls must be "
+          "single-threaded)");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      coord.partition(i).set_tie_break_policy(
+          config.tie_break_policy, static_cast<std::uint32_t>(i));
+      config.tie_break_policy->attach_coupling_probe(
+          static_cast<std::uint32_t>(i),
+          [&coord] { return coord.in_flight_messages(); });
+    }
+  }
+
   const auto placement = grid::make_placement(config.placement);
   const auto estimator = workload::make_estimator(config.estimator);
   // Windowed input (stream_window > 0) composes with PDES: records are
@@ -220,14 +239,16 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
       if (p.in_buf < p.buf.size()) {
         coord.partition(ci).schedule_at(
             p.buf[p.in_buf].submit_time,
-            [&wpump_fire, ci] { wpump_fire(ci); }, des::Priority::kArrival);
+            [&wpump_fire, ci] { wpump_fire(ci); }, des::Priority::kArrival,
+            static_cast<std::uint32_t>(ci));
       }
     };
     for (std::size_t i = 0; i < n; ++i) {
       if (wpumps[i].buf.empty()) continue;
       coord.partition(i).schedule_at(wpumps[i].buf.front().submit_time,
                                      [&wpump_fire, i] { wpump_fire(i); },
-                                     des::Priority::kArrival);
+                                     des::Priority::kArrival,
+                                     static_cast<std::uint32_t>(i));
     }
   } else {
     std::size_t base = 0;
@@ -259,14 +280,16 @@ SimResult run_pdes_experiment(const ExperimentConfig& config) {
       if (++p.next < p.stream->size()) {
         coord.partition(ci).schedule_at(
             (*p.stream)[p.next].submit_time,
-            [&pump_fire, ci] { pump_fire(ci); }, des::Priority::kArrival);
+            [&pump_fire, ci] { pump_fire(ci); }, des::Priority::kArrival,
+            static_cast<std::uint32_t>(ci));
       }
     };
     for (std::size_t i = 0; i < n; ++i) {
       if (pumps[i].stream->empty()) continue;
       coord.partition(i).schedule_at(pumps[i].stream->front().submit_time,
                                      [&pump_fire, i] { pump_fire(i); },
-                                     des::Priority::kArrival);
+                                     des::Priority::kArrival,
+                                     static_cast<std::uint32_t>(i));
     }
   }
 

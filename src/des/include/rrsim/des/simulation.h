@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "rrsim/util/inline_fn.h"
@@ -63,6 +64,62 @@ enum class Priority : int {
 /// by value plus two references) with headroom; raising it trades slab
 /// memory for capture room.
 inline constexpr std::size_t kCallbackCapacity = 112;
+
+/// Tag for events not attributed to any cluster/partition entity.
+/// Schedule sites pass the cluster an event acts on; untagged events are
+/// treated as touching everything (conservatively dependent) by schedule
+/// explorers.
+inline constexpr std::uint32_t kNoEventTag = 0xffffffffu;
+
+/// One member of a same-(time, priority) tie group, in insertion order.
+struct TieEvent {
+  std::uint64_t seq;  ///< global insertion sequence (unique within a run)
+  std::uint32_t tag;  ///< cluster tag from the schedule site, or kNoEventTag
+};
+
+/// A same-timestamp/same-priority dispatch group offered to a
+/// TieBreakPolicy. `members` lists the live events sharing the minimal
+/// (time, priority) pair, ascending by seq; index 0 is what the default
+/// kernel would dispatch next.
+struct TieGroup {
+  std::uint64_t id;         ///< dense per-run group ordinal (singletons too)
+  std::uint32_t partition;  ///< kernel instance (PDES partition index, else 0)
+  Time time;
+  int priority;
+  const TieEvent* members;
+  std::size_t size;  ///< >= 1
+};
+
+/// Pluggable tie-break hook on the event queue. When installed (see
+/// Simulation::set_tie_break_policy) the kernel exposes each
+/// same-(time, priority) event group and lets the policy permute its
+/// dispatch order without perturbing anything else — timestamps,
+/// priorities, callbacks, and the slab/handle machinery are untouched.
+/// With no policy installed the kernel keeps the default seq order on the
+/// fast path, bit-identical to the historical behaviour.
+///
+/// A maximal run of consecutive same-(time, priority) dispatches forms
+/// one group. pick() is called once per dispatch while a group drains;
+/// the member list shrinks as events fire and may grow when callbacks
+/// schedule new events at the group's (time, priority). Returning 0 from
+/// every call reproduces the default order exactly.
+class TieBreakPolicy {
+ public:
+  virtual ~TieBreakPolicy() = default;
+
+  /// Index (into group.members) of the event to dispatch next.
+  virtual std::size_t pick(const TieGroup& group) = 0;
+
+  /// Optional coupling metadata hook: before a run, the experiment layer
+  /// hands the policy a probe that reports the number of live
+  /// cross-cluster couplings (replica sets spanning >= 2 clusters on the
+  /// zero-delay kernel; undelivered coordinator messages in PDES mode).
+  /// Schedule explorers sample it per tie group to prove events on
+  /// disjoint clusters independent. The default implementation ignores
+  /// the probe.
+  virtual void attach_coupling_probe(std::uint32_t partition,
+                                     std::function<std::uint64_t()> probe);
+};
 
 /// Deterministic event-driven simulation engine.
 ///
@@ -112,12 +169,35 @@ class Simulation {
 
   /// Schedules `cb` at absolute time `t` (must be >= now()).
   /// Throws std::invalid_argument if `t` is in the past or not finite.
+  /// `tag` labels the cluster the event acts on (kNoEventTag = global);
+  /// it is metadata for tie-break policies only and never affects the
+  /// dispatch order.
   EventHandle schedule_at(Time t, Callback cb,
-                          Priority prio = Priority::kControl);
+                          Priority prio = Priority::kControl,
+                          std::uint32_t tag = kNoEventTag);
 
   /// Schedules `cb` after a delay of `dt` seconds (must be >= 0).
   EventHandle schedule_in(Time dt, Callback cb,
-                          Priority prio = Priority::kControl);
+                          Priority prio = Priority::kControl,
+                          std::uint32_t tag = kNoEventTag);
+
+  /// Installs (or, with nullptr, removes) a tie-break policy. The policy
+  /// is not owned and must outlive the run; `partition` is echoed back in
+  /// every TieGroup (PDES partition index; 0 for the classic kernel).
+  /// Install before running: swapping policies mid-group is undefined.
+  /// reset() uninstalls the policy.
+  void set_tie_break_policy(TieBreakPolicy* policy,
+                            std::uint32_t partition = 0) noexcept {
+    policy_ = policy;
+    policy_partition_ = partition;
+  }
+
+  /// The installed tie-break policy, or nullptr (default seq order).
+  TieBreakPolicy* tie_break_policy() const noexcept { return policy_; }
+
+  /// Number of tie groups opened so far under an installed policy (dense
+  /// ordinals, singleton groups included); 0 on the default path.
+  std::uint64_t tie_groups() const noexcept { return tie_groups_; }
 
   /// Dispatches the next event, if any. Returns false when the queue is
   /// empty (cancelled events are skipped and do not count).
@@ -225,6 +305,7 @@ class Simulation {
     std::uint32_t next = kNil;
     std::uint32_t prev = kNil;
     std::uint32_t bucket = kNil;  ///< owning list while kFar
+    std::uint32_t tag = kNoEventTag;
     std::uint8_t priority = 0;
     Where where = Where::kFree;
 #if RRSIM_VALIDATE_ENABLED
@@ -297,6 +378,10 @@ class Simulation {
   void heap_push(const QueueEntry& e);
   void heap_pop() noexcept;
 
+  /// Dispatch path while a TieBreakPolicy is installed: gathers the
+  /// minimal-(time, priority) cohort and lets the policy choose.
+  bool step_policy();
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
@@ -317,6 +402,24 @@ class Simulation {
   Time bucket_range_end_ = 0.0;
   std::uint32_t overflow_head_ = kNil;
   std::size_t overflow_count_ = 0;
+
+  // Tie-break policy hook (nullptr = default seq-order fast path). The
+  // group trackers delimit maximal runs of same-(time, priority)
+  // dispatches; the scratch vectors keep cohort gathering allocation-free
+  // after the first group.
+  TieBreakPolicy* policy_ = nullptr;
+  std::uint32_t policy_partition_ = 0;
+  std::uint64_t tie_groups_ = 0;
+  bool group_open_ = false;
+  Time group_time_ = 0.0;
+  int group_prio_ = 0;
+  struct GroupMember {
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t tag;
+  };
+  std::vector<GroupMember> group_members_;
+  std::vector<TieEvent> group_scratch_;
 
 #if RRSIM_VALIDATE_ENABLED
   // Dispatch-order oracle watermark: coordinates of the previous pop.

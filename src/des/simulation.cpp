@@ -188,7 +188,8 @@ bool Simulation::refill() {
 }
 
 Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
-                                                Priority prio) {
+                                                Priority prio,
+                                                std::uint32_t tag) {
   if (!(t >= now_) || !std::isfinite(t)) {
     throw std::invalid_argument("schedule_at: time must be finite and >= now");
   }
@@ -208,6 +209,7 @@ Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
   slot.callback = std::move(cb);
   slot.time = t;
   slot.seq = next_seq_++;
+  slot.tag = tag;
   slot.priority = static_cast<std::uint8_t>(prio);
 #if RRSIM_VALIDATE_ENABLED
   slot.epoch = dispatched_;
@@ -226,12 +228,99 @@ Simulation::EventHandle Simulation::schedule_at(Time t, Callback cb,
 }
 
 Simulation::EventHandle Simulation::schedule_in(Time dt, Callback cb,
-                                                Priority prio) {
+                                                Priority prio,
+                                                std::uint32_t tag) {
   if (!(dt >= 0.0)) throw std::invalid_argument("schedule_in: negative delay");
-  return schedule_at(now_ + dt, std::move(cb), prio);
+  return schedule_at(now_ + dt, std::move(cb), prio, tag);
+}
+
+void TieBreakPolicy::attach_coupling_probe(
+    std::uint32_t partition, std::function<std::uint64_t()> probe) {
+  (void)partition;
+  (void)probe;
+}
+
+bool Simulation::step_policy() {
+  // Skim stale entries until the heap top is live (refilling as needed):
+  // the top then carries the global minimum under (time, priority, seq).
+  for (;;) {
+    if (heap_.empty() && !refill()) return false;
+    const QueueEntry& top = heap_.front();
+    if (is_live(top.slot, top.gen)) break;
+    heap_pop();
+  }
+  const Time t = heap_.front().time;
+  const int prio = heap_.front().priority;
+  // Group accounting: each maximal run of same-(time, priority)
+  // dispatches is one group; ordinals are dense over the run (singleton
+  // groups included) so a replay driver can address a group stably.
+  if (!group_open_ || t != group_time_ || prio != group_prio_) {
+    group_open_ = true;
+    group_time_ = t;
+    group_prio_ = prio;
+    ++tie_groups_;
+  }
+  // Gather the cohort. The calendar invariant — every live event below
+  // heap_limit_ sits in the near heap, far events are at or above it —
+  // puts every event sharing the minimal (time, priority) pair in heap_,
+  // so a single scan sees the whole group.
+  group_members_.clear();
+  for (const QueueEntry& e : heap_) {
+    if (e.time != t || e.priority != prio) continue;
+    if (!is_live(e.slot, e.gen)) continue;
+    group_members_.push_back(GroupMember{e.seq, e.slot, slots_[e.slot].tag});
+  }
+  std::sort(group_members_.begin(), group_members_.end(),
+            [](const GroupMember& a, const GroupMember& b) {
+              return a.seq < b.seq;  // seqs are unique: a total order
+            });
+  std::size_t choice = 0;
+  if (group_members_.size() > 1) {
+    group_scratch_.clear();
+    for (const GroupMember& m : group_members_) {
+      group_scratch_.push_back(TieEvent{m.seq, m.tag});
+    }
+    const TieGroup group{tie_groups_ - 1, policy_partition_, t, prio,
+                         group_scratch_.data(), group_scratch_.size()};
+    choice = policy_->pick(group);
+    if (choice >= group_members_.size()) {
+      throw std::logic_error("tie-break policy picked an index out of range");
+    }
+  }
+  const GroupMember chosen = group_members_[choice];
+#if RRSIM_VALIDATE_ENABLED
+  // Relaxed dispatch-order oracle: a policy may permute seq order inside
+  // a (time, priority) group, so only the (time, priority) axes bind for
+  // events queued across a pop; the time axis is unconditional.
+  RRSIM_CHECK(t >= now_, "event dispatched before now()");
+  if (vd_have_last_) {
+    RRSIM_CHECK(t >= vd_last_time_, "dispatch time went backwards");
+    if (slots_[chosen.slot].epoch < vd_last_epoch_) {
+      RRSIM_CHECK(t > vd_last_time_ || prio >= vd_last_prio_,
+                  "(time, priority) dispatch order violated under a "
+                  "tie-break policy");
+    }
+  }
+  vd_have_last_ = true;
+  vd_last_time_ = t;
+  vd_last_prio_ = prio;
+  vd_last_seq_ = chosen.seq;
+  vd_last_epoch_ = dispatched_ + 1;
+#endif
+  now_ = t;
+  // Dispatch the chosen member directly off its slot. Its heap entry (if
+  // it was not the top) stays behind and is lazily skipped once the slot
+  // retires — the same mechanism that absorbs cancelled near events.
+  Callback cb(std::move(slots_[chosen.slot].callback));
+  retire(chosen.slot);
+  if (live_ > 0) --live_;
+  ++dispatched_;
+  cb();
+  return true;
 }
 
 bool Simulation::step() {
+  if (policy_ != nullptr) return step_policy();
   for (;;) {
     if (heap_.empty() && !refill()) return false;
     const QueueEntry entry = heap_.front();
@@ -367,6 +456,10 @@ std::uint64_t Simulation::debug_fingerprint() const noexcept {
     if (head != kNil) ++linked_heads;
   }
   mix(linked_heads);
+  mix(policy_ == nullptr ? 0 : 1);
+  mix(policy_partition_);
+  mix(tie_groups_);
+  mix(group_open_ ? 1 : 0);
   mix(vd_have_last_ ? 1 : 0);
   return h;
 }
@@ -386,6 +479,17 @@ void Simulation::reset() noexcept {
   bucket_range_end_ = 0.0;
   overflow_head_ = kNil;
   overflow_count_ = 0;
+  // The policy is per-run configuration: clearing it keeps a pooled
+  // workspace simulation from calling into a policy object the previous
+  // run's driver may already have destroyed.
+  policy_ = nullptr;
+  policy_partition_ = 0;
+  tie_groups_ = 0;
+  group_open_ = false;
+  group_time_ = 0.0;
+  group_prio_ = 0;
+  group_members_.clear();
+  group_scratch_.clear();
   std::fill(bucket_heads_.begin(), bucket_heads_.end(), kNil);
   // Retire every slot: destroy lingering callbacks (a truncated run leaves
   // events queued) and bump generations so handles from the previous run

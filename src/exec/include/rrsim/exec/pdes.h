@@ -91,6 +91,18 @@ class PdesCoordinator {
   /// Cross-partition messages injected so far.
   std::uint64_t messages_delivered() const noexcept { return delivered_; }
 
+  /// Cross-partition messages posted but not yet scheduled into their
+  /// destination partition (staged mailboxes plus the collected pending
+  /// list). While this is 0, same-timestamp events in different
+  /// partitions cannot be causally coupled through the coordinator — the
+  /// PDES independence criterion tie-break explorers use for DPOR-style
+  /// pruning. Coordinator-thread only (jobs == 1 for explorer runs).
+  std::uint64_t in_flight_messages() const noexcept {
+    std::uint64_t n = pending_.size();
+    for (const std::vector<Message>& box : staging_) n += box.size();
+    return n;
+  }
+
 #if RRSIM_VALIDATE_ENABLED
   /// Corruption hook for the mailbox-oracle death test: warps the next
   /// delivered message's timestamp to before time zero, so the

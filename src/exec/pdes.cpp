@@ -94,7 +94,7 @@ void PdesCoordinator::deliver_messages(des::Time bound, bool inclusive) {
                 "pdes: message delivered into its destination's past");
     dst.schedule_at(
         m.time, [fn = std::move(m.fn)]() mutable { fn(); },
-        static_cast<des::Priority>(m.priority));
+        static_cast<des::Priority>(m.priority), m.dest);
     ++delivered_;
   }
   pending_.erase(pending_.begin(),

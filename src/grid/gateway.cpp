@@ -65,7 +65,11 @@ void Gateway::install_callbacks(std::size_t cluster) {
   cb.on_finish = [this, cluster](const sched::Job& job) {
     on_finish(cluster, job);
   };
-  platform_.scheduler(cluster).set_callbacks(std::move(cb));
+  sched::ClusterScheduler& sched = platform_.scheduler(cluster);
+  sched.set_callbacks(std::move(cb));
+  // Attribute the scheduler's own events (completions, wake-ups) to its
+  // cluster, so tie-break explorers can reason about event independence.
+  sched.set_event_tag(static_cast<std::uint32_t>(cluster));
 }
 
 void Gateway::submit(const GridJob& job, double remote_inflation) {
@@ -210,6 +214,9 @@ void Gateway::set_middleware(std::vector<MiddlewareStation*> stations) {
   for (const MiddlewareStation* s : stations) {
     if (s == nullptr) throw std::invalid_argument("null middleware station");
   }
+  for (std::size_t c = 0; c < stations.size(); ++c) {
+    stations[c]->set_event_tag(static_cast<std::uint32_t>(c));
+  }
   middleware_ = std::move(stations);
 }
 
@@ -283,7 +290,7 @@ void Gateway::cancel_siblings(GridJobId id, std::size_t winner_cluster) {
     if (middleware_.empty()) {
       sim_.schedule_in(
           0.0, [this, cluster, rid] { deliver_cancel(cluster, rid); },
-          des::Priority::kCancel);
+          des::Priority::kCancel, cluster);
     } else {
       // The qdel is itself a middleware transaction and arrives late.
       middleware_[cluster]->enqueue(
@@ -363,6 +370,19 @@ void Gateway::on_finish(std::size_t cluster, const sched::Job& job) {
     }
     tracked_.erase(grid_id);
   }
+}
+
+std::uint64_t Gateway::cross_cluster_links() const noexcept {
+  std::uint64_t links = 0;
+  tracked_.for_each([&links](const GridJobId&, const Tracked& t) {
+    for (std::size_t i = 1; i < t.replicas.size(); ++i) {
+      if (t.replicas[i].cluster != t.replicas[0].cluster) {
+        ++links;
+        break;
+      }
+    }
+  });
+  return links;
 }
 
 std::size_t Gateway::live_state_bytes() const noexcept {

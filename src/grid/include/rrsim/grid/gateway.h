@@ -137,6 +137,14 @@ class Gateway {
   /// submission, or when middleware delays delivery).
   std::uint64_t replicas_dropped() const noexcept { return dropped_; }
 
+  /// Live cross-cluster couplings: tracked grid jobs whose replica set
+  /// still spans >= 2 distinct clusters. While this is 0, same-timestamp
+  /// events on different clusters cannot influence each other through
+  /// the gateway's shared tracking state — the independence criterion
+  /// tie-break schedule explorers use for DPOR-style pruning. O(tracked
+  /// jobs); sampled per tie group by explorers, never on the hot path.
+  std::uint64_t cross_cluster_links() const noexcept;
+
 #if RRSIM_VALIDATE_ENABLED
   /// Full tracking sweep: every replica of every tracked job maps back to
   /// that job in the replica index, and the index holds exactly the

@@ -53,6 +53,11 @@ class MiddlewareStation {
                       : 0.0;
   }
 
+  /// Cluster tag stamped on the station's service-completion events
+  /// (metadata for tie-break explorers; the gateway sets it when wiring
+  /// one station per cluster). Default des::kNoEventTag.
+  void set_event_tag(std::uint32_t tag) noexcept { event_tag_ = tag; }
+
  private:
   struct Pending {
     des::Time enqueued_at;
@@ -63,6 +68,7 @@ class MiddlewareStation {
 
   des::Simulation& sim_;
   double service_time_;
+  std::uint32_t event_tag_ = des::kNoEventTag;
   bool busy_ = false;
   std::queue<Pending> queue_;
   std::uint64_t processed_ = 0;

@@ -41,7 +41,7 @@ void MiddlewareStation::start_service() {
         head.op();
         start_service();
       },
-      des::Priority::kControl);
+      des::Priority::kControl, event_tag_);
 }
 
 }  // namespace rrsim::grid

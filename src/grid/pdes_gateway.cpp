@@ -29,6 +29,7 @@ PdesGateway::PdesGateway(exec::PdesCoordinator& coord,
     cb.on_grant = [this, c](const sched::Job& job) { return on_grant(c, job); };
     cb.on_finish = [this, c](const sched::Job& job) { on_finish(c, job); };
     scheds_[c]->set_callbacks(std::move(cb));
+    scheds_[c]->set_event_tag(static_cast<std::uint32_t>(c));
   }
 }
 
@@ -201,7 +202,7 @@ void PdesGateway::handle_start(std::size_t origin, std::uint32_t winner,
           0.0, [this, c = static_cast<std::size_t>(cluster), rid] {
             deliver_cancel(c, rid);
           },
-          des::Priority::kCancel);
+          des::Priority::kCancel, cluster);
     } else {
       coord_.post(origin, cluster, sim.now() + latency_,
                   des::Priority::kCancel,

@@ -285,7 +285,8 @@ void CbfScheduler::dispatch_ready() {
   for (const HeapEntry& e : keep) heap_.push(e);
   if (next < des::kTimeInfinity) {
     wakeup_ = sim_.schedule_at(
-        next, [this] { dispatch_ready(); }, des::Priority::kControl);
+        next, [this] { dispatch_ready(); }, des::Priority::kControl,
+        event_tag());
   }
 }
 

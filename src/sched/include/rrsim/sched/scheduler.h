@@ -47,16 +47,20 @@ class ClusterScheduler {
   struct Callbacks {
     /// Asked immediately before `job` would start; return false to refuse
     /// (the request is then removed from the queue as Declined).
-    // rrsim-lint-allow(std-function-member): see struct comment.
+    // rrsim-lint-allow(std-function-member): installed once per run; the
+    // bool(const Job&) signature is inexpressible as InlineFunction.
     std::function<bool(const Job&)> on_grant;
     /// Job started (after a successful grant).
-    // rrsim-lint-allow(std-function-member): see struct comment.
+    // rrsim-lint-allow(std-function-member): installed once per run; the
+    // void(const Job&) signature is inexpressible as InlineFunction.
     std::function<void(const Job&)> on_start;
     /// Job ran to completion.
-    // rrsim-lint-allow(std-function-member): see struct comment.
+    // rrsim-lint-allow(std-function-member): installed once per run; the
+    // void(const Job&) signature is inexpressible as InlineFunction.
     std::function<void(const Job&)> on_finish;
     /// Pending job removed via cancel().
-    // rrsim-lint-allow(std-function-member): see struct comment.
+    // rrsim-lint-allow(std-function-member): installed once per run; the
+    // void(const Job&) signature is inexpressible as InlineFunction.
     std::function<void(const Job&)> on_cancelled;
   };
 
@@ -114,6 +118,13 @@ class ClusterScheduler {
   int total_nodes() const noexcept { return total_nodes_; }
   int free_nodes() const noexcept { return free_nodes_; }
   std::size_t running_count() const noexcept { return running_.size(); }
+
+  /// Cluster tag stamped on every event this scheduler posts (completion
+  /// and wake-up events), so tie-break explorers can attribute them to a
+  /// cluster. Identity-like configuration: like the owner callbacks it
+  /// survives reset(). Default des::kNoEventTag (unattributed).
+  void set_event_tag(std::uint32_t tag) noexcept { event_tag_ = tag; }
+  std::uint32_t event_tag() const noexcept { return event_tag_; }
   virtual std::size_t queue_length() const = 0;
   const OpCounters& counters() const noexcept { return counters_; }
   des::Simulation& simulation() noexcept { return sim_; }
@@ -214,6 +225,7 @@ class ClusterScheduler {
 
   int total_nodes_;
   int free_nodes_;
+  std::uint32_t event_tag_ = des::kNoEventTag;  // see set_event_tag()
   Callbacks callbacks_;
   OpCounters counters_;
   std::optional<int> per_user_limit_;

@@ -190,7 +190,7 @@ bool ClusterScheduler::try_start(Job job) {
   running_.emplace(id, job);
   sim_.schedule_at(
       job.finish_time, [this, id] { complete_job(id); },
-      des::Priority::kCompletion);
+      des::Priority::kCompletion, event_tag_);
 #if RRSIM_VALIDATE_ENABLED
   validate_op(id, JobState::kRunning);
 #endif

@@ -38,10 +38,12 @@ JobStream read_swf(std::istream& in) {
     spec.requested_time = std::max(requested, runtime);
     stream.push_back(spec);
   }
-  std::sort(stream.begin(), stream.end(),
-            [](const JobSpec& a, const JobSpec& b) {
-              return a.submit_time < b.submit_time;
-            });
+  // Stable: jobs tied on submit_time keep their SWF file order, so the
+  // parse is deterministic across standard libraries.
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     return a.submit_time < b.submit_time;
+                   });
   return stream;
 }
 

@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "flow.h"
+#include "scan.h"
+
 namespace rrsim::lint {
 namespace {
 
@@ -467,6 +470,234 @@ TEST(LintInfra, LintFileReportsUnreadablePaths) {
   std::vector<Finding> out;
   EXPECT_FALSE(lint_file("/nonexistent/rrsim/missing.cpp", nullptr, out));
   EXPECT_TRUE(out.empty());
+}
+
+// --- flow-aware rules ------------------------------------------------------
+
+TEST(LintFlow, TieSensitiveCompareFiresOnFunctor) {
+  const std::string fixture = R"fix(
+struct Ev { double time; int nodes; };
+struct ByTime {
+  bool operator()(const Ev& a, const Ev& b) const { return a.time < b.time; }
+};
+)fix";
+  const auto src = lint(fixture, Category::kSrc);
+  ASSERT_EQ(src.size(), 1u);
+  EXPECT_EQ(src[0].rule, "tie-sensitive-compare");
+  EXPECT_EQ(src[0].line, 4);
+  EXPECT_TRUE(lint(fixture, Category::kTests).empty());
+}
+
+TEST(LintFlow, TieSensitiveCompareSilentWithDiscriminator) {
+  const auto findings = lint(R"fix(
+struct Ev { double time; unsigned seq; };
+struct ByTime {
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+};
+)fix");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFlow, TieSensitiveCompareFiresOnSortLambdaButNotStableSort) {
+  const std::string sort_fixture = R"fix(
+#include <algorithm>
+void f(std::vector<Ev>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const Ev& a, const Ev& b) { return a.submit_time < b.submit_time; });
+}
+)fix";
+  const auto findings = lint(sort_fixture);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "tie-sensitive-compare");
+
+  // std::stable_sort is exempt: stability is the discriminator.
+  const auto stable = lint(R"fix(
+#include <algorithm>
+void f(std::vector<Ev>& v) {
+  std::stable_sort(v.begin(), v.end(),
+                   [](const Ev& a, const Ev& b) { return a.submit_time < b.submit_time; });
+}
+)fix");
+  EXPECT_TRUE(stable.empty());
+}
+
+TEST(LintFlow, TieSensitiveCompareAllowSuppresses) {
+  const auto findings = lint(R"fix(
+struct Ev { double time; };
+struct ByTime {
+  // rrsim-lint-allow(tie-sensitive-compare): ties are impossible here —
+  // the caller dedupes timestamps before sorting.
+  bool operator()(const Ev& a, const Ev& b) const { return a.time < b.time; }
+};
+)fix");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFlow, IterationOrderEscapeFiresOnAppendPostAndFloatSum) {
+  const auto findings = lint(R"fix(
+void f(std::vector<double>& out) {
+  util::FlatHashMap<unsigned, double> credits;
+  double sum = 0.0;
+  credits.for_each([&](unsigned id, double c) {
+    out.push_back(c);
+    sum += c;
+  });
+}
+void g(des::Simulation& sim) {
+  util::FlatHashMap<unsigned, double> wake;
+  wake.for_each([&](unsigned id, double t) {
+    sim.schedule_at(t, [] {});
+  });
+}
+)fix");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].rule, "iteration-order-escape");
+  EXPECT_EQ(findings[1].rule, "iteration-order-escape");
+  EXPECT_EQ(findings[2].rule, "iteration-order-escape");
+}
+
+TEST(LintFlow, IterationOrderEscapeSilentOnIntegralAccumulation) {
+  const auto findings = lint(R"fix(
+void f() {
+  util::FlatHashMap<unsigned, double> credits;
+  std::size_t n = 0;
+  double floor = 1e300;
+  credits.for_each([&](unsigned id, double c) {
+    n += 1;
+    if (c < floor) floor = c;
+  });
+}
+)fix");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFlow, IterationOrderEscapeSilentOnOrderedMap) {
+  const auto findings = lint(R"fix(
+void f(std::vector<double>& out) {
+  util::FlatOrderedMap<unsigned, double> credits;
+  credits.for_each([&](unsigned id, double c) { out.push_back(c); });
+}
+)fix");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFlow, UnstableSortFiresOnTimeStructWithoutOperatorLess) {
+  const std::string fixture = R"fix(
+#include <algorithm>
+#include <vector>
+struct Arrival { double submit_time; int nodes; };
+void f() {
+  std::vector<Arrival> pending;
+  std::sort(pending.begin(), pending.end());
+}
+)fix";
+  const auto findings = lint(fixture);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unstable-sort");
+  EXPECT_EQ(findings[0].line, 7);
+}
+
+TEST(LintFlow, UnstableSortSilentWithOperatorLessOrScalarElements) {
+  const auto with_less = lint(R"fix(
+#include <algorithm>
+#include <vector>
+struct Arrival {
+  double submit_time;
+  unsigned seq;
+  bool operator<(const Arrival& o) const {
+    return submit_time != o.submit_time ? submit_time < o.submit_time
+                                        : seq < o.seq;
+  }
+};
+void f() {
+  std::vector<Arrival> pending;
+  std::sort(pending.begin(), pending.end());
+}
+)fix");
+  EXPECT_TRUE(with_less.empty());
+
+  const auto doubles = lint(R"fix(
+#include <algorithm>
+#include <vector>
+void f() {
+  std::vector<double> xs;
+  std::sort(xs.begin(), xs.end());
+}
+)fix");
+  EXPECT_TRUE(doubles.empty());
+}
+
+TEST(LintFlow, UnstableSortFiresOnUnresolvableNamedComparator) {
+  const auto findings = lint(R"fix(
+#include <algorithm>
+#include <vector>
+void f(std::vector<int>& v) {
+  std::sort(v.begin(), v.end(), MysteryOrder{});
+}
+)fix");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unstable-sort");
+}
+
+TEST(LintFlow, UnstableSortTrustsAnalyzableComparator) {
+  // A visible comparator functor is rule 1's jurisdiction; here it has a
+  // seq tie-break, so nothing fires at all.
+  const auto findings = lint(R"fix(
+#include <algorithm>
+#include <vector>
+struct Msg { double time; unsigned seq; };
+struct MsgOrder {
+  bool operator()(const Msg& a, const Msg& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+};
+void f(std::vector<Msg>& v) {
+  std::sort(v.begin(), v.end(), MsgOrder{});
+}
+)fix");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFlow, CrossHeaderResolutionThroughFileSet) {
+  // The element struct lives in an overlay header; the flow pass must
+  // resolve it through the include graph to flag the sort.
+  FileSet files;
+  files.add_memory("rrsim/test/rec.h", R"fix(
+#pragma once
+namespace rrsim { struct Rec { double finish_time; int nodes; }; }
+)fix");
+  const auto findings = lint_source("src/x.cpp", R"fix(
+#include <algorithm>
+#include <vector>
+#include "rrsim/test/rec.h"
+void f() {
+  std::vector<rrsim::Rec> done;
+  std::sort(done.begin(), done.end());
+}
+)fix",
+                                    Category::kSrc, files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unstable-sort");
+}
+
+TEST(LintFlow, ListAllowRecordsCarryJustifications) {
+  AllowSet allows;
+  std::vector<Finding> sink;
+  strip("fixture.cpp", R"fix(
+// rrsim-lint-allow(wall-clock): measures real host
+// throughput on purpose.
+void f() {}
+)fix",
+        allows, sink);
+  ASSERT_EQ(allows.records.size(), 1u);
+  EXPECT_EQ(allows.records[0].rules,
+            (std::vector<std::string>{"wall-clock"}));
+  EXPECT_EQ(allows.records[0].justification,
+            "measures real host throughput on purpose.");
 }
 
 TEST(LintInfra, FindingsAreSortedByLine) {

@@ -1,0 +1,460 @@
+#include "explore.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "rrsim/util/rng.h"
+#include "rrsim/util/validate.h"
+
+namespace rrsim::check {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t bits_of(double x) noexcept {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &x, sizeof b);
+  return b;
+}
+
+std::uint64_t rotl64(std::uint64_t v, unsigned r) noexcept {
+  r &= 63u;
+  return r == 0 ? v : (v << r) | (v >> (64u - r));
+}
+
+std::uint64_t record_hash(const metrics::JobRecord& r) noexcept {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, r.grid_id);
+  fnv_mix(h, r.origin_cluster);
+  fnv_mix(h, r.winner_cluster);
+  fnv_mix(h, r.redundant ? 1u : 0u);
+  fnv_mix(h, static_cast<std::uint64_t>(r.replicas));
+  fnv_mix(h, static_cast<std::uint64_t>(r.replicas_delivered));
+  fnv_mix(h, static_cast<std::uint64_t>(r.nodes));
+  fnv_mix(h, bits_of(r.submit_time));
+  fnv_mix(h, bits_of(r.start_time));
+  fnv_mix(h, bits_of(r.finish_time));
+  fnv_mix(h, bits_of(r.actual_time));
+  fnv_mix(h, bits_of(r.requested_time));
+  return h;
+}
+
+/// Linear-interpolated quantile of a sorted sample (matches the
+/// convention metrics::OnlineAccumulator targets).
+double quantile_sorted(const std::vector<double>& sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
+double rel_drift(double value, double base) noexcept {
+  const double denom = std::max(std::abs(base), 1e-9);
+  return std::abs(value - base) / denom;
+}
+
+/// Worst relative drift of `out` vs `base` across the headline metrics.
+double outcome_drift(const RunOutcome& out, const RunOutcome& base) noexcept {
+  double d = rel_drift(out.mean_stretch, base.mean_stretch);
+  d = std::max(d, rel_drift(out.p99_stretch, base.p99_stretch));
+  d = std::max(d, std::abs(static_cast<double>(out.duplicate_starts) -
+                           static_cast<double>(base.duplicate_starts)) /
+                      std::max(static_cast<double>(base.duplicate_starts),
+                               1.0));
+  return d;
+}
+
+bool independent(const TieGroupRecord& g, std::uint32_t a, std::uint32_t b) {
+  if (g.coupling != 0) return false;  // kCouplingUnknown is nonzero too
+  const std::uint32_t ta = g.members[a].tag;
+  const std::uint32_t tb = g.members[b].tag;
+  return ta != des::kNoEventTag && tb != des::kNoEventTag && ta != tb;
+}
+
+}  // namespace
+
+RunOutcome outcome_of(const metrics::JobRecords& records,
+                      std::uint64_t duplicate_starts) {
+  RunOutcome out;
+  out.jobs = records.size();
+  out.duplicate_starts = duplicate_starts;
+  std::uint64_t sum = 0;
+  std::uint64_t mix = 0;
+  std::vector<double> stretches;
+  stretches.reserve(records.size());
+  for (const metrics::JobRecord& r : records) {
+    const std::uint64_t h = record_hash(r);
+    sum += h;  // commutative: finish order must not matter
+    mix ^= rotl64(h, static_cast<unsigned>(h & 63u));
+    stretches.push_back(metrics::stretch_of(r));
+    out.mean_stretch += stretches.back();
+  }
+  if (!records.empty()) {
+    out.mean_stretch /= static_cast<double>(records.size());
+  }
+  std::sort(stretches.begin(), stretches.end());
+  out.p99_stretch = quantile_sorted(stretches, 0.99);
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, sum);
+  fnv_mix(h, mix);
+  fnv_mix(h, out.jobs);
+  fnv_mix(h, duplicate_starts);
+  out.outcome_hash = h;
+  return out;
+}
+
+ExperimentProbe::ExperimentProbe(core::ExperimentConfig config)
+    : config_(std::move(config)) {
+  if (!config_.retain_records) {
+    throw std::invalid_argument(
+        "rrsim_check: the outcome checksum needs per-job records "
+        "(retain_records must stay true)");
+  }
+  if (config_.pdes) config_.pdes_jobs = 1;  // policy calls single-threaded
+}
+
+RunOutcome ExperimentProbe::run(des::TieBreakPolicy& policy) {
+  core::ExperimentConfig cfg = config_;
+  cfg.tie_break_policy = &policy;
+  const core::SimResult res = core::run_experiment(cfg);
+  return outcome_of(res.records, res.duplicate_starts);
+}
+
+std::size_t CensusPolicy::pick(const des::TieGroup& group) {
+  if (group.size >= 2 &&
+      (groups_.empty() || groups_.back().id != group.id ||
+       groups_.back().partition != group.partition)) {
+    TieGroupRecord rec;
+    rec.id = group.id;
+    rec.partition = group.partition;
+    rec.time = group.time;
+    rec.priority = group.priority;
+    rec.members.assign(group.members, group.members + group.size);
+    rec.coupling = coupling_sample(group.partition);
+    groups_.push_back(std::move(rec));
+  }
+  return 0;
+}
+
+void CensusPolicy::attach_coupling_probe(std::uint32_t partition,
+                                         std::function<std::uint64_t()> probe) {
+  for (Probe& p : probes_) {
+    if (p.partition == partition) {  // re-attached for a fresh run
+      p.fn = std::move(probe);
+      return;
+    }
+  }
+  probes_.push_back(Probe{partition, std::move(probe)});
+}
+
+std::uint64_t CensusPolicy::coupling_sample(std::uint32_t partition) const {
+  for (const Probe& p : probes_) {
+    if (p.partition == partition && p.fn) return p.fn();
+  }
+  return kCouplingUnknown;
+}
+
+void CensusPolicy::reset() {
+  groups_.clear();
+  probes_.clear();
+}
+
+PermutationPolicy::PermutationPolicy(const TieGroupRecord& group,
+                                     const std::vector<std::uint32_t>& ranks)
+    : target_id_(group.id), target_partition_(group.partition) {
+  if (ranks.size() != group.members.size()) {
+    throw std::invalid_argument("rrsim_check: rank vector size mismatch");
+  }
+  expected_.reserve(group.members.size());
+  for (const des::TieEvent& e : group.members) expected_.push_back(e.seq);
+  order_.reserve(ranks.size());
+  for (const std::uint32_t r : ranks) {
+    if (r >= group.members.size()) {
+      throw std::invalid_argument("rrsim_check: rank out of range");
+    }
+    order_.push_back(group.members[r].seq);
+  }
+}
+
+std::size_t PermutationPolicy::pick(const des::TieGroup& group) {
+  if (group.partition != target_partition_ || group.id != target_id_) {
+    return 0;
+  }
+  if (!verified_) {
+    verified_ = true;
+    bool ok = group.size == expected_.size();
+    for (std::size_t i = 0; ok && i < group.size; ++i) {
+      ok = group.members[i].seq == expected_[i];
+    }
+    if (!ok) mismatch_ = true;  // prefix not reproduced; fall back
+  }
+  if (mismatch_) return 0;
+  // Dispatch the permuted order; seqs already consumed (or cancelled out
+  // from under us) are skipped, and late joiners drain in seq order after
+  // the permuted prefix is exhausted.
+  while (cursor_ < order_.size()) {
+    const std::uint64_t want = order_[cursor_];
+    for (std::size_t i = 0; i < group.size; ++i) {
+      if (group.members[i].seq == want) {
+        ++cursor_;
+        return i;
+      }
+    }
+    ++cursor_;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> canonical_ranks(const TieGroupRecord& group,
+                                           std::vector<std::uint32_t> ranks) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t p = 0; p + 1 < ranks.size(); ++p) {
+      if (ranks[p] > ranks[p + 1] &&
+          independent(group, ranks[p], ranks[p + 1])) {
+        std::swap(ranks[p], ranks[p + 1]);
+        changed = true;
+      }
+    }
+  }
+  return ranks;
+}
+
+namespace {
+
+bool is_identity(const std::vector<std::uint32_t>& ranks) noexcept {
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (ranks[i] != i) return false;
+  }
+  return true;
+}
+
+/// Alternative orders for one cohort, already canonicalized and deduped.
+/// Increments `pruned` for every candidate folded into an equivalence
+/// class that was already covered (the identity class counts: those
+/// schedules are proven equal to the baseline without a replay).
+std::vector<std::vector<std::uint32_t>> candidate_orders(
+    const TieGroupRecord& group, const ExploreOptions& opts,
+    std::uint64_t& pruned) {
+  const std::size_t s = group.members.size();
+  std::vector<std::vector<std::uint32_t>> todo;
+  auto consider = [&](std::vector<std::uint32_t> ranks) {
+    std::vector<std::uint32_t> canon = canonical_ranks(group, std::move(ranks));
+    if (is_identity(canon) ||
+        std::find(todo.begin(), todo.end(), canon) != todo.end()) {
+      ++pruned;
+      return;
+    }
+    todo.push_back(std::move(canon));
+  };
+  std::vector<std::uint32_t> ranks(s);
+  for (std::size_t i = 0; i < s; ++i) ranks[i] = static_cast<std::uint32_t>(i);
+  if (s <= opts.exhaustive_k) {
+    while (std::next_permutation(ranks.begin(), ranks.end())) {
+      consider(ranks);
+    }
+  } else {
+    // Seeded shuffles, independent of exploration order: the stream is
+    // derived from (seed, partition, cohort id).
+    util::Rng rng =
+        util::Rng(opts.seed, 0x5eedu ^ group.partition).fork(group.id);
+    for (std::size_t n = 0; n < opts.samples_above_k; ++n) {
+      for (std::size_t i = s - 1; i > 0; --i) {
+        std::swap(ranks[i], ranks[rng.below(i + 1)]);
+      }
+      if (is_identity(ranks)) {
+        ++pruned;  // the baseline schedule, drawn by chance
+        continue;
+      }
+      consider(ranks);
+    }
+  }
+  return todo;
+}
+
+}  // namespace
+
+ExploreReport explore(ScheduleProbe& probe, const ExploreOptions& opts) {
+  ExploreReport rep;
+  rep.seed = opts.seed;
+  rep.exhaustive_k = opts.exhaustive_k;
+  rep.oracles_armed = RRSIM_VALIDATE_ENABLED != 0;
+
+  CensusPolicy census;
+  rep.baseline = probe.run(census);
+  const std::vector<TieGroupRecord>& groups = census.groups();
+  rep.groups_total = groups.size();
+
+  for (const TieGroupRecord& group : groups) {
+    if ((opts.max_groups != 0 && rep.groups_explored >= opts.max_groups) ||
+        (opts.max_schedules != 0 &&
+         rep.schedules_explored >= opts.max_schedules)) {
+      ++rep.groups_skipped;
+      continue;
+    }
+    ++rep.groups_explored;
+    const std::vector<std::vector<std::uint32_t>> todo =
+        candidate_orders(group, opts, rep.schedules_pruned);
+    bool minimized_this_group = false;
+    for (const std::vector<std::uint32_t>& ranks : todo) {
+      if (opts.max_schedules != 0 &&
+          rep.schedules_explored >= opts.max_schedules) {
+        break;
+      }
+      PermutationPolicy policy(group, ranks);
+      const RunOutcome out = probe.run(policy);
+      ++rep.schedules_explored;
+      if (policy.replay_mismatch()) {
+        ++rep.replay_mismatches;
+        continue;
+      }
+      if (out.outcome_hash == rep.baseline.outcome_hash) continue;
+
+      rep.identical = false;
+      ++rep.divergence_count;
+      const double drift = outcome_drift(out, rep.baseline);
+      rep.max_drift = std::max(rep.max_drift, drift);
+      if (rep.divergences.size() >= opts.max_divergences) continue;
+
+      Divergence d;
+      d.group_id = group.id;
+      d.partition = group.partition;
+      d.time = group.time;
+      d.priority = group.priority;
+      d.group_size = group.members.size();
+      d.permutation = ranks;
+      d.outcome = out;
+      d.drift_mean_stretch =
+          rel_drift(out.mean_stretch, rep.baseline.mean_stretch);
+      d.drift_p99_stretch =
+          rel_drift(out.p99_stretch, rep.baseline.p99_stretch);
+      d.drift_duplicate_starts =
+          std::abs(static_cast<double>(out.duplicate_starts) -
+                   static_cast<double>(rep.baseline.duplicate_starts));
+      d.witness = ranks;
+      if (opts.minimize_witnesses && !minimized_this_group) {
+        minimized_this_group = true;
+        const std::size_t s = group.members.size();
+        std::vector<std::uint32_t> tau(s);
+        for (std::size_t p = 0; p + 1 < s; ++p) {
+          for (std::size_t i = 0; i < s; ++i) {
+            tau[i] = static_cast<std::uint32_t>(i);
+          }
+          std::swap(tau[p], tau[p + 1]);
+          if (is_identity(canonical_ranks(group, tau))) {
+            continue;  // transposition of an independent pair: equivalent
+          }
+          PermutationPolicy wpol(group, tau);
+          const RunOutcome wout = probe.run(wpol);
+          ++rep.witness_replays;
+          if (!wpol.replay_mismatch() &&
+              wout.outcome_hash != rep.baseline.outcome_hash) {
+            d.witness = tau;
+            d.witness_is_transposition = true;
+            break;
+          }
+        }
+      }
+      rep.divergences.push_back(std::move(d));
+    }
+  }
+  rep.within_tolerance =
+      rep.max_drift <= opts.drift_tolerance && rep.replay_mismatches == 0;
+  return rep;
+}
+
+namespace {
+
+void json_outcome(std::FILE* out, const RunOutcome& o) {
+  std::fprintf(out,
+               "{\"outcome_hash\":\"%016llx\",\"jobs\":%llu,"
+               "\"mean_stretch\":%.17g,\"p99_stretch\":%.17g,"
+               "\"duplicate_starts\":%llu}",
+               static_cast<unsigned long long>(o.outcome_hash),
+               static_cast<unsigned long long>(o.jobs), o.mean_stretch,
+               o.p99_stretch,
+               static_cast<unsigned long long>(o.duplicate_starts));
+}
+
+void json_ranks(std::FILE* out, const std::vector<std::uint32_t>& ranks) {
+  std::fputc('[', out);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    std::fprintf(out, "%s%u", i == 0 ? "" : ",", ranks[i]);
+  }
+  std::fputc(']', out);
+}
+
+}  // namespace
+
+void write_report_json(const ExploreReport& r, std::FILE* out) {
+  std::fprintf(out, "{\n  \"tool\": \"rrsim_check\",\n  \"baseline\": ");
+  json_outcome(out, r.baseline);
+  std::fprintf(out,
+               ",\n  \"groups\": {\"total\": %llu, \"explored\": %llu, "
+               "\"skipped\": %llu},\n",
+               static_cast<unsigned long long>(r.groups_total),
+               static_cast<unsigned long long>(r.groups_explored),
+               static_cast<unsigned long long>(r.groups_skipped));
+  const double denom =
+      static_cast<double>(r.schedules_explored + r.schedules_pruned);
+  std::fprintf(out,
+               "  \"schedules\": {\"explored\": %llu, \"pruned\": %llu, "
+               "\"pruning_ratio\": %.6g, \"witness_replays\": %llu},\n",
+               static_cast<unsigned long long>(r.schedules_explored),
+               static_cast<unsigned long long>(r.schedules_pruned),
+               denom > 0.0 ? static_cast<double>(r.schedules_pruned) / denom
+                           : 0.0,
+               static_cast<unsigned long long>(r.witness_replays));
+  std::fprintf(out,
+               "  \"verdict\": {\"identical\": %s, \"divergences\": %llu, "
+               "\"max_drift\": %.17g, \"within_tolerance\": %s, "
+               "\"replay_mismatches\": %llu},\n",
+               r.identical ? "true" : "false",
+               static_cast<unsigned long long>(r.divergence_count),
+               r.max_drift, r.within_tolerance ? "true" : "false",
+               static_cast<unsigned long long>(r.replay_mismatches));
+  std::fprintf(out, "  \"divergences\": [");
+  for (std::size_t i = 0; i < r.divergences.size(); ++i) {
+    const Divergence& d = r.divergences[i];
+    std::fprintf(out,
+                 "%s\n    {\"group\": %llu, \"partition\": %u, "
+                 "\"time\": %.17g, \"priority\": %d, \"size\": %zu,\n"
+                 "     \"permutation\": ",
+                 i == 0 ? "" : ",",
+                 static_cast<unsigned long long>(d.group_id), d.partition,
+                 d.time, d.priority, d.group_size);
+    json_ranks(out, d.permutation);
+    std::fprintf(out, ", \"witness\": ");
+    json_ranks(out, d.witness);
+    std::fprintf(out,
+                 ", \"witness_is_transposition\": %s,\n     \"outcome\": ",
+                 d.witness_is_transposition ? "true" : "false");
+    json_outcome(out, d.outcome);
+    std::fprintf(out,
+                 ",\n     \"drift\": {\"mean_stretch\": %.6g, "
+                 "\"p99_stretch\": %.6g, \"duplicate_starts\": %.6g}}",
+                 d.drift_mean_stretch, d.drift_p99_stretch,
+                 d.drift_duplicate_starts);
+  }
+  std::fprintf(out, "%s],\n", r.divergences.empty() ? "" : "\n  ");
+  std::fprintf(out,
+               "  \"options\": {\"seed\": %llu, \"exhaustive_k\": %zu},\n"
+               "  \"oracles_armed\": %s\n}\n",
+               static_cast<unsigned long long>(r.seed), r.exhaustive_k,
+               r.oracles_armed ? "true" : "false");
+}
+
+}  // namespace rrsim::check

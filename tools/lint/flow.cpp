@@ -1,0 +1,985 @@
+// Flow-aware pass: per-file symbol tables + include-graph name
+// resolution feeding the three tie-sensitivity rules (see flow.h for the
+// rule semantics). The fact builder reuses the shared scope machine idea
+// from linter.cpp: a brace-frame stack distinguishing namespace / class /
+// function scopes, with declarations harvested at ';'. Everything is
+// conservative-quiet: a name that does not resolve produces no finding
+// (except the named-comparator case of unstable-sort, where "cannot
+// analyze the comparator" is itself the hazard).
+
+#include "flow.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <set>
+#include <sstream>
+
+namespace rrsim::lint {
+
+// Fact types live in a named detail namespace (not anonymous) so the
+// FileSet friend cache can traffic in them.
+namespace flowdetail {
+
+/// What we know about one struct/class definition.
+struct StructFacts {
+  std::map<std::string, std::string> fields;  ///< name -> space-joined type
+  bool has_op_less = false;
+  bool is_comparator = false;        ///< two-parameter operator() seen
+  std::set<std::string> compared;    ///< fields in `x.F OP y.F` inside it
+  int cmp_line = 0;                  ///< line of the operator() header
+};
+
+/// Per-file symbol table (pass A output).
+struct FileFacts {
+  std::vector<std::string> includes;               ///< quoted spellings
+  std::map<std::string, StructFacts> structs;
+  std::map<std::string, std::string> aliases;      ///< using A = rhs
+  std::map<std::string, std::string> vars;         ///< decl name -> type
+  std::map<std::string, std::string> auto_inits;   ///< auto var -> init expr
+};
+
+}  // namespace flowdetail
+
+namespace {
+
+using flowdetail::FileFacts;
+using flowdetail::StructFacts;
+using Tokens = std::vector<Token>;
+
+constexpr char kTieSensitiveCompare[] = "tie-sensitive-compare";
+constexpr char kIterationOrderEscape[] = "iteration-order-escape";
+constexpr char kUnstableSort[] = "unstable-sort";
+
+bool in_set(const std::string& t, std::initializer_list<const char*> set) {
+  for (const char* s : set) {
+    if (t == s) return true;
+  }
+  return false;
+}
+
+bool time_like_field(const std::string& f) {
+  return in_set(f, {"time", "submit_time", "start_time", "finish_time",
+                    "end_time", "arrival", "arrival_time", "submit",
+                    "deadline", "when", "timestamp", "t"});
+}
+
+bool discriminator_field(const std::string& f) {
+  return in_set(f, {"seq", "id", "grid_id", "job_id", "rid", "uid", "key",
+                    "ordinal", "index", "idx", "source", "dest", "rank",
+                    "slot"});
+}
+
+bool keyword_token(const std::string& t) {
+  return in_set(t, {"const", "constexpr", "static", "mutable", "inline",
+                    "volatile", "auto", "return", "if", "else", "for",
+                    "while", "do", "switch", "case", "break", "continue",
+                    "struct", "class", "union", "enum", "using", "typedef",
+                    "template", "typename", "operator", "namespace",
+                    "public", "private", "protected", "friend", "virtual",
+                    "override", "final", "noexcept", "new", "delete",
+                    "throw", "default", "sizeof", "this", "goto",
+                    "static_assert", "explicit", "extern", "co_return"});
+}
+
+std::size_t match_paren(const Tokens& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "(") ++depth;
+    if (t[i].text == ")" && --depth == 0) return i;
+  }
+  return open;
+}
+
+std::size_t match_brace(const Tokens& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "{") ++depth;
+    if (t[i].text == "}" && --depth == 0) return i;
+  }
+  return open;
+}
+
+/// Collects field names F appearing as `x.F OP y.F` (x != y, OP a
+/// comparison) in the half-open token range [from, to).
+void collect_compared(const Tokens& t, std::size_t from, std::size_t to,
+                      std::set<std::string>& out) {
+  to = std::min(to, t.size());
+  for (std::size_t i = from; i + 6 < to; ++i) {
+    if (!t[i].is_ident || t[i + 1].text != "." || !t[i + 2].is_ident) continue;
+    std::size_t rhs = 0;
+    const std::string& op = t[i + 3].text;
+    if (op == "<" || op == ">") {
+      rhs = i + 4;
+      if (rhs < to && t[rhs].text == "=") ++rhs;  // <= / >=
+    } else if ((op == "=" || op == "!") && i + 4 < to &&
+               t[i + 4].text == "=") {
+      rhs = i + 5;  // == / !=
+    } else {
+      continue;
+    }
+    if (rhs + 2 >= to) continue;
+    if (!t[rhs].is_ident || t[rhs + 1].text != "." || !t[rhs + 2].is_ident) {
+      continue;
+    }
+    if (t[i + 2].text != t[rhs + 2].text) continue;  // different fields
+    if (t[i].text == t[rhs].text) continue;          // same object
+    out.insert(t[i + 2].text);
+  }
+}
+
+std::string join_tokens(const Tokens& t, const std::vector<std::size_t>& idx,
+                        std::size_t from, std::size_t to) {
+  std::string out;
+  for (std::size_t k = from; k < to && k < idx.size(); ++k) {
+    if (!out.empty()) out.push_back(' ');
+    out += t[idx[k]].text;
+  }
+  return out;
+}
+
+std::vector<std::string> words_of(const std::string& s) {
+  std::vector<std::string> w;
+  std::istringstream in(s);
+  std::string x;
+  while (in >> x) w.push_back(x);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Pass A: facts builder
+// ---------------------------------------------------------------------------
+
+void harvest_includes(std::string_view raw, std::vector<std::string>& out) {
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    std::size_t eol = raw.find('\n', pos);
+    if (eol == std::string_view::npos) eol = raw.size();
+    std::string_view line = raw.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != '#') continue;
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (line.substr(i, 7) != "include") continue;
+    const std::size_t q1 = line.find('"', i + 7);
+    if (q1 == std::string_view::npos) continue;
+    const std::size_t q2 = line.find('"', q1 + 1);
+    if (q2 == std::string_view::npos) continue;
+    out.emplace_back(line.substr(q1 + 1, q2 - q1 - 1));
+  }
+}
+
+class FactsBuilder {
+ public:
+  FileFacts build(const Tokens& tokens, std::string_view raw) {
+    tokens_ = &tokens;
+    harvest_includes(raw, facts_.includes);
+    for (std::size_t i = 0; i < tokens.size(); ++i) step(i);
+    return std::move(facts_);
+  }
+
+ private:
+  enum class Scope { kNamespace, kClass, kEnum, kFunction, kBlock, kInit };
+  struct Frame {
+    Scope kind;
+    std::string cls;  ///< kClass: struct name
+    std::vector<std::size_t> saved_stmt;
+  };
+
+  const Token& tok(std::size_t i) const { return (*tokens_)[i]; }
+
+  Scope current() const {
+    return stack_.empty() ? Scope::kNamespace : stack_.back().kind;
+  }
+
+  /// Nearest enclosing class name, empty when not in a class.
+  std::string enclosing_class() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->cls;
+    }
+    return {};
+  }
+
+  bool stmt_has(const char* ident) const {
+    for (const std::size_t k : stmt_) {
+      if (tok(k).text == ident) return true;
+    }
+    return false;
+  }
+
+  bool stmt_has_depth0_paren() const {
+    int angle = 0;
+    for (std::size_t j = 0; j < stmt_.size(); ++j) {
+      const std::string& t = tok(stmt_[j]).text;
+      // `operator<` / `operator>`: comparison glyphs, not angle brackets.
+      const bool named_op =
+          j > 0 && tok(stmt_[j - 1]).text == "operator";
+      if (t == "<" && !named_op) ++angle;
+      if (t == ">" && !named_op && angle > 0) --angle;
+      if (t == "(" && angle == 0) return true;
+    }
+    return false;
+  }
+
+  void step(std::size_t i) {
+    const std::string& t = tok(i).text;
+    if (t == "{") {
+      Frame frame;
+      const Scope parent = current();
+      if (parent == Scope::kFunction || parent == Scope::kBlock ||
+          parent == Scope::kInit || parent == Scope::kEnum) {
+        frame.kind = Scope::kBlock;
+      } else if (stmt_has("namespace")) {
+        frame.kind = Scope::kNamespace;
+      } else if (stmt_has("enum")) {
+        frame.kind = Scope::kEnum;
+      } else if (stmt_has_depth0_paren()) {
+        frame.kind = Scope::kFunction;
+        analyze_function_header(i);
+      } else if (stmt_has("class") || stmt_has("struct") ||
+                 stmt_has("union")) {
+        frame.kind = Scope::kClass;
+        frame.cls = struct_name_from_stmt();
+        if (!frame.cls.empty()) facts_.structs[frame.cls];  // ensure entry
+      } else if (!stmt_.empty()) {
+        frame.kind = Scope::kInit;
+        frame.saved_stmt = stmt_;
+      } else {
+        frame.kind = Scope::kBlock;
+      }
+      stack_.push_back(std::move(frame));
+      stmt_.clear();
+      return;
+    }
+    if (t == "}") {
+      if (!stack_.empty()) {
+        if (stack_.back().kind == Scope::kInit) {
+          stmt_ = stack_.back().saved_stmt;
+        } else {
+          stmt_.clear();
+        }
+        stack_.pop_back();
+      }
+      return;
+    }
+    if (t == ";") {
+      mark_operator_less();  // declaration-only operator< still counts
+      if (current() == Scope::kClass) {
+        analyze_decl(/*member=*/true);
+      } else if (current() == Scope::kNamespace ||
+                 current() == Scope::kFunction ||
+                 current() == Scope::kBlock) {
+        analyze_decl(/*member=*/false);
+      }
+      stmt_.clear();
+      return;
+    }
+    stmt_.push_back(i);
+  }
+
+  /// The identifier after the *last* struct/class/union keyword in the
+  /// statement (skipping template headers' `class T`).
+  std::string struct_name_from_stmt() const {
+    std::size_t key = stmt_.size();
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      const std::string& t = tok(stmt_[k]).text;
+      if (t == "struct" || t == "class" || t == "union") key = k;
+    }
+    for (std::size_t k = key + 1; k < stmt_.size(); ++k) {
+      if (tok(stmt_[k]).is_ident && !keyword_token(tok(stmt_[k]).text)) {
+        return tok(stmt_[k]).text;
+      }
+    }
+    return {};
+  }
+
+  /// If stmt_ is an operator< header (definition or declaration), marks
+  /// the enclosing class — or, free form, any already-known struct named
+  /// in the parameter list — as totally ordered. Returns true when it
+  /// consumed the statement as an operator<.
+  bool mark_operator_less() {
+    std::size_t op = stmt_.size();
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      if (tok(stmt_[k]).text == "operator") op = k;
+    }
+    if (op == stmt_.size()) return false;
+    if (op + 1 >= stmt_.size() || tok(stmt_[op + 1]).text != "<" ||
+        (op + 2 < stmt_.size() && tok(stmt_[op + 2]).text != "(")) {
+      return false;
+    }
+    const std::string cls = enclosing_class();
+    if (!cls.empty()) {
+      facts_.structs[cls].has_op_less = true;
+    } else {
+      for (std::size_t k = op + 2; k < stmt_.size(); ++k) {
+        const auto it = facts_.structs.find(tok(stmt_[k]).text);
+        if (it != facts_.structs.end()) it->second.has_op_less = true;
+      }
+    }
+    return true;
+  }
+
+  /// Called when a function-definition '{' opens (stmt_ is the header).
+  /// Detects operator< and comparator operator() definitions.
+  void analyze_function_header(std::size_t brace) {
+    if (mark_operator_less()) return;
+    std::size_t op = stmt_.size();
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      if (tok(stmt_[k]).text == "operator") op = k;
+    }
+    if (op == stmt_.size()) return;
+    const std::string cls = enclosing_class();
+    if (cls.empty()) return;
+    if (op + 2 >= stmt_.size() || tok(stmt_[op + 1]).text != "(" ||
+        tok(stmt_[op + 2]).text != ")") {
+      return;
+    }
+    // operator() — find the parameter list (the next '(' after the
+    // `operator ( )` tokens) and count its top-level commas.
+    std::size_t params = stmt_.size();
+    for (std::size_t k = op + 3; k < stmt_.size(); ++k) {
+      if (tok(stmt_[k]).text == "(") {
+        params = k;
+        break;
+      }
+    }
+    if (params == stmt_.size()) return;
+    int paren = 0;
+    int angle = 0;
+    int commas = 0;
+    for (std::size_t k = params; k < stmt_.size(); ++k) {
+      const std::string& t = tok(stmt_[k]).text;
+      if (t == "(") ++paren;
+      if (t == ")" && --paren == 0) break;
+      if (t == "<") ++angle;
+      if (t == ">" && angle > 0) --angle;
+      if (t == "," && paren == 1 && angle == 0) ++commas;
+    }
+    if (commas != 1) return;  // not a binary comparator
+    StructFacts& sf = facts_.structs[cls];
+    sf.is_comparator = true;
+    sf.cmp_line = tok(stmt_[op]).line;
+    collect_compared(*tokens_, brace + 1, match_brace(*tokens_, brace),
+                     sf.compared);
+  }
+
+  /// Harvests a declaration at ';' — member fields (member=true) or
+  /// using-aliases / simple variables. Paren-bearing statements (function
+  /// declarations, for-headers, constructor-style initializers) and
+  /// expression statements are skipped.
+  void analyze_decl(bool member) {
+    if (stmt_.empty()) return;
+    // Skip leading access specifiers merged from `public:` etc.
+    std::size_t begin = 0;
+    while (begin + 1 < stmt_.size() &&
+           in_set(tok(stmt_[begin]).text, {"public", "private", "protected"}) &&
+           tok(stmt_[begin + 1]).text == ":") {
+      begin += 2;
+    }
+    if (begin >= stmt_.size()) return;
+    const std::string& first = tok(stmt_[begin]).text;
+    if (first == "using") {
+      // using A = rhs;
+      std::size_t eq = stmt_.size();
+      for (std::size_t k = begin; k < stmt_.size(); ++k) {
+        if (tok(stmt_[k]).text == "=") {
+          eq = k;
+          break;
+        }
+      }
+      if (eq == stmt_.size() || eq == begin + 1) return;
+      if (!tok(stmt_[eq - 1]).is_ident) return;
+      facts_.aliases[tok(stmt_[eq - 1]).text] =
+          join_tokens(*tokens_, stmt_, eq + 1, stmt_.size());
+      return;
+    }
+    for (const char* skip :
+         {"return", "throw", "delete", "goto", "break", "continue", "case",
+          "typedef", "friend", "template", "static_assert", "operator",
+          "namespace", "extern", "enum", "struct", "class", "union"}) {
+      if (stmt_has(skip)) return;
+    }
+    if (stmt_has_depth0_paren()) return;
+    // Find the declared name: the identifier before the first top-level
+    // '=', or the last identifier of the statement.
+    std::size_t eq = stmt_.size();
+    for (std::size_t k = begin; k < stmt_.size(); ++k) {
+      if (tok(stmt_[k]).text == "=") {
+        // Reject compound/comparison forms (+=, ==, <=, ...): the token
+        // before a declaration's '=' is the declared identifier.
+        eq = k;
+        break;
+      }
+    }
+    std::size_t name_idx = stmt_.size();
+    if (eq != stmt_.size()) {
+      if (eq == begin || !tok(stmt_[eq - 1]).is_ident) return;
+      name_idx = eq - 1;
+    } else {
+      for (std::size_t k = stmt_.size(); k-- > begin;) {
+        if (tok(stmt_[k]).is_ident) {
+          name_idx = k;
+          break;
+        }
+      }
+      if (name_idx == stmt_.size()) return;
+    }
+    const std::string name = tok(stmt_[name_idx]).text;
+    if (keyword_token(name)) return;
+    // The type is everything before the name; require at least one
+    // identifier there (otherwise this is an assignment, not a decl).
+    bool type_ident = false;
+    for (std::size_t k = begin; k < name_idx; ++k) {
+      if (tok(stmt_[k]).is_ident) type_ident = true;
+    }
+    if (!type_ident) return;
+    const std::string type = join_tokens(*tokens_, stmt_, begin, name_idx);
+    if (member) {
+      const std::string cls = enclosing_class();
+      if (cls.empty()) return;
+      facts_.structs[cls].fields[name] = type;
+    } else {
+      facts_.vars[name] = type;
+    }
+    if (eq != stmt_.size() && type.find("auto") != std::string::npos) {
+      facts_.auto_inits[name] =
+          join_tokens(*tokens_, stmt_, eq + 1, stmt_.size());
+    }
+  }
+
+  const Tokens* tokens_ = nullptr;
+  FileFacts facts_;
+  std::vector<Frame> stack_;
+  std::vector<std::size_t> stmt_;
+};
+
+FileFacts build_facts(const Tokens& tokens, std::string_view raw) {
+  return FactsBuilder().build(tokens, raw);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FileSet
+// ---------------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+void FileSet::add_memory(std::string include, std::string text) {
+  memory_[std::move(include)] = std::move(text);
+}
+
+void FileSet::add_include_root(std::string dir) {
+  if (std::find(roots_.begin(), roots_.end(), dir) == roots_.end()) {
+    roots_.push_back(std::move(dir));
+  }
+}
+
+void FileSet::add_repo_roots_for(const std::string& path) {
+  std::error_code ec;
+  fs::path p = fs::absolute(fs::path(path), ec);
+  if (ec) return;
+  for (fs::path dir = p.parent_path();; dir = dir.parent_path()) {
+    if (fs::exists(dir / "src", ec) && fs::is_directory(dir / "src", ec)) {
+      const std::string root = dir.string();
+      if (std::find(probed_roots_.begin(), probed_roots_.end(), root) !=
+          probed_roots_.end()) {
+        return;
+      }
+      probed_roots_.push_back(root);
+      for (const auto& entry : fs::directory_iterator(dir / "src", ec)) {
+        if (!entry.is_directory(ec)) continue;
+        const fs::path inc = entry.path() / "include";
+        if (fs::exists(inc, ec)) add_include_root(inc.string());
+      }
+      return;
+    }
+    if (dir == dir.parent_path()) return;
+  }
+}
+
+const std::string* FileSet::resolve(const std::string& include) {
+  const auto m = memory_.find(include);
+  if (m != memory_.end()) return &m->second;
+  auto c = disk_cache_.find(include);
+  if (c == disk_cache_.end()) {
+    std::optional<std::string> content;
+    for (const std::string& root : roots_) {
+      std::ifstream in(root + "/" + include, std::ios::binary);
+      if (!in) continue;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      content = buf.str();
+      break;
+    }
+    c = disk_cache_.emplace(include, std::move(content)).first;
+  }
+  return c->second ? &*c->second : nullptr;
+}
+
+/// Private-access shim: lazily builds and memoizes per-include facts
+/// inside the FileSet (declared friend in flow.h).
+struct FactsCache {
+  static const flowdetail::FileFacts* get(FileSet& files,
+                                          const std::string& include) {
+    const auto it = files.facts_cache_.find(include);
+    if (it != files.facts_cache_.end()) {
+      return static_cast<const flowdetail::FileFacts*>(it->second);
+    }
+    const flowdetail::FileFacts* facts = nullptr;
+    if (const std::string* text = files.resolve(include)) {
+      AllowSet allows;
+      std::vector<Finding> sink;
+      const std::string clean = strip(include, *text, allows, sink);
+      auto* owned = new flowdetail::FileFacts(
+          build_facts(tokenize(clean), *text));
+      files.facts_owned_.push_back(owned);
+      facts = owned;
+    }
+    files.facts_cache_.emplace(include, facts);
+    return facts;
+  }
+};
+
+FileSet::~FileSet() {
+  for (const void* p : facts_owned_) {
+    delete static_cast<const flowdetail::FileFacts*>(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass B: name resolution + rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Facts of the linted file plus its transitive quoted includes, searched
+/// self-first (the nearer definition wins).
+struct Resolver {
+  std::vector<const FileFacts*> layers;
+
+  const std::string* var_type(const std::string& name) const {
+    for (const FileFacts* f : layers) {
+      const auto it = f->vars.find(name);
+      if (it != f->vars.end()) return &it->second;
+    }
+    return nullptr;
+  }
+  /// Flat field lookup: the type of a field named `name` in *any* known
+  /// struct (used for `obj.field` where obj's type is unknown).
+  const std::string* field_type(const std::string& name) const {
+    for (const FileFacts* f : layers) {
+      for (const auto& [cls, sf] : f->structs) {
+        const auto it = sf.fields.find(name);
+        if (it != sf.fields.end()) return &it->second;
+      }
+    }
+    return nullptr;
+  }
+  const StructFacts* struct_of(const std::string& name) const {
+    for (const FileFacts* f : layers) {
+      const auto it = f->structs.find(name);
+      if (it != f->structs.end()) return &it->second;
+    }
+    return nullptr;
+  }
+  const std::string* alias_of(const std::string& name) const {
+    for (const FileFacts* f : layers) {
+      const auto it = f->aliases.find(name);
+      if (it != f->aliases.end()) return &it->second;
+    }
+    return nullptr;
+  }
+  const std::string* auto_init(const std::string& name) const {
+    for (const FileFacts* f : layers) {
+      const auto it = f->auto_inits.find(name);
+      if (it != f->auto_inits.end()) return &it->second;
+    }
+    return nullptr;
+  }
+};
+
+Resolver make_resolver(const FileFacts& self, FileSet& files) {
+  Resolver r;
+  r.layers.push_back(&self);
+  std::set<std::string> visited;
+  std::vector<std::string> queue(self.includes.begin(), self.includes.end());
+  for (std::size_t q = 0; q < queue.size() && r.layers.size() < 64; ++q) {
+    const std::string inc = queue[q];
+    if (!visited.insert(inc).second) continue;
+    const FileFacts* f = FactsCache::get(files, inc);
+    if (!f) continue;
+    r.layers.push_back(f);
+    for (const std::string& sub : f->includes) queue.push_back(sub);
+  }
+  return r;
+}
+
+bool arithmetic_words(const std::vector<std::string>& w) {
+  bool any = false;
+  for (const std::string& x : w) {
+    if (x == "std" || x == "::" || x == "const") continue;
+    if (!in_set(x, {"double", "float", "int", "long", "short", "char",
+                    "bool", "unsigned", "signed", "size_t", "ptrdiff_t",
+                    "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t",
+                    "uint16_t", "uint32_t", "uint64_t", "uintptr_t",
+                    "intptr_t"})) {
+      return false;
+    }
+    any = true;
+  }
+  return any;
+}
+
+/// Extracts the element type from a sequence-container type string, empty
+/// when the container shape is not recognized.
+std::string container_element(const std::string& type) {
+  const std::vector<std::string> w = words_of(type);
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    if (!in_set(w[i], {"vector", "deque", "array"}) || w[i + 1] != "<") {
+      continue;
+    }
+    int angle = 0;
+    std::string elem;
+    for (std::size_t k = i + 1; k < w.size(); ++k) {
+      if (w[k] == "<" && ++angle == 1) continue;
+      if (w[k] == ">" && --angle == 0) break;
+      if (w[k] == "," && angle == 1) break;  // array<T, N>: stop at N
+      if (!elem.empty()) elem.push_back(' ');
+      elem += w[k];
+    }
+    return elem;
+  }
+  return {};
+}
+
+enum class SortVerdict { kTotal, kFlag, kUnknown };
+
+/// Classifies a comparator-less std::sort over elements of type `elem`.
+SortVerdict element_verdict(const Resolver& r, std::string elem,
+                            std::string* detail, int depth = 0) {
+  if (depth > 4) return SortVerdict::kUnknown;
+  std::vector<std::string> w = words_of(elem);
+  // Collapse namespace qualification (`rrsim :: Rec` → `Rec`): struct
+  // facts are keyed by the unqualified name the definition introduced.
+  for (std::size_t i = 0; i < w.size();) {
+    if (w[i] == "::") {
+      w.erase(w.begin() + static_cast<std::ptrdiff_t>(i));
+      if (i > 0) {
+        w.erase(w.begin() + static_cast<std::ptrdiff_t>(i - 1));
+        --i;
+      }
+    } else {
+      ++i;
+    }
+  }
+  // Drop qualifiers.
+  w.erase(std::remove_if(w.begin(), w.end(),
+                         [](const std::string& x) {
+                           return x == "const" || x == "&" || x == "std";
+                         }),
+          w.end());
+  if (w.empty()) return SortVerdict::kUnknown;
+  if (arithmetic_words(w)) return SortVerdict::kTotal;
+  if (w[0] == "string" || w[0] == "string_view") return SortVerdict::kTotal;
+  if (w[0] == "pair" || w[0] == "tuple") {
+    std::vector<std::string> inner(w.begin() + 1, w.end());
+    inner.erase(std::remove_if(inner.begin(), inner.end(),
+                               [](const std::string& x) {
+                                 return x == "<" || x == ">" || x == ",";
+                               }),
+                inner.end());
+    return arithmetic_words(inner) ? SortVerdict::kTotal
+                                   : SortVerdict::kUnknown;
+  }
+  if (w.size() != 1) return SortVerdict::kUnknown;
+  if (const std::string* alias = r.alias_of(w[0])) {
+    return element_verdict(r, *alias, detail, depth + 1);
+  }
+  if (const StructFacts* sf = r.struct_of(w[0])) {
+    if (sf->has_op_less) return SortVerdict::kTotal;
+    for (const auto& [fname, ftype] : sf->fields) {
+      (void)ftype;
+      if (time_like_field(fname)) {
+        if (detail) *detail = w[0] + "::" + fname;
+        return SortVerdict::kFlag;
+      }
+    }
+  }
+  return SortVerdict::kUnknown;
+}
+
+/// Resolves the container variable `V` of a `std::sort(V.begin(), ...)`
+/// call to its declared type, following one `auto x = obj.field` hop.
+const std::string* container_type(const Resolver& r, const std::string& v) {
+  const std::string* type = r.var_type(v);
+  if (!type) type = r.field_type(v);
+  if (type && type->find("auto") != std::string::npos) {
+    if (const std::string* init = r.auto_init(v)) {
+      // `auto x = obj.field;` — adopt the field's declared type.
+      const std::vector<std::string> w = words_of(*init);
+      if (w.size() == 3 && w[1] == ".") return r.field_type(w[2]);
+      return nullptr;
+    }
+    return nullptr;
+  }
+  return type;
+}
+
+class FlowPass {
+ public:
+  FlowPass(const std::string& path, const AllowSet& allows,
+           std::vector<Finding>& findings, const FileFacts& self,
+           Resolver resolver)
+      : path_(path),
+        allows_(allows),
+        findings_(findings),
+        self_(self),
+        r_(std::move(resolver)) {}
+
+  void run(const Tokens& tokens) {
+    tokens_ = &tokens;
+    functor_comparators();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      lambda_comparators(i);
+      iteration_escape(i);
+      unstable_sort(i);
+    }
+  }
+
+ private:
+  const Token& tok(std::size_t i) const { return (*tokens_)[i]; }
+  std::size_t count() const { return tokens_->size(); }
+
+  void report(const char* rule, int line, const std::string& msg) {
+    if (allows_.allows(rule, line)) return;
+    if (!reported_.insert(std::string(rule) + "#" + std::to_string(line))
+             .second) {
+      return;
+    }
+    findings_.push_back({path_, line, rule, msg});
+  }
+
+  bool std_qualified(std::size_t i) const {
+    return i >= 2 && tok(i - 1).text == "::" && tok(i - 2).text == "std";
+  }
+
+  static bool tie_sensitive(const std::set<std::string>& compared) {
+    if (compared.empty()) return false;
+    bool has_time = false;
+    for (const std::string& f : compared) {
+      if (time_like_field(f)) has_time = true;
+      if (discriminator_field(f)) return false;
+    }
+    return has_time;
+  }
+
+  static std::string field_list(const std::set<std::string>& compared) {
+    std::string out;
+    for (const std::string& f : compared) {
+      if (!out.empty()) out += ", ";
+      out += f;
+    }
+    return out;
+  }
+
+  // Rule 1a: comparator functors defined in this file.
+  void functor_comparators() {
+    for (const auto& [name, sf] : self_.structs) {
+      if (!sf.is_comparator || !tie_sensitive(sf.compared)) continue;
+      report(kTieSensitiveCompare, sf.cmp_line,
+             "comparator " + name + " orders by time-like field(s) [" +
+                 field_list(sf.compared) +
+                 "] with no discriminating field: equal timestamps fall "
+                 "back to container order; add a final tie-break on a "
+                 "stable id (seq, job id, ...)");
+    }
+  }
+
+  // Rule 1b: lambda comparators handed to unstable sort-like algorithms.
+  void lambda_comparators(std::size_t i) {
+    if (!tok(i).is_ident ||
+        !in_set(tok(i).text, {"sort", "nth_element", "partial_sort",
+                              "make_heap", "push_heap", "pop_heap",
+                              "sort_heap"}) ||
+        !std_qualified(i) || i + 1 >= count() || tok(i + 1).text != "(") {
+      return;
+    }
+    const std::size_t close = match_paren(*tokens_, i + 1);
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (tok(j).text != "[") continue;
+      // Capture list, optional params, then the body braces.
+      std::size_t k = j;
+      while (k < close && tok(k).text != "]") ++k;
+      while (k < close && tok(k).text != "{") ++k;
+      if (k >= close) return;
+      const std::size_t body_end = match_brace(*tokens_, k);
+      std::set<std::string> compared;
+      collect_compared(*tokens_, k + 1, body_end, compared);
+      if (tie_sensitive(compared)) {
+        report(kTieSensitiveCompare, tok(j).line,
+               "comparator lambda passed to std::" + tok(i).text +
+                   " orders by time-like field(s) [" + field_list(compared) +
+                   "] with no discriminating field: ties fall back to "
+                   "container order; add a stable-id tie-break or use "
+                   "std::stable_sort");
+      }
+      j = body_end;
+    }
+  }
+
+  // Rule 2: FlatHashMap::for_each bodies whose visit order escapes.
+  void iteration_escape(std::size_t i) {
+    if (tok(i).text != "for_each" || i < 2 || tok(i - 1).text != "." ||
+        !tok(i - 2).is_ident || i + 1 >= count() ||
+        tok(i + 1).text != "(") {
+      return;
+    }
+    const std::string& v = tok(i - 2).text;
+    const std::string* type = r_.var_type(v);
+    if (!type) type = r_.field_type(v);
+    if (!type || type->find("FlatHashMap") == std::string::npos) return;
+    const std::size_t close = match_paren(*tokens_, i + 1);
+    // Locate the callback's body.
+    std::size_t k = i + 2;
+    while (k < close && tok(k).text != "{") ++k;
+    if (k >= close) return;
+    const std::size_t body_end = match_brace(*tokens_, k);
+    for (std::size_t j = k + 1; j < body_end; ++j) {
+      const Token& t = tok(j);
+      if (!t.is_ident) continue;
+      if (in_set(t.text, {"schedule_at", "schedule_in", "post"}) &&
+          j + 1 < body_end && tok(j + 1).text == "(") {
+        report(kIterationOrderEscape, t.line,
+               "event posted from inside " + v +
+                   ".for_each: FlatHashMap visit order is hash-order, so "
+                   "the event sequence inherits it; collect into a sorted "
+                   "buffer first");
+        continue;
+      }
+      if (in_set(t.text, {"push_back", "emplace_back"}) && j >= 1 &&
+          tok(j - 1).text == "." && j + 1 < body_end &&
+          tok(j + 1).text == "(") {
+        report(kIterationOrderEscape, t.line,
+               "append inside " + v +
+                   ".for_each: the output sequence inherits hash-order; "
+                   "sort the collected entries by a stable key before use");
+        continue;
+      }
+      if (j + 2 < body_end && tok(j + 1).text == "+" &&
+          tok(j + 2).text == "=") {
+        const std::string* at = (j >= 1 && tok(j - 1).text == ".")
+                                    ? r_.field_type(t.text)
+                                    : r_.var_type(t.text);
+        if (!at) at = r_.field_type(t.text);
+        if (at && (at->find("double") != std::string::npos ||
+                   at->find("float") != std::string::npos)) {
+          report(kIterationOrderEscape, t.line,
+                 "floating-point accumulation into '" + t.text +
+                     "' inside " + v +
+                     ".for_each: float addition is not associative, so "
+                     "the sum depends on hash-order; accumulate into a "
+                     "sorted buffer or an integer domain");
+        }
+      }
+    }
+  }
+
+  // Rule 3: std::sort without a provably total order.
+  void unstable_sort(std::size_t i) {
+    if (tok(i).text != "sort" || !std_qualified(i) || i + 1 >= count() ||
+        tok(i + 1).text != "(") {
+      return;
+    }
+    const std::size_t open = i + 1;
+    const std::size_t close = match_paren(*tokens_, open);
+    // Top-level commas split the arguments.
+    std::vector<std::size_t> commas;
+    int paren = 0;
+    int angle = 0;
+    for (std::size_t j = open; j <= close; ++j) {
+      const std::string& t = tok(j).text;
+      if (t == "(") ++paren;
+      if (t == ")") --paren;
+      if (t == "<") ++angle;
+      if (t == ">" && angle > 0) --angle;
+      if (t == "," && paren == 1 && angle == 0) commas.push_back(j);
+    }
+    if (commas.size() == 1) {
+      // Comparator-less: resolve the container's element type.
+      if (open + 1 >= count() || !tok(open + 1).is_ident) return;
+      if (open + 3 >= count() || tok(open + 2).text != "." ||
+          !in_set(tok(open + 3).text, {"begin", "rbegin"})) {
+        return;
+      }
+      const std::string* type = container_type(r_, tok(open + 1).text);
+      if (!type) return;
+      const std::string elem = container_element(*type);
+      if (elem.empty()) return;
+      std::string detail;
+      if (element_verdict(r_, elem, &detail) == SortVerdict::kFlag) {
+        report(kUnstableSort, tok(i).line,
+               "std::sort over elements with time-like field " + detail +
+                   " and no operator<: tied keys land in implementation-"
+                   "defined order; use std::stable_sort or a comparator "
+                   "with a stable-id tie-break");
+      }
+      return;
+    }
+    if (commas.size() != 2) return;
+    // Explicit comparator: judge only named comparators we cannot see.
+    std::size_t a = commas[1] + 1;
+    if (a >= close) return;
+    if (tok(a).text == "[") return;  // lambda — rule 1b's job
+    if (tok(a).text == "std" && a + 2 < close &&
+        in_set(tok(a + 2).text, {"less", "greater"})) {
+      return;
+    }
+    if (!tok(a).is_ident) return;
+    const std::string name = tok(a).text;
+    const StructFacts* sf = r_.struct_of(name);
+    if (sf && sf->is_comparator) return;  // analyzable — rule 1a's job
+    if (sf || !r_.var_type(name)) {
+      // A struct without a visible operator(), or a name we cannot
+      // resolve at all: totality is unprovable.
+      report(kUnstableSort, tok(i).line,
+             "std::sort with comparator '" + name +
+                 "' that the linter cannot analyze: prove the order is "
+                 "total (tie-break on a stable id) or use "
+                 "std::stable_sort");
+    }
+  }
+
+  const std::string& path_;
+  const AllowSet& allows_;
+  std::vector<Finding>& findings_;
+  const FileFacts& self_;
+  Resolver r_;
+  const Tokens* tokens_ = nullptr;
+  std::set<std::string> reported_;
+};
+
+}  // namespace
+
+void lint_flow(const std::string& path, const std::vector<Token>& tokens,
+               std::string_view raw_text, Category category,
+               const AllowSet& allows, FileSet& files,
+               std::vector<Finding>& findings) {
+  if (category != Category::kSrc) return;
+  const FileFacts self = build_facts(tokens, raw_text);
+  FlowPass pass(path, allows, findings, self, make_resolver(self, files));
+  pass.run(tokens);
+}
+
+}  // namespace rrsim::lint

@@ -1,0 +1,99 @@
+// Flow-aware pass of rrsim_lint (two-pass, include-graph aware).
+//
+// The token rules in linter.cpp judge each line in isolation; the three
+// rules here need to know what things *are*:
+//
+//   tie-sensitive-compare   a comparator (functor operator() or a lambda
+//                           handed to std::sort / nth_element / *_heap)
+//                           that compares time-like fields without a
+//                           discriminating field (seq / id / ...): equal
+//                           timestamps then order by insertion accident.
+//                           std::stable_sort comparators are exempt —
+//                           stability is the discriminator.
+//   iteration-order-escape  a util::FlatHashMap::for_each body that lets
+//                           the table's (hash-order) iteration sequence
+//                           escape: posting events, appending to a
+//                           sequence, or accumulating into a float
+//                           (float addition is not associative, so the
+//                           sum depends on visit order). Integral
+//                           accumulation and RRSIM_CHECK-style asserts
+//                           stay silent.
+//   unstable-sort           a comparator-less std::sort whose element
+//                           type resolves to a struct with a time-like
+//                           field and no operator< in sight (ties left
+//                           to the implementation's pivoting), or a
+//                           std::sort whose named comparator cannot be
+//                           resolved for analysis. Arithmetic, string,
+//                           and pair/tuple-of-integral elements are
+//                           provably total; unresolvable element types
+//                           stay silent (conservative-quiet — the token
+//                           pass has no evidence either way).
+//
+// Pass A builds a per-file symbol table (struct fields and their types,
+// using-aliases, variable/member declarations, comparator functors and
+// their compared fields, operator< presence, quoted includes). Pass B
+// resolves names through the file's own facts plus the facts of its
+// transitively-included rrsim headers (resolved against src/*/include
+// roots discovered from the repo layout, memoized in the FileSet) and
+// applies the three rules. All three fire in src/ only.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linter.h"
+#include "scan.h"
+
+namespace rrsim::lint {
+
+/// Source access for the flow pass: an in-memory overlay (tests,
+/// fixtures) plus include roots searched for quoted includes on disk.
+/// Resolved contents and per-file facts are memoized for the lifetime of
+/// the set, so linting a whole tree parses each shared header once.
+class FileSet {
+ public:
+  /// Registers an in-memory file under its include spelling (e.g.
+  /// "rrsim/grid/gateway.h"). Overlay entries win over disk.
+  void add_memory(std::string include, std::string text);
+
+  /// Adds a directory searched as `<dir>/<include spelling>`.
+  void add_include_root(std::string dir);
+
+  /// Discovers include roots for the repository containing `path`: the
+  /// nearest ancestor with a src/ directory contributes every
+  /// src/*/include below it. Safe to call per file — roots dedupe.
+  void add_repo_roots_for(const std::string& path);
+
+  /// Resolved content of an include spelling, nullptr when unknown.
+  const std::string* resolve(const std::string& include);
+
+ private:
+  friend struct FactsCache;
+  std::map<std::string, std::string> memory_;
+  std::vector<std::string> roots_;
+  std::vector<std::string> probed_roots_;  ///< repo roots already scanned
+  std::map<std::string, std::optional<std::string>> disk_cache_;
+  /// include spelling -> parsed facts, lazily built (held via pimpl so
+  /// flow.cpp owns the facts type).
+  std::map<std::string, const void*> facts_cache_;
+  std::vector<const void*> facts_owned_;
+
+ public:
+  ~FileSet();
+  FileSet() = default;
+  FileSet(const FileSet&) = delete;
+  FileSet& operator=(const FileSet&) = delete;
+};
+
+/// Runs the flow-aware rules over one translation unit. `allows` is the
+/// annotation set harvested by strip() for this file. Findings are
+/// appended unsorted (the caller sorts).
+void lint_flow(const std::string& path, const std::vector<Token>& tokens,
+               std::string_view raw_text, Category category,
+               const AllowSet& allows, FileSet& files,
+               std::vector<Finding>& findings);
+
+}  // namespace rrsim::lint

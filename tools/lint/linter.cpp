@@ -7,6 +7,9 @@
 #include <set>
 #include <sstream>
 
+#include "flow.h"
+#include "scan.h"
+
 namespace rrsim::lint {
 
 namespace {
@@ -25,6 +28,9 @@ constexpr char kStdFunctionMember[] = "std-function-member";
 constexpr char kWorkerRefCapture[] = "worker-ref-capture";
 constexpr char kStreamMaterialization[] = "stream-materialization";
 constexpr char kBareAllow[] = "bare-allow";
+constexpr char kTieSensitiveCompare[] = "tie-sensitive-compare";
+constexpr char kIterationOrderEscape[] = "iteration-order-escape";
+constexpr char kUnstableSort[] = "unstable-sort";
 
 const std::vector<RuleInfo> kRules = {
     {kUnorderedContainer,
@@ -63,263 +69,23 @@ const std::vector<RuleInfo> kRules = {
     {kBareAllow,
      "rrsim-lint-allow annotation without a justification or naming an "
      "unknown rule"},
+    {kTieSensitiveCompare,
+     "comparator (functor, or lambda passed to std::sort / nth_element / "
+     "*_heap) in src/ ordering by time-like fields with no discriminating "
+     "field (seq / id / ...): equal timestamps fall back to container "
+     "order accidents; std::stable_sort comparators are exempt"},
+    {kIterationOrderEscape,
+     "util::FlatHashMap::for_each body in src/ that lets hash-order "
+     "escape: posting events, appending to a sequence, or accumulating "
+     "into a float; collect into a sorted buffer first"},
+    {kUnstableSort,
+     "std::sort in src/ without a provably total order: elements with a "
+     "time-like field and no operator<, or a comparator the linter cannot "
+     "analyze; use std::stable_sort or add a stable-id tie-break"},
 };
 
-/// True if `name` appears as a whole path component of `path` (the same
-/// component matching category_for_path uses).
-bool has_path_component(const std::string& path, std::string_view name) {
-  std::size_t from = 0;
-  while (true) {
-    const std::size_t p = path.find(name, from);
-    if (p == std::string::npos) return false;
-    const bool left_ok = p == 0 || path[p - 1] == '/' || path[p - 1] == '\\';
-    const std::size_t after = p + name.size();
-    const bool right_ok =
-        after == path.size() || path[after] == '/' || path[after] == '\\';
-    if (left_ok && right_ok) return true;
-    from = p + 1;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Pass 1: strip comments and literals, collect allow annotations
-// ---------------------------------------------------------------------------
-
-struct AllowSet {
-  // line -> rules suppressed on that line (annotations cover their own
-  // line(s) and the next line, so a comment above a declaration works).
-  std::map<int, std::set<std::string>> by_line;
-
-  bool allows(const std::string& rule, int line) const {
-    const auto it = by_line.find(line);
-    return it != by_line.end() && it->second.count(rule) != 0;
-  }
-};
-
-void parse_annotations(const std::string& path, const std::string& comment,
-                       int first_line, int last_line, AllowSet& allows,
-                       std::vector<Finding>& findings) {
-  const std::string kTag = "rrsim-lint-allow(";
-  std::size_t pos = 0;
-  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
-    const std::size_t open = pos + kTag.size();
-    const std::size_t close = comment.find(')', open);
-    pos = open;
-    if (close == std::string::npos) {
-      findings.push_back({path, first_line, kBareAllow,
-                          "unterminated rrsim-lint-allow annotation"});
-      return;
-    }
-    // Split the rule list.
-    std::vector<std::string> rules;
-    std::string cur;
-    for (std::size_t i = open; i <= close; ++i) {
-      const char c = comment[i];
-      if (c == ',' || c == ')') {
-        if (!cur.empty()) rules.push_back(cur);
-        cur.clear();
-      } else if (!std::isspace(static_cast<unsigned char>(c))) {
-        cur.push_back(c);
-      }
-    }
-    bool ok = !rules.empty();
-    for (const std::string& r : rules) {
-      if (!rule_exists(r)) {
-        findings.push_back({path, first_line, kBareAllow,
-                            "rrsim-lint-allow names unknown rule '" + r +
-                                "' (see rrsim_lint --list-rules)"});
-        ok = false;
-      }
-    }
-    // A justification is mandatory: ':' after the ')' followed by text.
-    std::size_t j = close + 1;
-    while (j < comment.size() &&
-           std::isspace(static_cast<unsigned char>(comment[j]))) {
-      ++j;
-    }
-    bool justified = false;
-    if (j < comment.size() && comment[j] == ':') {
-      ++j;
-      while (j < comment.size()) {
-        if (!std::isspace(static_cast<unsigned char>(comment[j]))) {
-          justified = true;
-          break;
-        }
-        ++j;
-      }
-    }
-    if (!justified) {
-      findings.push_back(
-          {path, first_line, kBareAllow,
-           "rrsim-lint-allow needs a justification: "
-           "// rrsim-lint-allow(rule): <why this is not a hazard>"});
-      ok = false;
-    }
-    if (ok) {
-      for (int line = first_line; line <= last_line + 1; ++line) {
-        for (const std::string& r : rules) allows.by_line[line].insert(r);
-      }
-    }
-    pos = close;
-  }
-}
-
-/// Replaces comments and string/char literal *contents* with spaces
-/// (newlines preserved, so token line numbers match the original), while
-/// harvesting rrsim-lint-allow annotations from comment text.
-std::string strip(const std::string& path, std::string_view text,
-                  AllowSet& allows, std::vector<Finding>& findings) {
-  std::string out(text.size(), ' ');
-  std::size_t i = 0;
-  int line = 1;
-  const std::size_t n = text.size();
-  auto copy_newlines = [&](std::size_t from, std::size_t to) {
-    for (std::size_t k = from; k < to; ++k) {
-      if (text[k] == '\n') {
-        out[k] = '\n';
-        ++line;
-      }
-    }
-  };
-  while (i < n) {
-    const char c = text[i];
-    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      const int start_line = line;
-      std::size_t j = i;
-      // Line comment, honoring backslash continuations. Consecutive
-      // whole-line // comments merge into one block, so an allow whose
-      // justification wraps still covers the declaration below the block.
-      for (;;) {
-        while (j < n) {
-          if (text[j] == '\n' && (j == 0 || text[j - 1] != '\\')) break;
-          ++j;
-        }
-        std::size_t k = j;
-        if (k < n) ++k;  // past the newline
-        while (k < n && (text[k] == ' ' || text[k] == '\t')) ++k;
-        if (k + 1 < n && text[k] == '/' && text[k + 1] == '/') {
-          j = k;
-          continue;
-        }
-        break;
-      }
-      std::string block(text.substr(i, j - i));
-      copy_newlines(i, j);  // leaves `line` at the block's last line
-      parse_annotations(path, block, start_line, line, allows, findings);
-      i = j;
-    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      const int start_line = line;
-      std::size_t j = text.find("*/", i + 2);
-      if (j == std::string_view::npos) j = n;
-      const std::size_t end = std::min(j + 2, n);
-      copy_newlines(i, end);
-      parse_annotations(path, std::string(text.substr(i, end - i)),
-                        start_line, line, allows, findings);
-      i = end;
-    } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
-               (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                               text[i - 1])) &&
-                           text[i - 1] != '_'))) {
-      // Raw string literal R"delim( ... )delim".
-      std::size_t d = i + 2;
-      while (d < n && text[d] != '(') ++d;
-      const std::string closer =
-          ")" + std::string(text.substr(i + 2, d - (i + 2))) + "\"";
-      std::size_t j = text.find(closer, d);
-      j = (j == std::string_view::npos) ? n : j + closer.size();
-      out[i] = '"';
-      if (j - 1 < n) out[j - 1] = '"';
-      copy_newlines(i, j);
-      i = j;
-    } else if (c == '"' || c == '\'') {
-      out[i] = c;
-      std::size_t j = i + 1;
-      while (j < n && text[j] != c) {
-        if (text[j] == '\\' && j + 1 < n) ++j;
-        ++j;
-      }
-      if (j < n) out[j] = c;
-      copy_newlines(i, j + 1);
-      i = std::min(j + 1, n);
-    } else {
-      out[i] = c;
-      if (c == '\n') ++line;
-      ++i;
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Pass 2: tokenize (skipping preprocessor directives)
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-  bool is_ident = false;
-};
-
-std::vector<Token> tokenize(const std::string& clean) {
-  std::vector<Token> tokens;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = clean.size();
-  bool at_line_start = true;
-  while (i < n) {
-    const char c = clean[i];
-    if (c == '\n') {
-      ++line;
-      at_line_start = true;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (at_line_start && c == '#') {
-      // Preprocessor directive: skip to end of line (with continuations).
-      while (i < n) {
-        if (clean[i] == '\n') {
-          if (i > 0 && clean[i - 1] == '\\') {
-            ++line;
-            ++i;
-            continue;
-          }
-          break;
-        }
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::size_t j = i;
-      while (j < n && (std::isalnum(static_cast<unsigned char>(clean[j])) ||
-                       clean[j] == '_')) {
-        ++j;
-      }
-      tokens.push_back({clean.substr(i, j - i), line, true});
-      i = j;
-    } else if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < n && (std::isalnum(static_cast<unsigned char>(clean[j])) ||
-                       clean[j] == '.' || clean[j] == '\'')) {
-        ++j;
-      }
-      tokens.push_back({clean.substr(i, j - i), line, false});
-      i = j;
-    } else if (c == ':' && i + 1 < n && clean[i + 1] == ':') {
-      tokens.push_back({"::", line, false});
-      i += 2;
-    } else {
-      tokens.push_back({std::string(1, c), line, false});
-      ++i;
-    }
-  }
-  return tokens;
-}
+// Pass 1 (strip + allow harvesting) and pass 2 (tokenize) live in
+// scan.cpp, shared with the flow-aware analyzer in flow.cpp.
 
 // ---------------------------------------------------------------------------
 // Pass 3: rules over the token stream
@@ -779,13 +545,15 @@ Category category_for_path(const std::string& path) {
 }
 
 std::vector<Finding> lint_source(const std::string& path,
-                                 std::string_view text, Category category) {
+                                 std::string_view text, Category category,
+                                 FileSet& files) {
   std::vector<Finding> findings;
   AllowSet allows;
   const std::string clean = strip(path, std::string(text), allows, findings);
   const std::vector<Token> tokens = tokenize(clean);
   Scanner scanner(path, category, allows, findings);
   scanner.run(tokens);
+  lint_flow(path, tokens, text, category, allows, files, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
@@ -794,14 +562,27 @@ std::vector<Finding> lint_source(const std::string& path,
   return findings;
 }
 
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view text, Category category) {
+  FileSet files;
+  files.add_repo_roots_for(path);
+  return lint_source(path, text, category, files);
+}
+
 bool lint_file(const std::string& path, const Category* forced,
-               std::vector<Finding>& out) {
+               std::vector<Finding>& out, FileSet* files) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
   const Category cat = forced ? *forced : category_for_path(path);
-  std::vector<Finding> f = lint_source(path, buf.str(), cat);
+  std::vector<Finding> f;
+  if (files) {
+    files->add_repo_roots_for(path);
+    f = lint_source(path, buf.str(), cat, *files);
+  } else {
+    f = lint_source(path, buf.str(), cat);
+  }
   out.insert(out.end(), f.begin(), f.end());
   return true;
 }

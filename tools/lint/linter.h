@@ -66,15 +66,24 @@ bool rule_exists(std::string_view rule);
 /// the rightmost match wins, unknown trees get the strictest treatment.
 Category category_for_path(const std::string& path);
 
+class FileSet;  // flow.h — include resolution for the flow-aware pass
+
 /// Lints one translation unit given as text. `path` is used only for
-/// reporting. Findings are ordered by line.
+/// reporting (and to discover include roots for the flow-aware pass).
+/// Findings are ordered by line. The FileSet overload shares memoized
+/// header facts across calls; the two-pass flow rules resolve names
+/// through it.
 std::vector<Finding> lint_source(const std::string& path,
                                  std::string_view text, Category category);
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view text, Category category,
+                                 FileSet& files);
 
 /// Reads and lints a file, inferring the category from its path unless
 /// `forced` is non-null. Returns false (and reports nothing) if the file
-/// cannot be read.
+/// cannot be read. Pass a FileSet to reuse parsed header facts when
+/// linting many files of one tree.
 bool lint_file(const std::string& path, const Category* forced,
-               std::vector<Finding>& out);
+               std::vector<Finding>& out, FileSet* files = nullptr);
 
 }  // namespace rrsim::lint

@@ -3,6 +3,11 @@
 // Usage:
 //   rrsim_lint [--treat-as=src|bench|tests] <path>...   lint files/trees
 //   rrsim_lint --list-rules                             print rule table
+//   rrsim_lint --list-allows <path>...                  audit suppressions
+//
+// --list-allows prints every rrsim-lint-allow annotation in the given
+// trees (file:line, suppressed rules, justification) so suppressions can
+// be audited in one pass instead of grepping.
 //
 // Directories are walked recursively in sorted order (deterministic
 // output); only C++ sources/headers are linted. Exit status is 1 if any
@@ -10,11 +15,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "flow.h"
 #include "linter.h"
+#include "scan.h"
 
 namespace fs = std::filesystem;
 using rrsim::lint::Category;
@@ -46,15 +55,20 @@ void collect(const fs::path& root, std::vector<std::string>& files) {
 int main(int argc, char** argv) {
   const Category* forced = nullptr;
   Category forced_storage = Category::kSrc;
+  bool list_allows = false;
   std::vector<std::string> roots;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const auto& r : rrsim::lint::rule_table()) {
-        std::printf("%-20s %s\n", r.id, r.summary);
+        std::printf("%-22s %s\n", r.id, r.summary);
       }
       return 0;
+    }
+    if (arg == "--list-allows") {
+      list_allows = true;
+      continue;
     }
     if (arg.rfind("--treat-as=", 0) == 0) {
       const std::string cat = arg.substr(11);
@@ -97,10 +111,43 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  if (list_allows) {
+    // Suppression audit: print every valid allow annotation with its
+    // justification. Malformed allows surface through the normal lint
+    // run, not here.
+    std::size_t total = 0;
+    for (const std::string& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "rrsim_lint: cannot read %s\n", file.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      rrsim::lint::AllowSet allows;
+      std::vector<Finding> sink;
+      rrsim::lint::strip(file, buf.str(), allows, sink);
+      for (const rrsim::lint::AllowRecord& rec : allows.records) {
+        std::string rules;
+        for (const std::string& r : rec.rules) {
+          if (!rules.empty()) rules += ",";
+          rules += r;
+        }
+        std::printf("%s:%d: [%s] %s\n", file.c_str(), rec.line,
+                    rules.c_str(), rec.justification.c_str());
+        ++total;
+      }
+    }
+    std::printf("rrsim_lint: %zu allow annotation(s) in %zu file(s)\n",
+                total, files.size());
+    return 0;
+  }
+
   std::vector<Finding> findings;
+  rrsim::lint::FileSet shared_files;
   int io_errors = 0;
   for (const std::string& file : files) {
-    if (!rrsim::lint::lint_file(file, forced, findings)) {
+    if (!rrsim::lint::lint_file(file, forced, findings, &shared_files)) {
       std::fprintf(stderr, "rrsim_lint: cannot read %s\n", file.c_str());
       ++io_errors;
     }

@@ -1,0 +1,271 @@
+#include "scan.h"
+
+#include <cctype>
+
+namespace rrsim::lint {
+
+namespace {
+
+constexpr char kBareAllow[] = "bare-allow";
+
+/// Collapses a comment block's text after the justification colon into a
+/// single line: '//' prefixes, newlines and runs of whitespace become one
+/// space each.
+std::string collapse_justification(std::string_view text) {
+  std::string out;
+  bool space_pending = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      ++i;
+      space_pending = !out.empty();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      space_pending = !out.empty();
+      continue;
+    }
+    if (space_pending) out.push_back(' ');
+    space_pending = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+void parse_annotations(const std::string& path, const std::string& comment,
+                       int first_line, int last_line, AllowSet& allows,
+                       std::vector<Finding>& findings) {
+  const std::string kTag = "rrsim-lint-allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    const std::size_t open = pos + kTag.size();
+    const std::size_t close = comment.find(')', open);
+    pos = open;
+    if (close == std::string::npos) {
+      findings.push_back({path, first_line, kBareAllow,
+                          "unterminated rrsim-lint-allow annotation"});
+      return;
+    }
+    // Split the rule list.
+    std::vector<std::string> rules;
+    std::string cur;
+    for (std::size_t i = open; i <= close; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ')') {
+        if (!cur.empty()) rules.push_back(cur);
+        cur.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        cur.push_back(c);
+      }
+    }
+    bool ok = !rules.empty();
+    for (const std::string& r : rules) {
+      if (!rule_exists(r)) {
+        findings.push_back({path, first_line, kBareAllow,
+                            "rrsim-lint-allow names unknown rule '" + r +
+                                "' (see rrsim_lint --list-rules)"});
+        ok = false;
+      }
+    }
+    // A justification is mandatory: ':' after the ')' followed by text.
+    std::size_t j = close + 1;
+    while (j < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[j]))) {
+      ++j;
+    }
+    bool justified = false;
+    std::size_t just_start = comment.size();
+    if (j < comment.size() && comment[j] == ':') {
+      ++j;
+      just_start = j;
+      while (j < comment.size()) {
+        if (!std::isspace(static_cast<unsigned char>(comment[j]))) {
+          justified = true;
+          break;
+        }
+        ++j;
+      }
+    }
+    if (!justified) {
+      findings.push_back(
+          {path, first_line, kBareAllow,
+           "rrsim-lint-allow needs a justification: "
+           "// rrsim-lint-allow(rule): <why this is not a hazard>"});
+      ok = false;
+    }
+    if (ok) {
+      for (int line = first_line; line <= last_line + 1; ++line) {
+        for (const std::string& r : rules) allows.by_line[line].insert(r);
+      }
+      AllowRecord rec;
+      rec.line = first_line;
+      rec.rules = rules;
+      rec.justification = collapse_justification(
+          std::string_view(comment).substr(just_start));
+      allows.records.push_back(std::move(rec));
+    }
+    pos = close;
+  }
+}
+
+}  // namespace
+
+bool has_path_component(const std::string& path, std::string_view name) {
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t p = path.find(name, from);
+    if (p == std::string::npos) return false;
+    const bool left_ok = p == 0 || path[p - 1] == '/' || path[p - 1] == '\\';
+    const std::size_t after = p + name.size();
+    const bool right_ok =
+        after == path.size() || path[after] == '/' || path[after] == '\\';
+    if (left_ok && right_ok) return true;
+    from = p + 1;
+  }
+}
+
+std::string strip(const std::string& path, std::string_view text,
+                  AllowSet& allows, std::vector<Finding>& findings) {
+  std::string out(text.size(), ' ');
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = text.size();
+  auto copy_newlines = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to; ++k) {
+      if (text[k] == '\n') {
+        out[k] = '\n';
+        ++line;
+      }
+    }
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t j = i;
+      // Line comment, honoring backslash continuations. Consecutive
+      // whole-line // comments merge into one block, so an allow whose
+      // justification wraps still covers the declaration below the block.
+      for (;;) {
+        while (j < n) {
+          if (text[j] == '\n' && (j == 0 || text[j - 1] != '\\')) break;
+          ++j;
+        }
+        std::size_t k = j;
+        if (k < n) ++k;  // past the newline
+        while (k < n && (text[k] == ' ' || text[k] == '\t')) ++k;
+        if (k + 1 < n && text[k] == '/' && text[k + 1] == '/') {
+          j = k;
+          continue;
+        }
+        break;
+      }
+      std::string block(text.substr(i, j - i));
+      copy_newlines(i, j);  // leaves `line` at the block's last line
+      parse_annotations(path, block, start_line, line, allows, findings);
+      i = j;
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = text.find("*/", i + 2);
+      if (j == std::string_view::npos) j = n;
+      const std::size_t end = std::min(j + 2, n);
+      copy_newlines(i, end);
+      parse_annotations(path, std::string(text.substr(i, end - i)),
+                        start_line, line, allows, findings);
+      i = end;
+    } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+               (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                               text[i - 1])) &&
+                           text[i - 1] != '_'))) {
+      // Raw string literal R"delim( ... )delim".
+      std::size_t d = i + 2;
+      while (d < n && text[d] != '(') ++d;
+      const std::string closer =
+          ")" + std::string(text.substr(i + 2, d - (i + 2))) + "\"";
+      std::size_t j = text.find(closer, d);
+      j = (j == std::string_view::npos) ? n : j + closer.size();
+      out[i] = '"';
+      if (j - 1 < n) out[j - 1] = '"';
+      copy_newlines(i, j);
+      i = j;
+    } else if (c == '"' || c == '\'') {
+      out[i] = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      if (j < n) out[j] = c;
+      copy_newlines(i, j + 1);
+      i = std::min(j + 1, n);
+    } else {
+      out[i] = c;
+      if (c == '\n') ++line;
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<Token> tokenize(const std::string& clean) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = clean.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = clean[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') {
+      // Preprocessor directive: skip to end of line (with continuations).
+      while (i < n) {
+        if (clean[i] == '\n') {
+          if (i > 0 && clean[i - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(clean[j])) ||
+                       clean[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back({clean.substr(i, j - i), line, true});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(clean[j])) ||
+                       clean[j] == '.' || clean[j] == '\'')) {
+        ++j;
+      }
+      tokens.push_back({clean.substr(i, j - i), line, false});
+      i = j;
+    } else if (c == ':' && i + 1 < n && clean[i + 1] == ':') {
+      tokens.push_back({"::", line, false});
+      i += 2;
+    } else {
+      tokens.push_back({std::string(1, c), line, false});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace rrsim::lint

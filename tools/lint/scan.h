@@ -1,0 +1,55 @@
+// Shared scanning layer of rrsim_lint: comment/literal stripping with
+// rrsim-lint-allow harvesting, and the token stream both the token-rule
+// scanner (linter.cpp) and the flow-aware analyzer (flow.cpp) consume.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linter.h"
+
+namespace rrsim::lint {
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+/// One rrsim-lint-allow annotation, as written (valid ones only).
+struct AllowRecord {
+  int line = 0;  ///< first line of the comment block
+  std::vector<std::string> rules;
+  std::string justification;  ///< collapsed to one line
+};
+
+struct AllowSet {
+  /// line -> rules suppressed on that line (annotations cover their own
+  /// line(s) and the next line, so a comment above a declaration works).
+  std::map<int, std::set<std::string>> by_line;
+  /// Annotation inventory in source order (for --list-allows).
+  std::vector<AllowRecord> records;
+
+  bool allows(const std::string& rule, int line) const {
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) != 0;
+  }
+};
+
+/// True if `name` appears as a whole path component of `path`.
+bool has_path_component(const std::string& path, std::string_view name);
+
+/// Replaces comments and string/char literal *contents* with spaces
+/// (newlines preserved, so token line numbers match the original), while
+/// harvesting rrsim-lint-allow annotations from comment text. Malformed
+/// annotations are reported as bare-allow findings.
+std::string strip(const std::string& path, std::string_view text,
+                  AllowSet& allows, std::vector<Finding>& findings);
+
+/// Tokenizes stripped source (preprocessor directives skipped).
+std::vector<Token> tokenize(const std::string& clean);
+
+}  // namespace rrsim::lint
