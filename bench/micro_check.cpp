@@ -26,42 +26,18 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <filesystem>
 #include <stdexcept>
 #include <string>
 
 #include "bench_common.h"
 #include "explore.h"
 #include "rrsim/core/paper.h"
-#include "rrsim/workload/swf.h"
+#include "ties_trace.h"
 
 namespace {
 
 using namespace rrsim;
 using Clock = std::chrono::steady_clock;
-
-/// SWF replay in which every 60 s arrival slot carries `ties` identical-
-/// timestamp jobs of varied width/length — each slot is a tie cohort on
-/// whichever cluster its jobs land.
-std::string write_ties_trace(int cohorts, int ties) {
-  workload::JobStream stream;
-  int i = 0;
-  for (int c = 0; c < cohorts; ++c) {
-    for (int j = 0; j < ties; ++j, ++i) {
-      workload::JobSpec job;
-      job.submit_time = 60.0 * static_cast<double>(c);
-      job.nodes = 1 + i % 8;
-      job.runtime = 30.0 + static_cast<double>(i % 7) * 12.5;
-      job.requested_time = job.runtime + 10.0;
-      stream.push_back(job);
-    }
-  }
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "rrsim_micro_check_ties.swf")
-          .string();
-  workload::write_swf_file(path, stream);
-  return path;
-}
 
 struct ScenarioResult {
   check::ExploreReport report;
@@ -171,7 +147,8 @@ int main(int argc, char** argv) {
     ties_config.n_clusters = 2;
     ties_config.nodes_per_cluster = 16;
     ties_config.submit_horizon = 60.0 * cohorts + 300.0;
-    ties_config.trace_files = {write_ties_trace(cohorts, ties)};
+    ties_config.trace_files = {check::write_ties_trace(
+        cohorts, ties, "rrsim_micro_check_ties.swf")};
     ties_config.seed = 5;
     ties_config.retain_records = true;
     const ScenarioResult ties_result =

@@ -190,6 +190,17 @@ SimResult run_experiment(const ExperimentConfig& config,
       job.redundant = false;
     }
   };
+  // Under a redundant scheme every arrival callback couples globally:
+  // place_job draws from the single shared placement substream and
+  // snapshots every cluster's queue length, so permuting same-timestamp
+  // arrivals — even ones submitting to different clusters — reorders the
+  // RNG draws and changes replica targets. Arrival events therefore carry
+  // their origin-cluster tag only when no placement draw can happen
+  // (degree <= 1); otherwise they are scheduled untagged so schedule
+  // explorers (tools/check) treat them as dependent on everything.
+  const auto arrival_tag = [degree](std::size_t cluster) {
+    return degree > 1 ? des::kNoEventTag : static_cast<std::uint32_t>(cluster);
+  };
 
   // Per-cluster arrival pump state (streaming mode). The pre-drawn
   // rs.draws — 8 bytes per job instead of a staged GridJob (~150 with its
@@ -284,7 +295,7 @@ SimResult run_experiment(const ExperimentConfig& config,
             place_job(job);
             gateway.submit(job, inflation);
           },
-          des::Priority::kArrival, static_cast<std::uint32_t>(job.origin));
+          des::Priority::kArrival, arrival_tag(job.origin));
     }
   } else if (windowed && !config.trace_files.empty()) {
     // --- Windowed SWF replay: merged arrival pump over spool readers.
@@ -314,9 +325,9 @@ SimResult run_experiment(const ExperimentConfig& config,
         static_cast<std::uint64_t>(config.users_per_cluster);
     const bool scheme_active = !config.scheme.is_none();
     const double redundant_fraction = config.redundant_fraction;
-    merged_fire = [&gateway, &place_job, &mclusters, &mheap, &sim,
-                   &merged_fire, window, users_per_cluster, scheme_active,
-                   redundant_fraction, inflation] {
+    merged_fire = [&gateway, &place_job, &arrival_tag, &mclusters, &mheap,
+                   &sim, &merged_fire, window, users_per_cluster,
+                   scheme_active, redundant_fraction, inflation] {
       std::pop_heap(mheap.begin(), mheap.end(), std::greater<>{});
       const std::size_t ci = mheap.back().second;
       mheap.pop_back();
@@ -347,13 +358,13 @@ SimResult run_experiment(const ExperimentConfig& config,
       if (!mheap.empty()) {
         sim.schedule_at(mheap.front().first, [&merged_fire] { merged_fire(); },
                         des::Priority::kArrival,
-                        static_cast<std::uint32_t>(mheap.front().second));
+                        arrival_tag(mheap.front().second));
       }
     };
     if (!mheap.empty()) {
       sim.schedule_at(mheap.front().first, [&merged_fire] { merged_fire(); },
                       des::Priority::kArrival,
-                      static_cast<std::uint32_t>(mheap.front().second));
+                      arrival_tag(mheap.front().second));
     }
   } else if (windowed) {
     // --- Windowed streaming mode: O(stream_window) trace state per pump.
@@ -384,9 +395,9 @@ SimResult run_experiment(const ExperimentConfig& config,
         static_cast<std::uint64_t>(config.users_per_cluster);
     const bool scheme_active = !config.scheme.is_none();
     const double redundant_fraction = config.redundant_fraction;
-    wpump_fire = [&gateway, &place_job, &wpumps, &sim, &wpump_fire, window,
-                  users_per_cluster, scheme_active, redundant_fraction,
-                  inflation](std::size_t ci) {
+    wpump_fire = [&gateway, &place_job, &arrival_tag, &wpumps, &sim,
+                  &wpump_fire, window, users_per_cluster, scheme_active,
+                  redundant_fraction, inflation](std::size_t ci) {
       WindowPump& p = wpumps[ci];
       const workload::JobSpec& spec = p.buf[p.in_buf];
       grid::GridJob& job = p.scratch;
@@ -412,15 +423,14 @@ SimResult run_experiment(const ExperimentConfig& config,
       if (p.in_buf < p.buf.size()) {
         sim.schedule_at(p.buf[p.in_buf].submit_time,
                         [&wpump_fire, ci] { wpump_fire(ci); },
-                        des::Priority::kArrival,
-                        static_cast<std::uint32_t>(ci));
+                        des::Priority::kArrival, arrival_tag(ci));
       }
     };
     for (std::size_t i = 0; i < config.n_clusters; ++i) {
       if (wpumps[i].buf.empty()) continue;
       sim.schedule_at(wpumps[i].buf.front().submit_time,
                       [&wpump_fire, i] { wpump_fire(i); },
-                      des::Priority::kArrival, static_cast<std::uint32_t>(i));
+                      des::Priority::kArrival, arrival_tag(i));
     }
   } else {
     // --- Streaming mode: per-cluster pumps, per-finish metric folding.
@@ -442,8 +452,8 @@ SimResult run_experiment(const ExperimentConfig& config,
     // Fires cluster ci's next arrival, then schedules the following one.
     // Captures locals of this call by reference; the final sim.reset()
     // guarantees no callback survives the return.
-    pump_fire = [&gateway, &place_job, &pumps, &rs, &sim, &pump_fire,
-                 inflation](std::size_t ci) {
+    pump_fire = [&gateway, &place_job, &arrival_tag, &pumps, &rs, &sim,
+                 &pump_fire, inflation](std::size_t ci) {
       Pump& p = pumps[ci];
       const workload::JobSpec& spec = (*p.stream)[p.next];
       const detail::Draw& d = rs.draws[p.draw_base + p.next];
@@ -460,15 +470,14 @@ SimResult run_experiment(const ExperimentConfig& config,
       if (++p.next < p.stream->size()) {
         sim.schedule_at((*p.stream)[p.next].submit_time,
                         [&pump_fire, ci] { pump_fire(ci); },
-                        des::Priority::kArrival,
-                        static_cast<std::uint32_t>(ci));
+                        des::Priority::kArrival, arrival_tag(ci));
       }
     };
     for (std::size_t i = 0; i < config.n_clusters; ++i) {
       if (pumps[i].stream->empty()) continue;
       sim.schedule_at(pumps[i].stream->front().submit_time,
                       [&pump_fire, i] { pump_fire(i); },
-                      des::Priority::kArrival, static_cast<std::uint32_t>(i));
+                      des::Priority::kArrival, arrival_tag(i));
     }
   }
 

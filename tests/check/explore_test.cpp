@@ -14,7 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "rrsim/des/simulation.h"
-#include "rrsim/workload/swf.h"
+#include "ties_trace.h"
 
 namespace rrsim::check {
 namespace {
@@ -23,15 +23,19 @@ namespace {
 /// events, each event tagged with its own cluster id. The outcome digest
 /// is either order-sensitive (sequential FNV over the firing order — any
 /// permutation diverges) or commutative (no permutation can diverge).
+/// `headline_drift` controls whether an order-sensitive divergence also
+/// moves the headline metrics or stays a pure checksum divergence.
 class ToyProbe final : public ScheduleProbe {
  public:
   ToyProbe(bool order_sensitive, std::size_t cohorts, std::size_t size,
-           bool attach_probe = false, std::uint64_t coupling = 0)
+           bool attach_probe = false, std::uint64_t coupling = 0,
+           bool headline_drift = true)
       : order_sensitive_(order_sensitive),
         cohorts_(cohorts),
         size_(size),
         attach_probe_(attach_probe),
-        coupling_(coupling) {}
+        coupling_(coupling),
+        headline_drift_(headline_drift) {}
 
   RunOutcome run(des::TieBreakPolicy& policy) override {
     if (attach_probe_) {
@@ -61,11 +65,11 @@ class ToyProbe final : public ScheduleProbe {
         h *= 1099511628211ull;
       }
       out.outcome_hash = h;
-      // An order-sensitive toy also drifts its headline metric, so the
-      // tolerance verdict (which ignores pure checksum divergence) trips.
-      out.mean_stretch =
-          1.0 + static_cast<double>(h % 1024) / 1024.0;
-      out.p99_stretch = out.mean_stretch;
+      if (headline_drift_) {
+        out.mean_stretch =
+            1.0 + static_cast<double>(h % 1024) / 1024.0;
+        out.p99_stretch = out.mean_stretch;
+      }
     } else {
       std::uint64_t s = 0;
       for (const std::uint32_t v : fired) s += v * 2654435761ull;
@@ -80,6 +84,7 @@ class ToyProbe final : public ScheduleProbe {
   std::size_t size_;
   bool attach_probe_;
   std::uint64_t coupling_;
+  bool headline_drift_;
 };
 
 TieGroupRecord make_group(std::vector<std::uint32_t> tags,
@@ -230,6 +235,54 @@ TEST(Explore, DporPrunesIndependentPermutations) {
   EXPECT_TRUE(coupled_report.identical);
 }
 
+TEST(Explore, ZeroToleranceRequiresBitIdentity) {
+  // Pure checksum divergence: per-job outcomes move under permutation
+  // but the headline aggregates land on identical values. Tolerance 0
+  // documents "bit-identical under every explored schedule", so it must
+  // fail even though measured drift is zero...
+  ToyProbe strict(/*order_sensitive=*/true, /*cohorts=*/1, /*size=*/3,
+                  /*attach_probe=*/false, /*coupling=*/0,
+                  /*headline_drift=*/false);
+  ExploreOptions opts;
+  opts.exhaustive_k = 3;
+  opts.drift_tolerance = 0.0;
+  const ExploreReport report = explore(strict, opts);
+  EXPECT_FALSE(report.identical);
+  EXPECT_EQ(report.max_drift, 0.0);
+  EXPECT_FALSE(report.within_tolerance);
+
+  // ...while any nonzero tolerance gates on the measured drift alone.
+  ToyProbe lenient(/*order_sensitive=*/true, /*cohorts=*/1, /*size=*/3,
+                   /*attach_probe=*/false, /*coupling=*/0,
+                   /*headline_drift=*/false);
+  opts.drift_tolerance = 0.1;
+  EXPECT_TRUE(explore(lenient, opts).within_tolerance);
+}
+
+TEST(CensusPolicy, ResumedGroupAcrossPartitionsRecordsOnce) {
+  // PDES shape: partition 0's cohort resumes mid-drain (the kernel keeps
+  // the group id) after partition 1 recorded a cohort in between. The
+  // census must not record the resumed cohort a second time — a
+  // duplicate with mid-drain membership would flag a spurious replay
+  // mismatch when the second record is replayed.
+  CensusPolicy census;
+  const std::vector<des::TieEvent> a{{1, 0}, {2, 1}, {3, 0}};
+  const std::vector<des::TieEvent> b{{4, 0}, {5, 1}};
+  const des::TieGroup g0{/*id=*/5, /*partition=*/0, 10.0, 2, a.data(),
+                         a.size()};
+  const des::TieGroup g1{/*id=*/3, /*partition=*/1, 10.0, 2, b.data(),
+                         b.size()};
+  const des::TieGroup g0_resumed{/*id=*/5, /*partition=*/0, 10.0, 2,
+                                 a.data() + 1, a.size() - 1};
+  EXPECT_EQ(census.pick(g0), 0u);
+  EXPECT_EQ(census.pick(g1), 0u);
+  EXPECT_EQ(census.pick(g0_resumed), 0u);
+  ASSERT_EQ(census.groups().size(), 2u);
+  EXPECT_EQ(census.groups()[0].partition, 0u);
+  EXPECT_EQ(census.groups()[0].members.size(), 3u);
+  EXPECT_EQ(census.groups()[1].partition, 1u);
+}
+
 TEST(Explore, BudgetsAreHonored) {
   ToyProbe probe(/*order_sensitive=*/false, /*cohorts=*/4, /*size=*/3);
   ExploreOptions opts;
@@ -241,21 +294,12 @@ TEST(Explore, BudgetsAreHonored) {
   EXPECT_EQ(report.groups_skipped, 2u);
 }
 
-/// Trace with three same-timestamp jobs per arrival slot — the
-/// experiment-level probe must surface real tie cohorts from it.
-std::string write_ties_trace() {
-  workload::JobStream s;
-  for (std::size_t i = 0; i < 45; ++i) {
-    workload::JobSpec j;
-    j.submit_time = 60.0 * static_cast<double>(i / 3);
-    j.nodes = 1 + static_cast<int>(i % 8);
-    j.runtime = 30.0 + static_cast<double>(i % 7) * 12.5;
-    j.requested_time = j.runtime + 10.0;
-    s.push_back(j);
-  }
-  const std::string path = ::testing::TempDir() + "/rrsim_explore_ties.swf";
-  workload::write_swf_file(path, s);
-  return path;
+/// Trace with three same-timestamp jobs per arrival slot (the shared
+/// tie-heavy generator) — the experiment-level probe must surface real
+/// tie cohorts from it.
+std::string explore_ties_trace() {
+  return write_ties_trace(/*slots=*/15, /*ties_per_slot=*/3,
+                          "rrsim_explore_ties.swf");
 }
 
 core::ExperimentConfig ties_config(const std::string& path) {
@@ -270,13 +314,13 @@ core::ExperimentConfig ties_config(const std::string& path) {
 }
 
 TEST(ExperimentProbeTest, RequiresRetainedRecords) {
-  core::ExperimentConfig c = ties_config(write_ties_trace());
+  core::ExperimentConfig c = ties_config(explore_ties_trace());
   c.retain_records = false;
   EXPECT_THROW(ExperimentProbe{c}, std::invalid_argument);
 }
 
 TEST(ExperimentProbeTest, ExplorationIsDeterministic) {
-  const std::string path = write_ties_trace();
+  const std::string path = explore_ties_trace();
   ExploreOptions opts;
   opts.exhaustive_k = 3;
   opts.max_groups = 4;
@@ -291,6 +335,46 @@ TEST(ExperimentProbeTest, ExplorationIsDeterministic) {
   EXPECT_EQ(ra.divergence_count, rb.divergence_count);
   EXPECT_EQ(ra.replay_mismatches, 0u);
   EXPECT_EQ(rb.replay_mismatches, 0u);
+}
+
+TEST(ExperimentProbeTest, RedundantArrivalsAreUntagged) {
+  // Under a redundant scheme every arrival consumes shared global state
+  // (the single placement substream plus the live queue-length snapshot
+  // in place_job), so same-timestamp arrivals on different clusters are
+  // still order-coupled. The schedule sites must leave them untagged —
+  // a cluster tag would let the DPOR criterion prune their permutations
+  // as independent and certify a falsely IDENTICAL verdict.
+  const std::string path = explore_ties_trace();
+  core::ExperimentConfig redundant = ties_config(path);
+  redundant.scheme = core::RedundancyScheme::fixed(2);
+  CensusPolicy census;
+  redundant.tie_break_policy = &census;
+  core::run_experiment(redundant);
+  bool saw_arrival_cohort = false;
+  for (const TieGroupRecord& g : census.groups()) {
+    if (g.priority != static_cast<int>(des::Priority::kArrival)) continue;
+    saw_arrival_cohort = true;
+    for (const des::TieEvent& e : g.members) {
+      EXPECT_EQ(e.tag, des::kNoEventTag);
+    }
+  }
+  EXPECT_TRUE(saw_arrival_cohort);
+
+  // Without redundancy no placement draw can happen: arrivals stay
+  // cluster-tagged, so cross-cluster arrival permutations remain
+  // prunable.
+  core::ExperimentConfig plain = ties_config(path);
+  CensusPolicy plain_census;
+  plain.tie_break_policy = &plain_census;
+  core::run_experiment(plain);
+  bool saw_tagged_arrival = false;
+  for (const TieGroupRecord& g : plain_census.groups()) {
+    if (g.priority != static_cast<int>(des::Priority::kArrival)) continue;
+    for (const des::TieEvent& e : g.members) {
+      if (e.tag != des::kNoEventTag) saw_tagged_arrival = true;
+    }
+  }
+  EXPECT_TRUE(saw_tagged_arrival);
 }
 
 TEST(OutcomeOf, CommutativeOverRecordOrder) {

@@ -132,10 +132,27 @@ RunOutcome ExperimentProbe::run(des::TieBreakPolicy& policy) {
   return outcome_of(res.records, res.duplicate_starts);
 }
 
+bool CensusPolicy::already_recorded(const des::TieGroup& group) {
+  // Group ids are dense per kernel instance, and a group only resumes
+  // (same id, repeated picks) while it is still its partition's current
+  // group — so one last-seen id per partition suffices. Comparing against
+  // groups_.back() alone would not: in PDES mode another partition's
+  // group can be recorded between two picks of a resumed group, and the
+  // duplicate record's mid-drain membership would later flag a spurious
+  // replay mismatch.
+  for (auto& [partition, id] : last_ids_) {
+    if (partition == group.partition) {
+      if (id == group.id) return true;
+      id = group.id;
+      return false;
+    }
+  }
+  last_ids_.emplace_back(group.partition, group.id);
+  return false;
+}
+
 std::size_t CensusPolicy::pick(const des::TieGroup& group) {
-  if (group.size >= 2 &&
-      (groups_.empty() || groups_.back().id != group.id ||
-       groups_.back().partition != group.partition)) {
+  if (group.size >= 2 && !already_recorded(group)) {
     TieGroupRecord rec;
     rec.id = group.id;
     rec.partition = group.partition;
@@ -169,6 +186,7 @@ std::uint64_t CensusPolicy::coupling_sample(std::uint32_t partition) const {
 void CensusPolicy::reset() {
   groups_.clear();
   probes_.clear();
+  last_ids_.clear();
 }
 
 PermutationPolicy::PermutationPolicy(const TieGroupRecord& group,
@@ -371,8 +389,13 @@ ExploreReport explore(ScheduleProbe& probe, const ExploreOptions& opts) {
       rep.divergences.push_back(std::move(d));
     }
   }
-  rep.within_tolerance =
-      rep.max_drift <= opts.drift_tolerance && rep.replay_mismatches == 0;
+  // A zero tolerance demands bit-identity, not merely zero measured
+  // drift: a schedule can swap per-job outcomes (outcome_hash moves)
+  // while the headline aggregates happen to land on the same values.
+  const bool drift_ok = opts.drift_tolerance == 0.0
+                            ? rep.identical
+                            : rep.max_drift <= opts.drift_tolerance;
+  rep.within_tolerance = drift_ok && rep.replay_mismatches == 0;
   return rep;
 }
 

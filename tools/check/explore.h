@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "rrsim/core/experiment.h"
@@ -114,6 +115,10 @@ class CensusPolicy : public des::TieBreakPolicy {
   void reset();
 
  private:
+  /// True if `group` is the one this partition recorded most recently —
+  /// i.e. a resumed group mid-drain, possibly with other partitions'
+  /// groups recorded in between. Updates the per-partition last-id map.
+  bool already_recorded(const des::TieGroup& group);
   std::uint64_t coupling_sample(std::uint32_t partition) const;
 
   struct Probe {
@@ -122,6 +127,8 @@ class CensusPolicy : public des::TieBreakPolicy {
   };
   std::vector<TieGroupRecord> groups_;
   std::vector<Probe> probes_;
+  /// partition -> id of the last group recorded for it.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> last_ids_;
 };
 
 /// Replay policy: applies one permutation to one target cohort, seq order
@@ -161,7 +168,9 @@ struct ExploreOptions {
   std::size_t max_groups = 0;
   /// Total replay budget (0 = unbounded), witness replays excluded.
   std::size_t max_schedules = 0;
-  /// Relative drift on headline metrics tolerated by the verdict.
+  /// Relative drift on headline metrics tolerated by the verdict. Zero
+  /// is strict: the verdict then requires bit-identical outcome hashes,
+  /// not merely zero measured headline drift.
   double drift_tolerance = 0.0;
   /// Minimize the first divergence per cohort to an adjacent
   /// transposition when one reproduces it.
@@ -201,8 +210,9 @@ struct ExploreReport {
   std::uint64_t replay_mismatches = 0;
   bool identical = true;   ///< every replay matched the baseline checksum
   double max_drift = 0.0;  ///< worst relative headline drift seen
-  bool within_tolerance = true;  ///< max_drift <= tolerance and no
-                                 ///< replay mismatch
+  bool within_tolerance = true;  ///< no replay mismatch, and identical
+                                 ///< (tolerance 0) or max_drift <=
+                                 ///< tolerance (tolerance > 0)
   std::vector<Divergence> divergences;  ///< capped at max_divergences
   bool oracles_armed = false;  ///< RRSIM_VALIDATE build: every replay ran
                                ///< under the kernel/scheduler oracles

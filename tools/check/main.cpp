@@ -20,46 +20,23 @@
 // Common experiment flags are the shared bench set (core/options.h):
 // --clusters, --algo, --scheme, --pdes, --latency, --seed, ...
 //
-// Exit codes: 0 = schedules identical or drift within --check-drift-tol;
+// Exit codes: 0 = outcomes bit-identical under every explored schedule
+// (required at --check-drift-tol=0) or drift within the tolerance;
 // 1 = tie-sensitive beyond tolerance (or a replay mismatch); 2 = usage or
 // I/O error. In an RRSIM_VALIDATE build every replay also runs under the
 // kernel and scheduler oracles, making this an incremental-fast-path
 // fuzzer over permuted schedules (reported as "oracles_armed").
 #include <cstdio>
 #include <exception>
-#include <filesystem>
 #include <string>
 
 #include "explore.h"
 #include "rrsim/core/options.h"
 #include "rrsim/core/paper.h"
 #include "rrsim/util/cli.h"
-#include "rrsim/workload/swf.h"
+#include "ties_trace.h"
 
 namespace {
-
-/// Synthetic tie-heavy trace: `slots` 60-second arrival slots, three
-/// identical-timestamp jobs of varied width/length per slot (the same
-/// shape bench/micro_check.cpp measures exploration throughput on).
-std::string write_ties_trace(int slots) {
-  rrsim::workload::JobStream stream;
-  int i = 0;
-  for (int c = 0; c < slots; ++c) {
-    for (int j = 0; j < 3; ++j, ++i) {
-      rrsim::workload::JobSpec job;
-      job.submit_time = 60.0 * static_cast<double>(c);
-      job.nodes = 1 + i % 8;
-      job.runtime = 30.0 + static_cast<double>(i % 7) * 12.5;
-      job.requested_time = job.runtime + 10.0;
-      stream.push_back(job);
-    }
-  }
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "rrsim_check_ties.swf")
-          .string();
-  rrsim::workload::write_swf_file(path, stream);
-  return path;
-}
 
 int run(int argc, char** argv) {
   const rrsim::util::Cli cli(argc, argv);
@@ -87,7 +64,8 @@ int run(int argc, char** argv) {
       std::fprintf(stderr, "rrsim_check: --gen-ties must be >= 1\n");
       return 2;
     }
-    config.trace_files.push_back(write_ties_trace(slots));
+    config.trace_files.push_back(rrsim::check::write_ties_trace(
+        slots, /*ties_per_slot=*/3, "rrsim_check_ties.swf"));
   }
 
   rrsim::check::ExploreOptions opts;
